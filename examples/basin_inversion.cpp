@@ -1,0 +1,122 @@
+// Multiscale material inversion of a 2D basin cross-section (Fig 3.2):
+// synthesize surface records from a target shear-velocity section, then
+// invert for it from a homogeneous initial guess through a ladder of
+// material grids, writing the recovered vs field per stage as PGM images.
+//
+//   ./basin_inversion [output_dir]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "quake/inverse/material_inversion.hpp"
+#include "quake/util/io.hpp"
+#include "quake/util/rng.hpp"
+#include "quake/util/stats.hpp"
+#include "quake/vel/model.hpp"
+
+namespace {
+
+using namespace quake;
+
+// Target section: shear modulus sampled from a vertical cross-section of
+// the synthetic LA basin model.
+std::vector<double> target_mu(const wave2d::ShGrid& g, double rho) {
+  const vel::BasinModel basin = vel::BasinModel::demo(g.width());
+  std::vector<double> mu(static_cast<std::size_t>(g.n_elems()));
+  for (int e = 0; e < g.n_elems(); ++e) {
+    const int i = e % g.nx, k = e / g.nx;
+    const double x = (i + 0.5) * g.h;
+    const double z = (k + 0.5) * g.h;
+    // Section through the deeper depression; clamp vs so the wave grid
+    // resolves the shortest wavelengths.
+    const double vs =
+        std::clamp(basin.at(x, 0.55 * g.width(), z).vs(), 800.0, 3200.0);
+    mu[static_cast<std::size_t>(e)] = rho * vs * vs;
+  }
+  return mu;
+}
+
+void write_vs_image(const std::string& path, const wave2d::ShGrid& g,
+                    std::span<const double> mu, double rho) {
+  std::vector<double> vs(mu.size());
+  for (std::size_t e = 0; e < mu.size(); ++e) vs[e] = std::sqrt(mu[e] / rho);
+  util::write_pgm(path, vs, g.nx, g.nz, 700.0, 3300.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const double rho = 2200.0;
+  const wave2d::ShGrid grid{56, 32, 625.0};  // 35 km x 20 km section
+
+  const std::vector<double> mu_true = target_mu(grid, rho);
+  write_vs_image(out_dir + "/inversion_target.pgm", grid, mu_true, rho);
+
+  // Fault perpendicular to the section, mid-basin.
+  inverse::InversionSetup setup;
+  setup.grid = grid;
+  setup.rho = rho;
+  setup.fault = {grid.nx / 2, 8, 24};
+  setup.source = wave2d::make_rupture_params(grid, setup.fault, /*u0=*/1.5,
+                                             /*t0=*/1.5, /*hypo_k=*/16,
+                                             /*vr=*/2800.0);
+  for (int i = 1; i < grid.nx; ++i) {
+    setup.receiver_nodes.push_back(grid.node(i, 0));
+  }
+  const wave2d::ShModel truth(grid, std::vector<double>(mu_true), rho);
+  setup.dt = truth.stable_dt(0.4);
+  setup.nt = 380;
+
+  {
+    inverse::InversionSetup gen = setup;
+    const inverse::InversionProblem p0(gen);
+    setup.observations = p0.forward(truth, setup.source, false).march.records;
+  }
+  // 5% additive noise, as in the paper's experiment.
+  util::Rng rng(2026);
+  double rms = 0.0;
+  std::size_t cnt = 0;
+  for (const auto& rec : setup.observations) {
+    for (double v : rec) {
+      rms += v * v;
+      ++cnt;
+    }
+  }
+  rms = std::sqrt(rms / static_cast<double>(cnt));
+  for (auto& rec : setup.observations) {
+    for (double& v : rec) v += 0.05 * rms * rng.normal();
+  }
+
+  const inverse::InversionProblem prob(setup);
+  inverse::MaterialInversionOptions mo;
+  mo.stages = {{1, 1}, {2, 2}, {4, 3}, {8, 5}, {16, 10}, {28, 16}};
+  mo.max_newton = 10;
+  mo.cg = {12, 1e-1};
+  mo.beta_tv = 1e-14;
+  mo.tv_eps = 5e7;
+  mo.mu_min = 5e8;
+  mo.initial_mu = rho * 1800.0 * 1800.0;  // homogeneous guess
+  mo.grad_tol = 5e-3;
+  mo.frankel_sweeps = 2;
+  // Frequency continuation: low band first (§3.1).
+  mo.stage_f_cut = {0.15, 0.2, 0.3, 0.45, 0.7, 0.0};
+
+  std::printf("inverting %d-element section from %zu receivers (5%% noise)\n",
+              grid.n_elems(), setup.receiver_nodes.size());
+  const auto res = inverse::invert_material(prob, mo, mu_true);
+
+  std::printf("%8s %8s %8s %10s %12s %12s\n", "grid", "params", "newton",
+              "cg iters", "misfit", "model err");
+  for (const auto& s : res.stages) {
+    std::printf("%4dx%-3d %8zu %8d %10d %12.4e %11.1f%%\n", s.gx, s.gz,
+                s.n_params, s.newton_iters, s.cg_iters, s.misfit_final,
+                100.0 * s.model_error);
+  }
+  write_vs_image(out_dir + "/inversion_final.pgm", grid, res.mu, rho);
+  std::printf("wrote %s/inversion_{target,final}.pgm\n", out_dir.c_str());
+  return 0;
+}

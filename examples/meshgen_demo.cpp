@@ -1,0 +1,77 @@
+// Etree mesh-generation walkthrough (Fig 2.1): construct -> balance ->
+// transform, in core and out of core, with database statistics.
+//
+//   ./meshgen_demo [work_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "quake/mesh/meshgen.hpp"
+#include "quake/octree/etree_store.hpp"
+#include "quake/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quake;
+  const std::string work_dir = argc > 1 ? argv[1] : "/tmp";
+
+  const double extent = 20000.0;
+  const vel::BasinModel model = vel::BasinModel::demo(extent);
+  mesh::MeshOptions opt;
+  opt.domain_size = extent;
+  opt.f_max = 0.3;
+  opt.n_lambda = 8.0;
+  opt.min_level = 3;
+  opt.max_level = 6;
+
+  // Step 1: construct — wavelength-adaptive refinement via auto-navigation.
+  util::Timer timer;
+  const octree::LinearOctree constructed =
+      octree::build_octree(mesh::wavelength_policy(model, opt), opt.max_level);
+  std::printf("construct: %zu octants (%.3f s)\n", constructed.size(),
+              timer.seconds());
+
+  // Step 2: balance — enforce the 2-to-1 constraint.
+  timer.reset();
+  const octree::LinearOctree balanced =
+      octree::balance(constructed, octree::BalanceScope::kAll);
+  std::printf("balance:   %zu octants, +%zu from balancing (%.3f s)\n",
+              balanced.size(), balanced.size() - constructed.size(),
+              timer.seconds());
+  auto hist = balanced.level_histogram();
+  for (std::size_t l = 0; l < hist.size(); ++l) {
+    if (hist[l] > 0) {
+      std::printf("  level %2zu: %8zu leaves (h = %.0f m)\n", l, hist[l],
+                  extent / (1 << l));
+    }
+  }
+
+  // Step 3: transform — elements, nodes, hanging constraints.
+  timer.reset();
+  const mesh::HexMesh mesh = mesh::transform(balanced, model, opt);
+  std::printf("transform: %zu elements, %zu nodes, %zu hanging (%.3f s)\n",
+              mesh.n_elements(), mesh.n_nodes(), mesh.n_hanging(),
+              timer.seconds());
+
+  // The same pipeline through the disk-backed etree store.
+  timer.reset();
+  const std::string store_path = work_dir + "/meshgen_demo.etree";
+  const mesh::HexMesh ooc = mesh::generate_mesh_out_of_core(model, opt, store_path);
+  std::printf("out-of-core pipeline: %zu elements (%.3f s), store at %s\n",
+              ooc.n_elements(), timer.seconds(), store_path.c_str());
+  {
+    octree::EtreeStore store(store_path + ".balanced", sizeof(double), 32,
+                             /*create=*/false);
+    const auto st = store.stats();
+    std::printf("balanced store: %llu records; this session: %llu page reads, "
+                "%llu cache hits\n",
+                static_cast<unsigned long long>(store.count()),
+                static_cast<unsigned long long>(st.page_reads),
+                static_cast<unsigned long long>(st.cache_hits));
+  }
+
+  const auto stats = mesh::compute_stats(mesh, model, opt);
+  std::printf("multiresolution saving vs uniform grid: %.0fx fewer points\n",
+              stats.uniform_equivalent_points /
+                  static_cast<double>(stats.n_nodes));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Northridge-style scenario: an extended strike-slip fault rupturing inside
+// a synthetic LA-like basin, run in parallel across SPMD ranks, with surface
+// velocity snapshots written as PGM images (the Fig 2.5 visualization).
+//
+//   ./northridge [output_dir] [n_ranks]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "quake/mesh/meshgen.hpp"
+#include "quake/par/parallel_solver.hpp"
+#include "quake/par/partition.hpp"
+#include "quake/solver/elastic_operator.hpp"
+#include "quake/solver/explicit_solver.hpp"
+#include "quake/solver/source.hpp"
+#include "quake/util/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quake;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const int n_ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  const double extent = 20000.0;
+  const vel::BasinModel model = vel::BasinModel::demo(extent);
+
+  mesh::MeshOptions mopt;
+  mopt.domain_size = extent;
+  mopt.f_max = 0.25;
+  mopt.n_lambda = 8.0;
+  mopt.min_level = 3;
+  mopt.max_level = 6;
+  const mesh::HexMesh mesh = mesh::generate_mesh(model, mopt);
+  std::printf("mesh: %zu elements, %zu nodes\n", mesh.n_elements(),
+              mesh.n_nodes());
+
+  // Extended vertical strike-slip fault through the deeper depression;
+  // rupture nucleates at depth and spreads along strike (the directivity
+  // visible in the snapshots mirrors the 1994 event's pattern).
+  solver::FaultSource::Spec fs;
+  fs.y = 0.55 * extent;
+  fs.x0 = 0.30 * extent;
+  fs.x1 = 0.65 * extent;
+  fs.z_top = 1000.0;
+  fs.z_bot = 5000.0;
+  fs.hypocenter = {0.35 * extent, 4000.0};
+  fs.rupture_velocity = 2800.0;
+  fs.rise_time = 1.0;
+  fs.slip = 1.5;
+  const solver::FaultSource source(mesh, fs);
+  std::printf("fault: %zu patches\n", source.n_patches());
+
+  solver::OperatorOptions oopt;
+  oopt.abc = fem::AbcType::kStacey;
+  oopt.rayleigh = true;
+  oopt.damping_f_min = 0.02;
+  oopt.damping_f_max = 0.25;
+
+  // Serial run for the snapshots (the snapshot hook lives on the serial
+  // driver); the parallel run below cross-checks receivers and reports the
+  // per-rank statistics.
+  const solver::ElasticOperator op(mesh, oopt);
+  solver::SolverOptions sopt;
+  sopt.t_end = 12.0;
+  sopt.cfl_fraction = 0.4;
+  solver::ExplicitSolver solver(op, sopt);
+  solver.add_source(&source);
+  const std::size_t rx =
+      solver.add_receiver({0.7 * extent, 0.55 * extent, 0.0});
+
+  // Raster of surface nodes for imaging.
+  const int img = 160;
+  std::vector<mesh::NodeId> surface_pixel(static_cast<std::size_t>(img) * img);
+  {
+    std::vector<double> best(static_cast<std::size_t>(img) * img, 1e30);
+    for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+      const auto& c = mesh.node_coords[n];
+      if (c[2] > 1.0) continue;  // surface nodes only
+      const int ix = std::min(img - 1, static_cast<int>(c[0] / extent * img));
+      const int iy = std::min(img - 1, static_cast<int>(c[1] / extent * img));
+      const std::size_t p = static_cast<std::size_t>(iy) * img + ix;
+      // Keep the node closest to the pixel center.
+      const double px = (ix + 0.5) * extent / img, py = (iy + 0.5) * extent / img;
+      const double d = std::hypot(c[0] - px, c[1] - py);
+      if (d < best[p]) {
+        best[p] = d;
+        surface_pixel[p] = static_cast<mesh::NodeId>(n);
+      }
+    }
+  }
+
+  int snap_id = 0;
+  auto snapshot = [&](int, double t, std::span<const double>,
+                      std::span<const double> v) {
+    std::vector<double> mag(surface_pixel.size());
+    for (std::size_t p = 0; p < surface_pixel.size(); ++p) {
+      const std::size_t base = 3 * static_cast<std::size_t>(surface_pixel[p]);
+      mag[p] = std::sqrt(v[base] * v[base] + v[base + 1] * v[base + 1] +
+                         v[base + 2] * v[base + 2]);
+    }
+    char name[64];
+    std::snprintf(name, sizeof name, "/northridge_snap_%02d_t%.1fs.pgm",
+                  snap_id++, t);
+    util::write_pgm(out_dir + name, mag, img, img, 0.0, 0.4);
+  };
+  const int every = std::max(1, solver.n_steps() / 8);
+  solver.run(snapshot, every);
+  std::printf("serial: %d steps, %.0f Mflop/s, wrote %d snapshots\n",
+              solver.n_steps(),
+              static_cast<double>(solver.total_flops()) /
+                  solver.elapsed_seconds() * 1e-6,
+              snap_id);
+
+  // Parallel cross-check.
+  const par::Partition part = par::partition_sfc(mesh, n_ranks);
+  const solver::SourceModel* sources[] = {&source};
+  const std::array<double, 3> rxs[] = {{0.7 * extent, 0.55 * extent, 0.0}};
+  const par::ParallelResult pr =
+      par::run_parallel(mesh, part, oopt, sopt, sources, rxs);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < pr.receiver_histories[0].size(); ++k) {
+    for (int c = 0; c < 3; ++c) {
+      max_err = std::max(
+          max_err, std::abs(pr.receiver_histories[0][k][static_cast<std::size_t>(c)] -
+                            solver.receivers()[0].u[k][static_cast<std::size_t>(c)]));
+    }
+  }
+  std::printf("parallel (%d ranks): receiver max |serial - parallel| = %.2e\n",
+              n_ranks, max_err);
+  for (std::size_t r = 0; r < pr.rank_stats.size(); ++r) {
+    const auto& s = pr.rank_stats[r];
+    std::printf("  rank %zu: %zu elems, %zu nodes, %zu neighbors, "
+                "%zu doubles/step sent\n",
+                r, s.n_elems, s.n_local_nodes, s.n_neighbors,
+                s.doubles_sent_per_step);
+  }
+  (void)rx;
+  return 0;
+}

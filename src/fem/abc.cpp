@@ -1,0 +1,106 @@
+#include "quake/fem/abc.hpp"
+
+#include <cmath>
+
+namespace quake::fem {
+namespace {
+
+FaceReference compute_face_reference() {
+  FaceReference ref;
+  ref.d[0].fill(0.0);
+  ref.d[1].fill(0.0);
+  const double gp[2] = {0.5 - 0.5 / std::sqrt(3.0), 0.5 + 0.5 / std::sqrt(3.0)};
+  const double w = 0.25;
+  for (double x : gp) {
+    for (double y : gp) {
+      // Bilinear face shape functions; node f at ((f&1), (f>>1)&1).
+      double n[4], dx[4], dy[4];
+      for (int f = 0; f < 4; ++f) {
+        const double fx = (f & 1) ? x : 1.0 - x;
+        const double fy = (f & 2) ? y : 1.0 - y;
+        const double sx = (f & 1) ? 1.0 : -1.0;
+        const double sy = (f & 2) ? 1.0 : -1.0;
+        n[f] = fx * fy;
+        dx[f] = sx * fy;
+        dy[f] = fx * sy;
+      }
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          ref.d[0][static_cast<std::size_t>(i * 4 + j)] += w * n[i] * dx[j];
+          ref.d[1][static_cast<std::size_t>(i * 4 + j)] += w * n[i] * dy[j];
+        }
+      }
+    }
+  }
+  return ref;
+}
+
+double stacey_c1(const vel::Material& m) {
+  return -2.0 * m.mu + std::sqrt(m.mu * (m.lambda + 2.0 * m.mu));
+}
+
+}  // namespace
+
+const FaceReference& FaceReference::get() {
+  static const FaceReference ref = compute_face_reference();
+  return ref;
+}
+
+FaceAxes face_axes(mesh::BoundarySide side) {
+  switch (side) {
+    case mesh::BoundarySide::kXMin:
+      return {0, -1.0, {1, 2}};
+    case mesh::BoundarySide::kXMax:
+      return {0, +1.0, {1, 2}};
+    case mesh::BoundarySide::kYMin:
+      return {1, -1.0, {0, 2}};
+    case mesh::BoundarySide::kYMax:
+      return {1, +1.0, {0, 2}};
+    case mesh::BoundarySide::kZMin:
+      return {2, -1.0, {0, 1}};
+    case mesh::BoundarySide::kZMax:
+      return {2, +1.0, {0, 1}};
+  }
+  return {0, 1.0, {1, 2}};
+}
+
+std::array<double, 3> face_dashpot_coeffs(const vel::Material& m, double h,
+                                          mesh::BoundarySide side) {
+  const FaceAxes ax = face_axes(side);
+  const double area_per_node = h * h / 4.0;
+  const double d1 = m.rho * m.vp();  // normal component impedance
+  const double d2 = m.rho * m.vs();  // tangential component impedance
+  std::array<double, 3> c = {d2 * area_per_node, d2 * area_per_node,
+                             d2 * area_per_node};
+  c[static_cast<std::size_t>(ax.normal)] = d1 * area_per_node;
+  return c;
+}
+
+void face_stacey_apply(const vel::Material& m, double h,
+                       mesh::BoundarySide side, const double* u_face,
+                       double* y_face) {
+  const FaceAxes ax = face_axes(side);
+  const FaceReference& ref = FaceReference::get();
+  const double c1 = stacey_c1(m);
+  const double s = ax.sign * c1 * h;
+  const int k = ax.normal;
+  const int p = ax.tangential[0];
+  const int q = ax.tangential[1];
+  for (int i = 0; i < 4; ++i) {
+    double acc_n = 0.0;   // accumulates into component k of node i
+    double acc_p = 0.0;   // into component p
+    double acc_q = 0.0;   // into component q
+    for (int j = 0; j < 4; ++j) {
+      const double dxi = ref.d[0][static_cast<std::size_t>(i * 4 + j)];
+      const double det = ref.d[1][static_cast<std::size_t>(i * 4 + j)];
+      acc_n += dxi * u_face[3 * j + p] + det * u_face[3 * j + q];
+      acc_p += dxi * u_face[3 * j + k];
+      acc_q += det * u_face[3 * j + k];
+    }
+    y_face[3 * i + k] += -s * acc_n;
+    y_face[3 * i + p] += s * acc_p;
+    y_face[3 * i + q] += s * acc_q;
+  }
+}
+
+}  // namespace quake::fem

@@ -1,0 +1,64 @@
+#pragma once
+
+// Absorbing boundary condition kernels (§2.1). Stacey's formulation on a
+// face with outward normal n and tangentials tau1, tau2:
+//
+//   (S n)_n    = -d1 du_n/dt + c1 (du_tau1/dtau1 + du_tau2/dtau2)
+//   (S n)_tau1 = -c1 du_n/dtau1 - d2 du_tau1/dt
+//   (S n)_tau2 = -c1 du_n/dtau2 - d2 du_tau2/dt
+//
+//   c1 = -2 mu + sqrt(mu (lambda + 2 mu)),
+//   d1 = sqrt(rho (lambda + 2 mu)) = rho vp,   d2 = sqrt(rho mu) = rho vs.
+//
+// The time-derivative terms yield the boundary damping matrix C^AB (lumped
+// to a diagonal, as the paper permits) and the tangential-derivative terms
+// yield the boundary stiffness K^AB, applied matrix-free per face. Dropping
+// the c1 terms recovers the classical Lysmer-Kuhlemeyer dashpot boundary,
+// available as a fallback.
+
+#include <array>
+
+#include "quake/mesh/hex_mesh.hpp"
+#include "quake/vel/material.hpp"
+
+namespace quake::fem {
+
+enum class AbcType {
+  kStacey,  // dashpots + c1 tangential coupling (the paper's choice)
+  kLysmer,  // dashpots only
+  kNone,    // all boundaries traction-free (verification/energy tests)
+};
+
+// Face reference matrices on the unit square: D[t][i][j] = integral over the
+// face of N_i * dN_j/dxi_t, where t indexes the two in-face axes. Element
+// face matrices scale linearly with face edge length h.
+struct FaceReference {
+  std::array<std::array<double, 16>, 2> d;  // row-major 4x4 per tangential axis
+  static const FaceReference& get();
+};
+
+// Per-node lumped dashpot coefficients for one face of edge h: the value to
+// add to the diagonal C^AB at each of the 4 face nodes, per component.
+// coeff[c] applies to displacement component c (c in 0..2 global axes):
+// the normal component gets rho*vp*h^2/4, tangentials rho*vs*h^2/4.
+std::array<double, 3> face_dashpot_coeffs(const vel::Material& m, double h,
+                                          mesh::BoundarySide side);
+
+// Applies the Stacey K^AB term of one face: y += K^AB_face * u, where u and
+// y are the full interleaved nodal vectors of the owning element's 4 face
+// nodes, passed as 12-vectors in face-node order (matching
+// mesh-level kFaces ordering for `side`). `h` is the face edge length.
+void face_stacey_apply(const vel::Material& m, double h,
+                       mesh::BoundarySide side, const double* u_face,
+                       double* y_face);
+
+// Axes bookkeeping for a boundary side: normal axis, outward sign, and the
+// two tangential axes (in the order used by the face-node orderings).
+struct FaceAxes {
+  int normal;          // 0, 1, 2
+  double sign;         // +1 for max faces, -1 for min faces
+  std::array<int, 2> tangential;
+};
+FaceAxes face_axes(mesh::BoundarySide side);
+
+}  // namespace quake::fem

@@ -1,0 +1,67 @@
+#pragma once
+
+// Trilinear hexahedral element kernels for linear elastodynamics (§2.1-2.2).
+//
+// The paper's central data-structure idea: every (cube) hexahedral element
+// has the SAME stiffness matrix modulo element size and material properties,
+//     K_e = h * (lambda_e * K_lambda + mu_e * K_mu),
+// where K_lambda and K_mu are dimensionless 24x24 reference matrices
+// computed once. No global (or even per-element) matrix is stored; the
+// matrix-vector product is recast as local dense element operations.
+//
+// DOF ordering: interleaved, dof = 3*node + component; local nodes in tensor
+// order (node i at offsets ((i&1), (i>>1)&1, (i>>2)&1)).
+
+#include <array>
+#include <cstdint>
+
+namespace quake::fem {
+
+inline constexpr int kHexNodes = 8;
+inline constexpr int kHexDofs = 24;
+
+using HexMatrix = std::array<double, kHexDofs * kHexDofs>;       // row-major
+using ScalarHexMatrix = std::array<double, kHexNodes * kHexNodes>;
+
+// Reference matrices on the unit cube, 2x2x2 Gauss quadrature (exact for
+// trilinear). Element matrices scale linearly with edge length h.
+struct HexReference {
+  HexMatrix k_lambda;  // from the lambda (div u)(div v) term
+  HexMatrix k_mu;      // from the mu strain-strain term
+  ScalarHexMatrix k_scalar;  // scalar Laplacian (grad u . grad v), for the
+                             // SH / scalar-wave solvers
+
+  // Singleton; computed once on first use.
+  static const HexReference& get();
+};
+
+// y_e += scale_lambda * K_lambda * u_e + scale_mu * K_mu * u_e for one
+// element, on interleaved 24-vectors. scale_* = h * lambda_e etc. When
+// `y_damp` is non-null it additionally accumulates
+// beta_e * (K_e u_e) into it (the element's Rayleigh stiffness damping),
+// reusing the same products.
+void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
+               double scale_mu, double* y_e, double beta_e, double* y_damp);
+
+// Diagonal of K_e = h (lambda K_lambda + mu K_mu), 24 entries.
+void hex_diagonal(const HexReference& ref, double scale_lambda,
+                  double scale_mu, std::array<double, kHexDofs>& diag);
+
+// Lumped (row-sum) mass per node of a cube element: rho * h^3 / 8.
+[[nodiscard]] constexpr double hex_lumped_mass(double rho, double h) {
+  return rho * h * h * h / 8.0;
+}
+
+// Scalar variant: y_e += mu_e * h * K_scalar u_e (8-vectors).
+void hex_scalar_apply(const HexReference& ref, const double* u_e, double scale,
+                      double* y_e);
+
+// Flop counts for the accounting in the scaling bench (multiply-add = 2).
+[[nodiscard]] constexpr std::uint64_t hex_apply_flops(bool with_damp) {
+  // Two 24x24 matvecs fused into one loop: per entry 2 mults + 2 adds for
+  // the k-products, plus scale/accumulate; damping adds one FMA per row.
+  const std::uint64_t base = 24ull * 24ull * 4ull + 24ull * 4ull;
+  return with_damp ? base + 24ull * 2ull : base;
+}
+
+}  // namespace quake::fem

@@ -1,0 +1,29 @@
+#pragma once
+
+// Rayleigh damping calibration (§2.2): attenuation is modeled at the
+// discrete level by alpha*M + beta*K per element, with (alpha, beta) chosen
+// elementwise so the frequency-dependent damping ratio
+//     xi(omega) = alpha / (2 omega) + beta * omega / 2
+// is as close as possible (least squares) to a constant target dictated by
+// the local soil type, over the band of resolved frequencies.
+
+namespace quake::fem {
+
+struct RayleighCoeffs {
+  double alpha = 0.0;  // mass-proportional [1/s]
+  double beta = 0.0;   // stiffness-proportional [s]
+};
+
+// Least-squares fit of (alpha, beta) to a constant damping ratio
+// `xi_target` over [f_min, f_max] Hz, sampled at log-spaced frequencies.
+// Requires 0 < f_min < f_max and xi_target >= 0.
+RayleighCoeffs fit_rayleigh(double xi_target, double f_min, double f_max);
+
+// Soil-type rule of thumb used by the basin simulations: Q ~ 0.1 * vs [m/s]
+// (softer soils dissipate more), xi = 1 / (2 Q), clamped to [0.1%, 5%].
+double target_damping_ratio(double vs);
+
+// xi(f) for given coefficients; exposed for tests and the damping report.
+double damping_ratio_at(const RayleighCoeffs& c, double f_hz);
+
+}  // namespace quake::fem

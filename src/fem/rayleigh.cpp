@@ -1,0 +1,51 @@
+#include "quake/fem/rayleigh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace quake::fem {
+
+RayleighCoeffs fit_rayleigh(double xi_target, double f_min, double f_max) {
+  if (!(f_min > 0.0) || !(f_max > f_min) || xi_target < 0.0) {
+    throw std::invalid_argument("fit_rayleigh: bad band or target");
+  }
+  // Minimize sum_k (alpha * a_k + beta * b_k - xi)^2 with a_k = 1/(2 w_k),
+  // b_k = w_k / 2, over log-spaced sample frequencies. Normal equations.
+  constexpr int kSamples = 16;
+  double aa = 0.0, ab = 0.0, bb = 0.0, ax = 0.0, bx = 0.0;
+  const double lr = std::log(f_max / f_min);
+  for (int k = 0; k < kSamples; ++k) {
+    const double f = f_min * std::exp(lr * k / (kSamples - 1));
+    const double w = 2.0 * std::numbers::pi * f;
+    const double a = 1.0 / (2.0 * w);
+    const double b = w / 2.0;
+    aa += a * a;
+    ab += a * b;
+    bb += b * b;
+    ax += a * xi_target;
+    bx += b * xi_target;
+  }
+  const double det = aa * bb - ab * ab;
+  RayleighCoeffs c;
+  c.alpha = (bb * ax - ab * bx) / det;
+  c.beta = (aa * bx - ab * ax) / det;
+  // Negative coefficients would inject energy; clamp (can occur only for
+  // degenerate bands).
+  c.alpha = std::max(c.alpha, 0.0);
+  c.beta = std::max(c.beta, 0.0);
+  return c;
+}
+
+double target_damping_ratio(double vs) {
+  const double q = std::max(0.1 * vs, 10.0);
+  return std::clamp(1.0 / (2.0 * q), 0.001, 0.05);
+}
+
+double damping_ratio_at(const RayleighCoeffs& c, double f_hz) {
+  const double w = 2.0 * std::numbers::pi * f_hz;
+  return c.alpha / (2.0 * w) + c.beta * w / 2.0;
+}
+
+}  // namespace quake::fem

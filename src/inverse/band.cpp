@@ -1,0 +1,44 @@
+#include "quake/inverse/band.hpp"
+
+#include <algorithm>
+
+#include "quake/util/stats.hpp"
+
+namespace quake::inverse {
+
+ResidualFilter::ResidualFilter(double fc, double fs)
+    : bq_(util::butterworth_lowpass(fc, fs)) {}
+
+std::vector<double> ResidualFilter::causal(std::span<const double> x) const {
+  return util::filter(bq_, x);
+}
+
+std::vector<double> ResidualFilter::symmetric(
+    std::span<const double> x) const {
+  std::vector<double> y = util::filter(bq_, x);
+  std::reverse(y.begin(), y.end());
+  y = util::filter(bq_, y);
+  std::reverse(y.begin(), y.end());
+  return y;
+}
+
+double ResidualFilter::filtered_norm2(
+    const std::vector<std::vector<double>>& records) const {
+  double s = 0.0;
+  for (const auto& r : records) {
+    const std::vector<double> br = causal(r);
+    for (double v : br) s += v * v;
+  }
+  return s;
+}
+
+std::vector<std::vector<double>> ResidualFilter::apply_symmetric(
+    const std::vector<std::vector<double>>& records) const {
+  std::vector<std::vector<double>> out(records.size());
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    out[r] = symmetric(records[r]);
+  }
+  return out;
+}
+
+}  // namespace quake::inverse

@@ -1,0 +1,45 @@
+#pragma once
+
+// Frequency-continuation machinery (§3.1: "multiscale grid and frequency
+// continuation ... keeps successively finer scale inversion estimates
+// within the radius of the ball of convergence").
+//
+// The band-limited misfit is J = 1/2 dt sum_r ||B r||^2, where B is the
+// causal Butterworth low-pass. Because the zero-phase (filtfilt) operator
+// factors exactly as R(B(R(B(x)))) = B^T B (time reversal R conjugates a
+// causal filter into its transpose), the data-weighting operator W = B^T B
+// is symmetric positive semidefinite, dJ/dr = dt * W r is exact, and the
+// adjoint/Gauss-Newton drivers are simply the filtfilt of the residual /
+// incremental records.
+
+#include <span>
+#include <vector>
+
+#include "quake/util/filter.hpp"
+
+namespace quake::inverse {
+
+class ResidualFilter {
+ public:
+  // Low-pass at fc [Hz] for records sampled at fs [Hz].
+  ResidualFilter(double fc, double fs);
+
+  // y = B x (causal second-order Butterworth).
+  [[nodiscard]] std::vector<double> causal(std::span<const double> x) const;
+
+  // y = B^T B x — the zero-phase filtfilt, symmetric PSD.
+  [[nodiscard]] std::vector<double> symmetric(std::span<const double> x) const;
+
+  // sum_r ||B r||^2 over a set of records.
+  [[nodiscard]] double filtered_norm2(
+      const std::vector<std::vector<double>>& records) const;
+
+  // filtfilt applied record-wise (the adjoint / GN driver).
+  [[nodiscard]] std::vector<std::vector<double>> apply_symmetric(
+      const std::vector<std::vector<double>>& records) const;
+
+ private:
+  util::Biquad bq_;
+};
+
+}  // namespace quake::inverse

@@ -1,0 +1,58 @@
+#pragma once
+
+// Joint source + material inversion — the "blind deconvolution" problem the
+// paper singles out as "even more challenging" (§3.2, last paragraph):
+// neither the basin structure nor the rupture parameters are known, and
+// both are recovered from the same records by Gauss-Newton-CG on the
+// stacked parameter vector [m; u0; t0; T], with diagonal variable scaling
+// (mu is O(1e9) Pa, the source fields O(1)), TV on the material, Tikhonov
+// on the source fields, and bound projection.
+
+#include <span>
+#include <vector>
+
+#include "quake/inverse/material_param.hpp"
+#include "quake/inverse/problem.hpp"
+#include "quake/opt/cg.hpp"
+
+namespace quake::inverse {
+
+struct JointInversionOptions {
+  int gx = 4, gz = 3;  // material grid
+  int max_newton = 20;
+  opt::CgOptions cg{25, 1e-1};
+  double beta_tv = 1e-14;
+  double tv_eps = 1e7;
+  double beta_u0 = 1e-3;
+  double beta_t0 = 1e-3;
+  double beta_T = 1e-3;
+  double mu_min = 1e8;
+  double t0_min = 0.05;
+  double T_min = -0.02;
+  double initial_mu = 0.0;
+  double u0_init = 1.0;
+  double t0_init = 1.0;
+  double T_init = 0.5;
+  double grad_tol = 1e-3;
+};
+
+struct JointInversionResult {
+  std::vector<double> mu;            // element shear moduli
+  wave2d::SourceParams2d source;
+  int newton_iters = 0;
+  int cg_iters = 0;
+  double misfit_initial = 0.0;
+  double misfit_final = 0.0;
+  double material_error = 0.0;  // vs targets, when provided
+  double source_error = 0.0;    // stacked rel. L2 over (u0, t0, T)
+};
+
+// `setup.source` is ignored (it is an unknown here); `mu_target` /
+// `source_target` are used only for error reporting.
+JointInversionResult invert_joint(const InversionProblem& prob,
+                                  const JointInversionOptions& opt,
+                                  std::span<const double> mu_target = {},
+                                  const wave2d::SourceParams2d* source_target =
+                                      nullptr);
+
+}  // namespace quake::inverse

@@ -1,0 +1,69 @@
+#pragma once
+
+// Regularization operators of the inverse problem (§3.1):
+//  * smoothed total variation on the material grid — penalizes oscillation
+//    but preserves sharp layer interfaces (Acar & Vogel);
+//  * Tikhonov (H1 seminorm) on the 1D source-parameter fields along the
+//    fault — penalizes oscillation of u0(z), t0(z), T(z).
+// Each provides value, gradient, and a Gauss-Newton (lagged-diffusivity)
+// Hessian-vector product.
+
+#include <span>
+#include <vector>
+
+#include "quake/inverse/material_param.hpp"
+
+namespace quake::inverse {
+
+class TotalVariation {
+ public:
+  // eps smooths |grad m| ~ sqrt(|grad m|^2 + eps^2); beta scales the term.
+  TotalVariation(const MaterialGrid& grid, double beta, double eps);
+
+  [[nodiscard]] double value(std::span<const double> m) const;
+  void add_gradient(std::span<const double> m, std::span<double> g) const;
+
+  // Lagged diffusivity: freezes the weights 1/|grad m|_eps at `m_ref`, then
+  // applies the resulting SPD operator to v.
+  void add_hessian_vec(std::span<const double> m_ref,
+                       std::span<const double> v, std::span<double> hv) const;
+
+ private:
+  struct CellGrad {
+    double gx, gz;  // cell-centered gradient of m
+  };
+  [[nodiscard]] CellGrad cell_gradient(std::span<const double> m, int ci,
+                                       int ck) const;
+
+  const MaterialGrid* grid_;
+  double beta_, eps_;
+};
+
+// beta/2 * sum over fault segments of ((p_{j+1} - p_j)/h)^2 * h.
+class Tikhonov1d {
+ public:
+  Tikhonov1d(double beta, double h) : beta_(beta), h_(h) {}
+  [[nodiscard]] double value(std::span<const double> p) const;
+  void add_gradient(std::span<const double> p, std::span<double> g) const;
+  void add_hessian_vec(std::span<const double> v, std::span<double> hv) const;
+
+ private:
+  double beta_, h_;
+};
+
+// Logarithmic barrier keeping a field above `lo` (the paper's safeguard
+// against the Newton step straying into negative moduli).
+class LogBarrier {
+ public:
+  LogBarrier(double kappa, double lo) : kappa_(kappa), lo_(lo) {}
+  [[nodiscard]] double value(std::span<const double> m) const;
+  void add_gradient(std::span<const double> m, std::span<double> g) const;
+  void add_hessian_vec(std::span<const double> m, std::span<const double> v,
+                       std::span<double> hv) const;
+  [[nodiscard]] double lo() const { return lo_; }
+
+ private:
+  double kappa_, lo_;
+};
+
+}  // namespace quake::inverse

@@ -1,0 +1,125 @@
+#include "quake/inverse/regularization.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace quake::inverse {
+
+TotalVariation::TotalVariation(const MaterialGrid& grid, double beta,
+                               double eps)
+    : grid_(&grid), beta_(beta), eps_(eps) {}
+
+TotalVariation::CellGrad TotalVariation::cell_gradient(
+    std::span<const double> m, int ci, int ck) const {
+  const double m00 = m[static_cast<std::size_t>(grid_->node(ci, ck))];
+  const double m10 = m[static_cast<std::size_t>(grid_->node(ci + 1, ck))];
+  const double m01 = m[static_cast<std::size_t>(grid_->node(ci, ck + 1))];
+  const double m11 = m[static_cast<std::size_t>(grid_->node(ci + 1, ck + 1))];
+  CellGrad g;
+  g.gx = 0.5 * ((m10 + m11) - (m00 + m01)) / grid_->cell_dx();
+  g.gz = 0.5 * ((m01 + m11) - (m00 + m10)) / grid_->cell_dz();
+  return g;
+}
+
+double TotalVariation::value(std::span<const double> m) const {
+  const double area = grid_->cell_dx() * grid_->cell_dz();
+  double v = 0.0;
+  for (int ck = 0; ck < grid_->gz(); ++ck) {
+    for (int ci = 0; ci < grid_->gx(); ++ci) {
+      const CellGrad g = cell_gradient(m, ci, ck);
+      v += std::sqrt(g.gx * g.gx + g.gz * g.gz + eps_ * eps_) * area;
+    }
+  }
+  return beta_ * v;
+}
+
+void TotalVariation::add_gradient(std::span<const double> m,
+                                  std::span<double> grad) const {
+  const double area = grid_->cell_dx() * grid_->cell_dz();
+  for (int ck = 0; ck < grid_->gz(); ++ck) {
+    for (int ci = 0; ci < grid_->gx(); ++ci) {
+      const CellGrad g = cell_gradient(m, ci, ck);
+      const double norm = std::sqrt(g.gx * g.gx + g.gz * g.gz + eps_ * eps_);
+      const double wx = beta_ * area * g.gx / norm;
+      const double wz = beta_ * area * g.gz / norm;
+      // d(gx)/dm: +-1/2 / dx per corner; d(gz)/dm analogous.
+      const double cx = 0.5 * wx / grid_->cell_dx();
+      const double cz = 0.5 * wz / grid_->cell_dz();
+      grad[static_cast<std::size_t>(grid_->node(ci, ck))] += -cx - cz;
+      grad[static_cast<std::size_t>(grid_->node(ci + 1, ck))] += cx - cz;
+      grad[static_cast<std::size_t>(grid_->node(ci, ck + 1))] += -cx + cz;
+      grad[static_cast<std::size_t>(grid_->node(ci + 1, ck + 1))] += cx + cz;
+    }
+  }
+}
+
+void TotalVariation::add_hessian_vec(std::span<const double> m_ref,
+                                     std::span<const double> v,
+                                     std::span<double> hv) const {
+  const double area = grid_->cell_dx() * grid_->cell_dz();
+  for (int ck = 0; ck < grid_->gz(); ++ck) {
+    for (int ci = 0; ci < grid_->gx(); ++ci) {
+      const CellGrad gr = cell_gradient(m_ref, ci, ck);
+      const double norm =
+          std::sqrt(gr.gx * gr.gx + gr.gz * gr.gz + eps_ * eps_);
+      const double w = beta_ * area / norm;  // lagged diffusivity weight
+      const CellGrad gv = cell_gradient(v, ci, ck);
+      const double cx = 0.5 * w * gv.gx / grid_->cell_dx();
+      const double cz = 0.5 * w * gv.gz / grid_->cell_dz();
+      hv[static_cast<std::size_t>(grid_->node(ci, ck))] += -cx - cz;
+      hv[static_cast<std::size_t>(grid_->node(ci + 1, ck))] += cx - cz;
+      hv[static_cast<std::size_t>(grid_->node(ci, ck + 1))] += -cx + cz;
+      hv[static_cast<std::size_t>(grid_->node(ci + 1, ck + 1))] += cx + cz;
+    }
+  }
+}
+
+double Tikhonov1d::value(std::span<const double> p) const {
+  double v = 0.0;
+  for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+    const double d = (p[j + 1] - p[j]) / h_;
+    v += d * d * h_;
+  }
+  return 0.5 * beta_ * v;
+}
+
+void Tikhonov1d::add_gradient(std::span<const double> p,
+                              std::span<double> g) const {
+  for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+    const double d = beta_ * (p[j + 1] - p[j]) / h_;
+    g[j] -= d;
+    g[j + 1] += d;
+  }
+}
+
+void Tikhonov1d::add_hessian_vec(std::span<const double> v,
+                                 std::span<double> hv) const {
+  add_gradient(v, hv);  // the operator is linear
+}
+
+double LogBarrier::value(std::span<const double> m) const {
+  double v = 0.0;
+  for (double x : m) {
+    if (x <= lo_) return std::numeric_limits<double>::infinity();
+    v -= std::log(x - lo_);
+  }
+  return kappa_ * v;
+}
+
+void LogBarrier::add_gradient(std::span<const double> m,
+                              std::span<double> g) const {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    g[i] -= kappa_ / (m[i] - lo_);
+  }
+}
+
+void LogBarrier::add_hessian_vec(std::span<const double> m,
+                                 std::span<const double> v,
+                                 std::span<double> hv) const {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double d = m[i] - lo_;
+    hv[i] += kappa_ * v[i] / (d * d);
+  }
+}
+
+}  // namespace quake::inverse

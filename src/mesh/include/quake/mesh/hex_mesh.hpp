@@ -1,0 +1,97 @@
+#pragma once
+
+// The unstructured multiresolution hexahedral mesh produced by the etree
+// transform step (§2.3): elements (octree leaves), globally numbered nodes,
+// hanging-node constraints, and boundary faces for the absorbing-boundary
+// terms.
+//
+// Local node ordering is tensor order: local node i sits at offsets
+// ((i & 1), (i >> 1) & 1, (i >> 2) & 1) * element_size from the element
+// anchor — identical to the Morton child order of the octree.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "quake/vel/material.hpp"
+
+namespace quake::mesh {
+
+using NodeId = std::int32_t;
+using ElemId = std::int32_t;
+
+// Domain geometry: the octree root cube spans [0, size]^3 meters, with the
+// third coordinate interpreted as depth below the free surface (z = 0).
+struct Domain {
+  double size = 0.0;  // cube edge length [m]
+};
+
+// Which exterior cube face a boundary element-face lies on.
+enum class BoundarySide : std::uint8_t {
+  kXMin = 0,
+  kXMax = 1,
+  kYMin = 2,
+  kYMax = 3,
+  kZMin = 4,  // z = 0: the free surface (traction-free, no matrix terms)
+  kZMax = 5,  // bottom
+};
+
+struct BoundaryFace {
+  ElemId elem;
+  BoundarySide side;
+};
+
+// Local (tensor-order) node indices of each element face, indexed by
+// BoundarySide. The in-face node ordering is bilinear over the two
+// tangential axes in increasing-axis order: face node f sits at tangential
+// offsets ((f & 1), (f >> 1) & 1).
+inline constexpr std::array<std::array<int, 4>, 6> kFaceNodes = {{
+    {{0, 2, 4, 6}},  // x = 0
+    {{1, 3, 5, 7}},  // x = 1
+    {{0, 1, 4, 5}},  // y = 0
+    {{2, 3, 6, 7}},  // y = 1
+    {{0, 1, 2, 3}},  // z = 0 (free surface)
+    {{4, 5, 6, 7}},  // z = 1 (bottom)
+}};
+
+// Hanging-node constraint in resolved form: the dependent node's value is a
+// weighted average of *independent* nodes (mid-edge: two masters at 1/2;
+// mid-face: four masters at 1/4). Chains through multiple levels — a master
+// that is itself hanging — are resolved at build time, so stored masters are
+// never hanging; resolution can widen the stencil, hence capacity 8.
+struct Constraint {
+  NodeId node;
+  std::array<NodeId, 8> masters;
+  std::array<double, 8> weights;
+  int n_masters;
+};
+
+struct HexMesh {
+  Domain domain;
+
+  // -- elements -------------------------------------------------------------
+  std::vector<std::array<NodeId, 8>> elem_nodes;
+  std::vector<double> elem_size;        // edge length [m]
+  std::vector<std::uint8_t> elem_level; // octree level
+  std::vector<vel::Material> elem_mat;  // sampled at the centroid
+
+  // -- nodes ------------------------------------------------------------
+  std::vector<std::array<double, 3>> node_coords;  // (x, y, depth) [m]
+  std::vector<std::uint8_t> node_hanging;          // 1 if constrained
+
+  // -- constraints and boundary -------------------------------------------
+  std::vector<Constraint> constraints;
+  // Every exterior face, including the free surface (kZMin); the solver
+  // applies absorbing terms only to the non-free-surface sides.
+  std::vector<BoundaryFace> boundary_faces;
+
+  [[nodiscard]] std::size_t n_elements() const { return elem_nodes.size(); }
+  [[nodiscard]] std::size_t n_nodes() const { return node_coords.size(); }
+  [[nodiscard]] std::size_t n_hanging() const { return constraints.size(); }
+  // Independent (non-hanging) grid points — the solver's true unknowns.
+  [[nodiscard]] std::size_t n_independent() const {
+    return n_nodes() - n_hanging();
+  }
+};
+
+}  // namespace quake::mesh

@@ -1,0 +1,30 @@
+#pragma once
+
+// The paper's transform step emits TWO databases — "one for the mesh
+// elements, the other for the mesh nodes" (§2.3) — that the solver later
+// reads. This module persists a HexMesh into that pair of etree stores and
+// loads it back, so meshing and solving can run as separate processes with
+// only disk in between (the production workflow: mesh once, simulate many
+// rupture scenarios).
+
+#include <string>
+
+#include "quake/mesh/hex_mesh.hpp"
+
+namespace quake::mesh {
+
+struct MeshDbStats {
+  std::size_t element_records = 0;
+  std::size_t node_records = 0;
+};
+
+// Writes `<path>.elem` (per-octant element record: connectivity, size,
+// level, material) and `<path>.node` (per-node record: coordinates, hanging
+// flag, constraint). Overwrites existing stores.
+MeshDbStats save_mesh(const HexMesh& mesh, const std::string& path);
+
+// Reconstructs the mesh from the database pair. The result is functionally
+// identical to the saved mesh (same element/node numbering).
+HexMesh load_mesh(const std::string& path);
+
+}  // namespace quake::mesh

@@ -1,0 +1,203 @@
+#include "quake/mesh/mesh_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "quake/octree/etree_store.hpp"
+
+namespace quake::mesh {
+namespace {
+
+using octree::kMaxLevel;
+using octree::kTicks;
+using octree::Octant;
+
+#pragma pack(push, 1)
+struct ElemRecord {
+  std::int32_t conn[8];
+  double size;
+  std::uint8_t level;
+  double rho, lambda, mu;
+};
+
+struct NodeRecord {
+  std::int32_t id;
+  double x, y, z;
+  std::uint8_t hanging;
+  std::int8_t n_masters;
+  std::int32_t masters[8];
+  double weights[8];
+};
+#pragma pack(pop)
+
+std::uint32_t to_tick(double meters, double m_per_tick) {
+  return static_cast<std::uint32_t>(std::llround(meters / m_per_tick));
+}
+
+// Node keys: node ticks are even for any mesh of level <= kMaxLevel - 1, so
+// tick/2 fits the 21-bit Morton range even at the far domain face.
+Octant node_key(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  if ((x | y | z) & 1u) {
+    throw std::runtime_error("mesh_io: node on an odd tick (level too deep)");
+  }
+  return Octant{x >> 1, y >> 1, z >> 1, kMaxLevel};
+}
+
+}  // namespace
+
+MeshDbStats save_mesh(const HexMesh& mesh, const std::string& path) {
+  const double m_per_tick =
+      mesh.domain.size / static_cast<double>(kTicks);
+  MeshDbStats stats;
+
+  {
+    octree::EtreeStore elems(path + ".elem", sizeof(ElemRecord), 128,
+                             /*create=*/true);
+    for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+      const auto& anchor =
+          mesh.node_coords[static_cast<std::size_t>(mesh.elem_nodes[e][0])];
+      const Octant o{to_tick(anchor[0], m_per_tick),
+                     to_tick(anchor[1], m_per_tick),
+                     to_tick(anchor[2], m_per_tick), mesh.elem_level[e]};
+      ElemRecord rec{};
+      for (int i = 0; i < 8; ++i) {
+        rec.conn[i] = mesh.elem_nodes[e][static_cast<std::size_t>(i)];
+      }
+      rec.size = mesh.elem_size[e];
+      rec.level = mesh.elem_level[e];
+      rec.rho = mesh.elem_mat[e].rho;
+      rec.lambda = mesh.elem_mat[e].lambda;
+      rec.mu = mesh.elem_mat[e].mu;
+      elems.put(o, std::as_bytes(std::span<const ElemRecord, 1>(&rec, 1)));
+      ++stats.element_records;
+    }
+    elems.flush();
+  }
+
+  {
+    // Constraint lookup by node.
+    std::vector<const Constraint*> cons_of(mesh.n_nodes(), nullptr);
+    for (const Constraint& c : mesh.constraints) {
+      cons_of[static_cast<std::size_t>(c.node)] = &c;
+    }
+    octree::EtreeStore nodes(path + ".node", sizeof(NodeRecord), 128,
+                             /*create=*/true);
+    for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+      const auto& c = mesh.node_coords[n];
+      NodeRecord rec{};
+      rec.id = static_cast<std::int32_t>(n);
+      rec.x = c[0];
+      rec.y = c[1];
+      rec.z = c[2];
+      rec.hanging = mesh.node_hanging[n];
+      if (const Constraint* con = cons_of[n]) {
+        rec.n_masters = static_cast<std::int8_t>(con->n_masters);
+        for (int i = 0; i < con->n_masters; ++i) {
+          rec.masters[i] = con->masters[static_cast<std::size_t>(i)];
+          rec.weights[i] = con->weights[static_cast<std::size_t>(i)];
+        }
+      } else {
+        rec.n_masters = 0;
+      }
+      nodes.put(node_key(to_tick(c[0], m_per_tick), to_tick(c[1], m_per_tick),
+                         to_tick(c[2], m_per_tick)),
+                std::as_bytes(std::span<const NodeRecord, 1>(&rec, 1)));
+      ++stats.node_records;
+    }
+    nodes.flush();
+  }
+
+  // Plain-text metadata sidecar.
+  std::FILE* f = std::fopen((path + ".meta").c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("save_mesh: cannot write meta");
+  std::fprintf(f, "domain_size %.17g\nelements %zu\nnodes %zu\n",
+               mesh.domain.size, mesh.n_elements(), mesh.n_nodes());
+  std::fclose(f);
+  return stats;
+}
+
+HexMesh load_mesh(const std::string& path) {
+  HexMesh mesh;
+  std::size_t n_elems = 0, n_nodes = 0;
+  {
+    std::FILE* f = std::fopen((path + ".meta").c_str(), "r");
+    if (f == nullptr) throw std::runtime_error("load_mesh: missing meta");
+    if (std::fscanf(f, "domain_size %lg\nelements %zu\nnodes %zu",
+                    &mesh.domain.size, &n_elems, &n_nodes) != 3) {
+      std::fclose(f);
+      throw std::runtime_error("load_mesh: bad meta");
+    }
+    std::fclose(f);
+  }
+
+  mesh.node_coords.assign(n_nodes, {});
+  mesh.node_hanging.assign(n_nodes, 0);
+  {
+    octree::EtreeStore nodes(path + ".node", sizeof(NodeRecord), 128,
+                             /*create=*/false);
+    nodes.scan([&](const Octant&, std::span<const std::byte> v) {
+      NodeRecord rec;
+      std::memcpy(&rec, v.data(), sizeof rec);
+      const std::size_t n = static_cast<std::size_t>(rec.id);
+      mesh.node_coords[n] = {rec.x, rec.y, rec.z};
+      mesh.node_hanging[n] = rec.hanging;
+      if (rec.n_masters > 0) {
+        Constraint c{};
+        c.node = rec.id;
+        c.n_masters = rec.n_masters;
+        for (int i = 0; i < rec.n_masters; ++i) {
+          c.masters[static_cast<std::size_t>(i)] = rec.masters[i];
+          c.weights[static_cast<std::size_t>(i)] = rec.weights[i];
+        }
+        mesh.constraints.push_back(c);
+      }
+    });
+  }
+  std::sort(mesh.constraints.begin(), mesh.constraints.end(),
+            [](const Constraint& a, const Constraint& b) {
+              return a.node < b.node;
+            });
+
+  mesh.elem_nodes.reserve(n_elems);
+  mesh.elem_size.reserve(n_elems);
+  mesh.elem_level.reserve(n_elems);
+  mesh.elem_mat.reserve(n_elems);
+  {
+    octree::EtreeStore elems(path + ".elem", sizeof(ElemRecord), 128,
+                             /*create=*/false);
+    elems.scan([&](const Octant& o, std::span<const std::byte> v) {
+      ElemRecord rec;
+      std::memcpy(&rec, v.data(), sizeof rec);
+      std::array<NodeId, 8> conn;
+      for (int i = 0; i < 8; ++i) conn[static_cast<std::size_t>(i)] = rec.conn[i];
+      const ElemId eid = static_cast<ElemId>(mesh.elem_nodes.size());
+      mesh.elem_nodes.push_back(conn);
+      mesh.elem_size.push_back(rec.size);
+      mesh.elem_level.push_back(rec.level);
+      vel::Material mat;
+      mat.rho = rec.rho;
+      mat.lambda = rec.lambda;
+      mat.mu = rec.mu;
+      mesh.elem_mat.push_back(mat);
+      // Boundary faces from octant geometry.
+      const std::uint32_t s = o.size();
+      if (o.x == 0) mesh.boundary_faces.push_back({eid, BoundarySide::kXMin});
+      if (o.x + s == kTicks)
+        mesh.boundary_faces.push_back({eid, BoundarySide::kXMax});
+      if (o.y == 0) mesh.boundary_faces.push_back({eid, BoundarySide::kYMin});
+      if (o.y + s == kTicks)
+        mesh.boundary_faces.push_back({eid, BoundarySide::kYMax});
+      if (o.z == 0) mesh.boundary_faces.push_back({eid, BoundarySide::kZMin});
+      if (o.z + s == kTicks)
+        mesh.boundary_faces.push_back({eid, BoundarySide::kZMax});
+    });
+  }
+  if (mesh.n_elements() != n_elems || mesh.n_nodes() != n_nodes) {
+    throw std::runtime_error("load_mesh: record counts disagree with meta");
+  }
+  return mesh;
+}
+
+}  // namespace quake::mesh

@@ -1,0 +1,335 @@
+#include "quake/mesh/meshgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "quake/octree/etree_store.hpp"
+
+namespace quake::mesh {
+namespace {
+
+using octree::kMaxLevel;
+using octree::kTicks;
+using octree::LinearOctree;
+using octree::Octant;
+
+// Vertex lattice key. Vertices live on tick coordinates in [0, kTicks]
+// (inclusive at the far face), so the key base is kTicks + 1.
+std::uint64_t vertex_key(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  constexpr std::uint64_t kBase = std::uint64_t{kTicks} + 1;
+  return (static_cast<std::uint64_t>(x) * kBase + y) * kBase + z;
+}
+
+// Local tensor-node offsets: node i at ((i&1), (i>>1)&1, (i>>2)&1).
+constexpr std::array<std::array<std::uint32_t, 3>, 8> kCorner = {{
+    {{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{1, 1, 0}},
+    {{0, 0, 1}}, {{1, 0, 1}}, {{0, 1, 1}}, {{1, 1, 1}},
+}};
+
+// The 12 element edges as local node pairs (tensor ordering).
+constexpr std::array<std::array<int, 2>, 12> kEdges = {{
+    {{0, 1}}, {{2, 3}}, {{4, 5}}, {{6, 7}},  // x-aligned
+    {{0, 2}}, {{1, 3}}, {{4, 6}}, {{5, 7}},  // y-aligned
+    {{0, 4}}, {{1, 5}}, {{2, 6}}, {{3, 7}},  // z-aligned
+}};
+
+// The 6 element faces as local node quadruples, indexed by BoundarySide.
+constexpr std::array<std::array<int, 4>, 6> kFaces = {{
+    {{0, 2, 4, 6}},  // x = 0
+    {{1, 3, 5, 7}},  // x = 1
+    {{0, 1, 4, 5}},  // y = 0
+    {{2, 3, 6, 7}},  // y = 1
+    {{0, 1, 2, 3}},  // z = 0 (free surface side)
+    {{4, 5, 6, 7}},  // z = 1 (bottom)
+}};
+
+}  // namespace
+
+octree::RefinePolicy wavelength_policy(const vel::VelocityModel& model,
+                                       const MeshOptions& opt) {
+  if (!(opt.domain_size > 0.0)) {
+    throw std::invalid_argument("MeshOptions: domain_size must be positive");
+  }
+  const double m_per_tick = opt.domain_size / static_cast<double>(kTicks);
+  return [&model, opt, m_per_tick](const Octant& o) {
+    if (o.level < opt.min_level) return true;
+    if (o.level >= opt.max_level) return false;
+    const double s_m = static_cast<double>(o.size()) * m_per_tick;
+    // Minimum shear velocity sampled at the centroid and the 8 corners.
+    double vs_min = std::numeric_limits<double>::max();
+    const double x0 = o.x * m_per_tick, y0 = o.y * m_per_tick,
+                 z0 = o.z * m_per_tick;
+    for (const auto& c : kCorner) {
+      vs_min = std::min(vs_min,
+                        model.at(x0 + c[0] * s_m, y0 + c[1] * s_m,
+                                 z0 + c[2] * s_m)
+                            .vs());
+    }
+    vs_min = std::min(
+        vs_min, model.at(x0 + 0.5 * s_m, y0 + 0.5 * s_m, z0 + 0.5 * s_m).vs());
+    const double h_needed =
+        vel::element_size_for(vs_min, opt.f_max, opt.n_lambda);
+    return s_m > h_needed;
+  };
+}
+
+octree::LinearOctree build_balanced_octree(const vel::VelocityModel& model,
+                                           const MeshOptions& opt) {
+  LinearOctree tree = build_octree(wavelength_policy(model, opt), opt.max_level);
+  // Full (face+edge+corner) balance keeps hanging-node masters independent
+  // in almost all configurations; residual chains are resolved in transform.
+  return balance(tree, octree::BalanceScope::kAll);
+}
+
+HexMesh transform(const LinearOctree& tree, const vel::VelocityModel& model,
+                  const MeshOptions& opt) {
+  HexMesh mesh;
+  mesh.domain.size = opt.domain_size;
+  const double m_per_tick = opt.domain_size / static_cast<double>(kTicks);
+
+  const std::size_t ne = tree.size();
+  mesh.elem_nodes.reserve(ne);
+  mesh.elem_size.reserve(ne);
+  mesh.elem_level.reserve(ne);
+  mesh.elem_mat.reserve(ne);
+
+  std::unordered_map<std::uint64_t, NodeId> node_of;
+  node_of.reserve(ne * 2);
+
+  auto get_node = [&](std::uint32_t x, std::uint32_t y,
+                      std::uint32_t z) -> NodeId {
+    const std::uint64_t key = vertex_key(x, y, z);
+    auto [it, inserted] = node_of.emplace(
+        key, static_cast<NodeId>(mesh.node_coords.size()));
+    if (inserted) {
+      mesh.node_coords.push_back(
+          {x * m_per_tick, y * m_per_tick, z * m_per_tick});
+    }
+    return it->second;
+  };
+
+  // Pass 1: elements, nodes, boundary faces, materials.
+  for (std::size_t e = 0; e < ne; ++e) {
+    const Octant& o = tree[e];
+    const std::uint32_t s = o.size();
+    std::array<NodeId, 8> conn;
+    for (int i = 0; i < 8; ++i) {
+      conn[static_cast<std::size_t>(i)] =
+          get_node(o.x + kCorner[static_cast<std::size_t>(i)][0] * s,
+                   o.y + kCorner[static_cast<std::size_t>(i)][1] * s,
+                   o.z + kCorner[static_cast<std::size_t>(i)][2] * s);
+    }
+    mesh.elem_nodes.push_back(conn);
+    const double s_m = s * m_per_tick;
+    mesh.elem_size.push_back(s_m);
+    mesh.elem_level.push_back(o.level);
+    mesh.elem_mat.push_back(model.at((o.x + 0.5 * s) * m_per_tick,
+                                     (o.y + 0.5 * s) * m_per_tick,
+                                     (o.z + 0.5 * s) * m_per_tick));
+    const ElemId eid = static_cast<ElemId>(e);
+    if (o.x == 0) mesh.boundary_faces.push_back({eid, BoundarySide::kXMin});
+    if (o.x + s == kTicks)
+      mesh.boundary_faces.push_back({eid, BoundarySide::kXMax});
+    if (o.y == 0) mesh.boundary_faces.push_back({eid, BoundarySide::kYMin});
+    if (o.y + s == kTicks)
+      mesh.boundary_faces.push_back({eid, BoundarySide::kYMax});
+    if (o.z == 0) mesh.boundary_faces.push_back({eid, BoundarySide::kZMin});
+    if (o.z + s == kTicks)
+      mesh.boundary_faces.push_back({eid, BoundarySide::kZMax});
+  }
+
+  // Pass 2: hanging-node detection. A node that coincides with an edge
+  // midpoint (resp. face center) of some element hangs on that element's
+  // edge (resp. face); with the 2-to-1 balance, every hanging node arises
+  // this way.
+  struct RawConstraint {
+    std::array<NodeId, 4> masters;
+    int n;
+  };
+  std::unordered_map<NodeId, RawConstraint> raw;
+  for (std::size_t e = 0; e < ne; ++e) {
+    const Octant& o = tree[e];
+    const std::uint32_t s = o.size();
+    if (s < 2) continue;  // finest possible element cannot have finer neighbors
+    const std::uint32_t h = s / 2;
+    const auto& conn = mesh.elem_nodes[e];
+    auto corner_ticks = [&](int i) -> std::array<std::uint32_t, 3> {
+      const auto& c = kCorner[static_cast<std::size_t>(i)];
+      return {o.x + c[0] * s, o.y + c[1] * s, o.z + c[2] * s};
+    };
+    for (const auto& ed : kEdges) {
+      const auto a = corner_ticks(ed[0]);
+      const auto b = corner_ticks(ed[1]);
+      const std::array<std::uint32_t, 3> mid = {
+          (a[0] + b[0]) / 2, (a[1] + b[1]) / 2, (a[2] + b[2]) / 2};
+      auto it = node_of.find(vertex_key(mid[0], mid[1], mid[2]));
+      if (it == node_of.end()) continue;
+      raw.emplace(it->second,
+                  RawConstraint{{conn[static_cast<std::size_t>(ed[0])],
+                                 conn[static_cast<std::size_t>(ed[1])], 0, 0},
+                                2});
+    }
+    for (const auto& fc : kFaces) {
+      // Face center = anchor + h in the two in-face directions; average of
+      // the four face-corner ticks.
+      std::array<std::uint32_t, 3> c{0, 0, 0};
+      for (int i : fc) {
+        const auto t = corner_ticks(i);
+        c[0] += t[0];
+        c[1] += t[1];
+        c[2] += t[2];
+      }
+      c = {c[0] / 4, c[1] / 4, c[2] / 4};
+      auto it = node_of.find(vertex_key(c[0], c[1], c[2]));
+      if (it == node_of.end()) continue;
+      raw.emplace(it->second,
+                  RawConstraint{{conn[static_cast<std::size_t>(fc[0])],
+                                 conn[static_cast<std::size_t>(fc[1])],
+                                 conn[static_cast<std::size_t>(fc[2])],
+                                 conn[static_cast<std::size_t>(fc[3])]},
+                                4});
+      (void)h;
+    }
+  }
+
+  // Pass 3: resolve chains so every stored master is independent.
+  mesh.node_hanging.assign(mesh.node_coords.size(), 0);
+  for (const auto& [node, rc] : raw) {
+    mesh.node_hanging[static_cast<std::size_t>(node)] = 1;
+    (void)rc;
+  }
+  mesh.constraints.reserve(raw.size());
+  for (const auto& [node, rc] : raw) {
+    // Expand (master, weight) pairs until no master is hanging.
+    std::vector<std::pair<NodeId, double>> terms;
+    for (int i = 0; i < rc.n; ++i) {
+      terms.emplace_back(rc.masters[static_cast<std::size_t>(i)], 1.0 / rc.n);
+    }
+    for (int depth = 0; depth < 32; ++depth) {
+      bool any_hanging = false;
+      std::vector<std::pair<NodeId, double>> next;
+      for (const auto& [m, w] : terms) {
+        if (mesh.node_hanging[static_cast<std::size_t>(m)] != 0) {
+          any_hanging = true;
+          const RawConstraint& mc = raw.at(m);
+          for (int i = 0; i < mc.n; ++i) {
+            next.emplace_back(mc.masters[static_cast<std::size_t>(i)],
+                              w / mc.n);
+          }
+        } else {
+          next.emplace_back(m, w);
+        }
+      }
+      terms = std::move(next);
+      if (!any_hanging) break;
+      if (depth == 31) {
+        throw std::runtime_error("transform: hanging-node chain too deep");
+      }
+    }
+    // Merge duplicates.
+    std::sort(terms.begin(), terms.end());
+    Constraint c{};
+    c.node = node;
+    c.n_masters = 0;
+    for (std::size_t i = 0; i < terms.size();) {
+      double w = 0.0;
+      std::size_t j = i;
+      while (j < terms.size() && terms[j].first == terms[i].first) {
+        w += terms[j].second;
+        ++j;
+      }
+      if (c.n_masters >= 8) {
+        throw std::runtime_error("transform: constraint stencil exceeds 8");
+      }
+      c.masters[static_cast<std::size_t>(c.n_masters)] = terms[i].first;
+      c.weights[static_cast<std::size_t>(c.n_masters)] = w;
+      ++c.n_masters;
+      i = j;
+    }
+    mesh.constraints.push_back(c);
+  }
+  std::sort(mesh.constraints.begin(), mesh.constraints.end(),
+            [](const Constraint& a, const Constraint& b) {
+              return a.node < b.node;
+            });
+  return mesh;
+}
+
+HexMesh generate_mesh(const vel::VelocityModel& model, const MeshOptions& opt) {
+  return transform(build_balanced_octree(model, opt), model, opt);
+}
+
+HexMesh generate_mesh_out_of_core(const vel::VelocityModel& model,
+                                  const MeshOptions& opt,
+                                  const std::string& store_path) {
+  // construct -> store (payload: centroid shear velocity, kept for
+  // provenance; transform re-samples the model).
+  const double m_per_tick = opt.domain_size / static_cast<double>(kTicks);
+  {
+    octree::EtreeStore store(store_path, sizeof(double), /*pool_pages=*/64,
+                             /*create=*/true);
+    const LinearOctree constructed =
+        build_octree(wavelength_policy(model, opt), opt.max_level);
+    for (const Octant& o : constructed.leaves()) {
+      const double s = o.size() * m_per_tick;
+      const double vs = model
+                            .at(o.x * m_per_tick + 0.5 * s,
+                                o.y * m_per_tick + 0.5 * s,
+                                o.z * m_per_tick + 0.5 * s)
+                            .vs();
+      store.put(o, std::as_bytes(std::span<const double, 1>(&vs, 1)));
+    }
+    store.flush();
+  }
+  // balance: read back, balance in memory, re-persist the balanced tree.
+  std::vector<Octant> leaves;
+  {
+    octree::EtreeStore store(store_path, sizeof(double), 64, /*create=*/false);
+    store.scan([&leaves](const Octant& o, std::span<const std::byte>) {
+      leaves.push_back(o);
+    });
+  }
+  const LinearOctree balanced =
+      balance(LinearOctree(std::move(leaves)), octree::BalanceScope::kAll);
+  {
+    octree::EtreeStore store(store_path + ".balanced", sizeof(double), 64,
+                             /*create=*/true);
+    for (const Octant& o : balanced.leaves()) {
+      const double s = o.size() * m_per_tick;
+      const double vs = model
+                            .at(o.x * m_per_tick + 0.5 * s,
+                                o.y * m_per_tick + 0.5 * s,
+                                o.z * m_per_tick + 0.5 * s)
+                            .vs();
+      store.put(o, std::as_bytes(std::span<const double, 1>(&vs, 1)));
+    }
+    store.flush();
+  }
+  return transform(balanced, model, opt);
+}
+
+MeshStats compute_stats(const HexMesh& mesh, const vel::VelocityModel& model,
+                        const MeshOptions& opt) {
+  MeshStats s;
+  s.n_elements = mesh.n_elements();
+  s.n_nodes = mesh.n_nodes();
+  s.n_hanging = mesh.n_hanging();
+  s.n_independent = mesh.n_independent();
+  int lo = octree::kMaxLevel, hi = 0;
+  for (std::uint8_t l : mesh.elem_level) {
+    lo = std::min<int>(lo, l);
+    hi = std::max<int>(hi, l);
+  }
+  s.min_level = mesh.elem_level.empty() ? 0 : lo;
+  s.max_level = mesh.elem_level.empty() ? 0 : hi;
+  const double h_min =
+      vel::element_size_for(model.min_vs(), opt.f_max, opt.n_lambda);
+  const double n1d = opt.domain_size / h_min + 1.0;
+  s.uniform_equivalent_points = n1d * n1d * n1d;
+  return s;
+}
+
+}  // namespace quake::mesh

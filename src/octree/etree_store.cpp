@@ -1,0 +1,532 @@
+#include "quake/octree/etree_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace quake::octree {
+namespace {
+
+constexpr std::size_t kPageSize = 4096;
+constexpr std::uint32_t kMagic = 0x45545245;  // "ETRE"
+constexpr std::uint32_t kInvalidPage = 0xffffffffu;
+
+// 12-byte record key: (morton, level), compared lexicographically. Morton
+// order is the space-filling-curve order of the linear octree.
+struct Key {
+  std::uint64_t morton;
+  std::uint32_t level;
+
+  friend bool operator<(const Key& a, const Key& b) {
+    return a.morton != b.morton ? a.morton < b.morton : a.level < b.level;
+  }
+  friend bool operator==(const Key& a, const Key& b) = default;
+};
+
+Key key_of(const Octant& o) { return Key{o.morton(), o.level}; }
+
+Octant octant_of(const Key& k) {
+  const MortonXyz p = morton_decode(k.morton);
+  return Octant{p.x, p.y, p.z, static_cast<std::uint8_t>(k.level)};
+}
+
+// On-disk page header (both node kinds). Leaves chain through `next` for
+// in-order scans.
+struct PageHeader {
+  std::uint16_t type;   // 1 = leaf, 2 = internal
+  std::uint16_t nkeys;
+  std::uint32_t next;   // right-sibling leaf, kInvalidPage otherwise
+};
+constexpr std::uint16_t kLeaf = 1;
+constexpr std::uint16_t kInternal = 2;
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kKeySize = 12;
+constexpr std::size_t kChildSize = 4;
+
+// File header kept in page 0.
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint32_t value_size;
+  std::uint32_t root_page;
+  std::uint32_t page_count;
+  std::uint64_t record_count;
+};
+
+using Page = std::vector<std::byte>;
+
+void store_key(std::byte* p, const Key& k) {
+  std::memcpy(p, &k.morton, 8);
+  std::memcpy(p + 8, &k.level, 4);
+}
+
+Key load_key(const std::byte* p) {
+  Key k;
+  std::memcpy(&k.morton, p, 8);
+  std::memcpy(&k.level, p + 8, 4);
+  return k;
+}
+
+}  // namespace
+
+class EtreeStore::Impl {
+ public:
+  Impl(std::string path, std::uint32_t value_size, std::size_t pool_pages,
+       bool create)
+      : path_(std::move(path)), pool_capacity_(std::max<std::size_t>(pool_pages, 4)) {
+    const int flags = create ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0) throw std::runtime_error("EtreeStore: cannot open " + path_);
+    if (create) {
+      header_ = FileHeader{kMagic, value_size, 1, 2, 0};
+      Page root(kPageSize, std::byte{0});
+      set_header(root, PageHeader{kLeaf, 0, kInvalidPage});
+      put_page(1, root);
+      write_file_header();
+    } else {
+      read_file_header();
+      if (header_.magic != kMagic) {
+        throw std::runtime_error("EtreeStore: bad magic in " + path_);
+      }
+      if (header_.value_size != value_size) {
+        throw std::runtime_error("EtreeStore: value_size mismatch in " + path_);
+      }
+    }
+    leaf_entry_ = kKeySize + header_.value_size;
+    leaf_capacity_ = (kPageSize - kHeaderSize) / leaf_entry_;
+    // Internal layout: nkeys keys then nkeys+1 children.
+    internal_capacity_ =
+        (kPageSize - kHeaderSize - kChildSize) / (kKeySize + kChildSize);
+  }
+
+  ~Impl() {
+    try {
+      flush();
+    } catch (...) {
+      // Destructor must not throw; data loss is reported via errno by the
+      // explicit flush() callers use in normal operation.
+    }
+    ::close(fd_);
+  }
+
+  void put(const Octant& o, std::span<const std::byte> value) {
+    require_value_size(value.size());
+    std::vector<std::uint32_t> path;
+    const std::uint32_t leaf = descend(key_of(o), &path);
+    insert_into_leaf(leaf, key_of(o), value, path);
+  }
+
+  bool get(const Octant& o, std::span<std::byte> value_out) {
+    require_value_size(value_out.size());
+    const Key k = key_of(o);
+    const std::uint32_t leaf = descend(k, nullptr);
+    Page page = fetch(leaf);
+    const PageHeader h = get_header(page);
+    const int pos = leaf_lower_bound(page, h, k);
+    if (pos >= h.nkeys || !(leaf_key(page, pos) == k)) return false;
+    std::memcpy(value_out.data(), leaf_value_ptr(page, pos),
+                header_.value_size);
+    return true;
+  }
+
+  bool erase(const Octant& o) {
+    const Key k = key_of(o);
+    const std::uint32_t leaf = descend(k, nullptr);
+    Page page = fetch(leaf);
+    PageHeader h = get_header(page);
+    const int pos = leaf_lower_bound(page, h, k);
+    if (pos >= h.nkeys || !(leaf_key(page, pos) == k)) return false;
+    std::byte* base = page.data() + kHeaderSize;
+    std::memmove(base + pos * leaf_entry_, base + (pos + 1) * leaf_entry_,
+                 (h.nkeys - pos - 1) * leaf_entry_);
+    h.nkeys -= 1;
+    set_header(page, h);
+    put_page(leaf, page);
+    header_.record_count -= 1;
+    header_dirty_ = true;
+    return true;
+  }
+
+  std::uint64_t count() const { return header_.record_count; }
+  std::uint32_t value_size() const { return header_.value_size; }
+  Stats stats() const { return stats_; }
+
+  void scan(const std::function<void(const Octant&,
+                                     std::span<const std::byte>)>& fn) {
+    // Leftmost leaf, then follow sibling links.
+    std::uint32_t id = header_.root_page;
+    for (;;) {
+      Page page = fetch(id);
+      const PageHeader h = get_header(page);
+      if (h.type == kLeaf) break;
+      id = internal_child(page, 0);
+    }
+    while (id != kInvalidPage) {
+      Page page = fetch(id);
+      const PageHeader h = get_header(page);
+      for (int i = 0; i < h.nkeys; ++i) {
+        fn(octant_of(leaf_key(page, i)),
+           std::span<const std::byte>(leaf_value_ptr(page, i),
+                                      header_.value_size));
+      }
+      id = h.next;
+    }
+  }
+
+  void flush() {
+    for (auto& [id, frame] : pool_) {
+      if (frame.dirty) {
+        write_page_to_disk(id, frame.data);
+        frame.dirty = false;
+      }
+    }
+    if (header_dirty_) write_file_header();
+  }
+
+ private:
+  struct Frame {
+    Page data;
+    bool dirty = false;
+    std::uint64_t lru = 0;
+  };
+
+  void require_value_size(std::size_t n) const {
+    if (n != header_.value_size) {
+      throw std::invalid_argument("EtreeStore: wrong value size");
+    }
+  }
+
+  // -- page accessors ---------------------------------------------------
+
+  static PageHeader get_header(const Page& p) {
+    PageHeader h;
+    std::memcpy(&h, p.data(), sizeof h);
+    return h;
+  }
+  static void set_header(Page& p, const PageHeader& h) {
+    std::memcpy(p.data(), &h, sizeof h);
+  }
+
+  Key leaf_key(const Page& p, int i) const {
+    return load_key(p.data() + kHeaderSize + i * leaf_entry_);
+  }
+  const std::byte* leaf_value_ptr(const Page& p, int i) const {
+    return p.data() + kHeaderSize + i * leaf_entry_ + kKeySize;
+  }
+  std::byte* leaf_value_ptr(Page& p, int i) const {
+    return p.data() + kHeaderSize + i * leaf_entry_ + kKeySize;
+  }
+
+  // Internal page: keys at [header, header + nkeys*kKeySize), children after
+  // the key area sized for capacity (fixed offset).
+  std::size_t children_offset() const {
+    return kHeaderSize + internal_capacity_ * kKeySize;
+  }
+  Key internal_key(const Page& p, int i) const {
+    return load_key(p.data() + kHeaderSize + i * kKeySize);
+  }
+  void set_internal_key(Page& p, int i, const Key& k) const {
+    store_key(p.data() + kHeaderSize + i * kKeySize, k);
+  }
+  std::uint32_t internal_child(const Page& p, int i) const {
+    std::uint32_t c;
+    std::memcpy(&c, p.data() + children_offset() + i * kChildSize, 4);
+    return c;
+  }
+  void set_internal_child(Page& p, int i, std::uint32_t c) const {
+    std::memcpy(p.data() + children_offset() + i * kChildSize, &c, 4);
+  }
+
+  int leaf_lower_bound(const Page& p, const PageHeader& h, const Key& k) const {
+    int lo = 0, hi = h.nkeys;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (leaf_key(p, mid) < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // -- tree navigation ---------------------------------------------------
+
+  // Returns the leaf page id for `k`; when `path` is non-null, fills it with
+  // the internal pages visited (root first).
+  std::uint32_t descend(const Key& k, std::vector<std::uint32_t>* path) {
+    std::uint32_t id = header_.root_page;
+    for (;;) {
+      Page page = fetch(id);
+      const PageHeader h = get_header(page);
+      if (h.type == kLeaf) return id;
+      if (path) path->push_back(id);
+      // First key strictly greater than k gives the child slot.
+      int lo = 0, hi = h.nkeys;
+      while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (!(k < internal_key(page, mid))) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      id = internal_child(page, lo);
+    }
+  }
+
+  void insert_into_leaf(std::uint32_t leaf_id, const Key& k,
+                        std::span<const std::byte> value,
+                        std::vector<std::uint32_t>& path) {
+    Page page = fetch(leaf_id);
+    PageHeader h = get_header(page);
+    const int pos = leaf_lower_bound(page, h, k);
+    if (pos < h.nkeys && leaf_key(page, pos) == k) {
+      std::memcpy(leaf_value_ptr(page, pos), value.data(), value.size());
+      put_page(leaf_id, page);
+      return;
+    }
+    std::byte* base = page.data() + kHeaderSize;
+    if (static_cast<std::size_t>(h.nkeys) < leaf_capacity_) {
+      std::memmove(base + (pos + 1) * leaf_entry_, base + pos * leaf_entry_,
+                   (h.nkeys - pos) * leaf_entry_);
+      store_key(base + pos * leaf_entry_, k);
+      std::memcpy(base + pos * leaf_entry_ + kKeySize, value.data(),
+                  value.size());
+      h.nkeys += 1;
+      set_header(page, h);
+      put_page(leaf_id, page);
+    } else {
+      // Split: left keeps the lower half, a new right leaf takes the upper
+      // half, then the entry goes to whichever side owns its range.
+      const int half = h.nkeys / 2;
+      const std::uint32_t right_id = alloc_page();
+      Page right(kPageSize, std::byte{0});
+      PageHeader rh{kLeaf, static_cast<std::uint16_t>(h.nkeys - half), h.next};
+      std::memcpy(right.data() + kHeaderSize, base + half * leaf_entry_,
+                  (h.nkeys - half) * leaf_entry_);
+      set_header(right, rh);
+      h.nkeys = static_cast<std::uint16_t>(half);
+      h.next = right_id;
+      set_header(page, h);
+      const Key sep = load_key(right.data() + kHeaderSize);
+      put_page(leaf_id, page);
+      put_page(right_id, right);
+      insert_separator(path, sep, right_id);
+      // Retry on the proper side (both pages now have room).
+      std::vector<std::uint32_t> path2;
+      const std::uint32_t target = descend(k, &path2);
+      insert_into_leaf(target, k, value, path2);
+      return;
+    }
+    header_.record_count += 1;
+    header_dirty_ = true;
+  }
+
+  // Inserts separator `sep` with right child `right_id` into the parent at
+  // the back of `path`, splitting upward as needed.
+  void insert_separator(std::vector<std::uint32_t>& path, Key sep,
+                        std::uint32_t right_id) {
+    while (true) {
+      if (path.empty()) {
+        // Height grows: new root with one key and two children.
+        const std::uint32_t new_root = alloc_page();
+        Page root(kPageSize, std::byte{0});
+        set_header(root, PageHeader{kInternal, 1, kInvalidPage});
+        set_internal_key(root, 0, sep);
+        set_internal_child(root, 0, header_.root_page);
+        set_internal_child(root, 1, right_id);
+        put_page(new_root, root);
+        header_.root_page = new_root;
+        header_dirty_ = true;
+        return;
+      }
+      const std::uint32_t parent_id = path.back();
+      path.pop_back();
+      Page parent = fetch(parent_id);
+      PageHeader h = get_header(parent);
+      // Slot for sep.
+      int pos = 0;
+      while (pos < h.nkeys && internal_key(parent, pos) < sep) ++pos;
+      if (static_cast<std::size_t>(h.nkeys) < internal_capacity_) {
+        for (int i = h.nkeys; i > pos; --i) {
+          set_internal_key(parent, i, internal_key(parent, i - 1));
+        }
+        for (int i = h.nkeys + 1; i > pos + 1; --i) {
+          set_internal_child(parent, i, internal_child(parent, i - 1));
+        }
+        set_internal_key(parent, pos, sep);
+        set_internal_child(parent, pos + 1, right_id);
+        h.nkeys += 1;
+        set_header(parent, h);
+        put_page(parent_id, parent);
+        return;
+      }
+      // Split the internal node. Gather keys/children with the new entry
+      // placed, push up the median.
+      const int n = h.nkeys;
+      std::vector<Key> keys;
+      std::vector<std::uint32_t> kids;
+      keys.reserve(n + 1);
+      kids.reserve(n + 2);
+      for (int i = 0; i < n; ++i) keys.push_back(internal_key(parent, i));
+      for (int i = 0; i <= n; ++i) kids.push_back(internal_child(parent, i));
+      keys.insert(keys.begin() + pos, sep);
+      kids.insert(kids.begin() + pos + 1, right_id);
+      const int mid = static_cast<int>(keys.size()) / 2;
+      const Key up = keys[mid];
+
+      PageHeader lh{kInternal, static_cast<std::uint16_t>(mid), kInvalidPage};
+      Page left(kPageSize, std::byte{0});
+      set_header(left, lh);
+      for (int i = 0; i < mid; ++i) set_internal_key(left, i, keys[i]);
+      for (int i = 0; i <= mid; ++i) set_internal_child(left, i, kids[i]);
+
+      const int rn = static_cast<int>(keys.size()) - mid - 1;
+      const std::uint32_t new_right = alloc_page();
+      Page right(kPageSize, std::byte{0});
+      set_header(right, PageHeader{kInternal, static_cast<std::uint16_t>(rn),
+                                   kInvalidPage});
+      for (int i = 0; i < rn; ++i) {
+        set_internal_key(right, i, keys[mid + 1 + i]);
+      }
+      for (int i = 0; i <= rn; ++i) {
+        set_internal_child(right, i, kids[mid + 1 + i]);
+      }
+      put_page(parent_id, left);
+      put_page(new_right, right);
+      sep = up;
+      right_id = new_right;
+      // Loop continues one level up.
+    }
+  }
+
+  // -- buffer pool --------------------------------------------------------
+
+  Page fetch(std::uint32_t id) {
+    auto it = pool_.find(id);
+    if (it != pool_.end()) {
+      ++stats_.cache_hits;
+      it->second.lru = ++lru_clock_;
+      return it->second.data;
+    }
+    Page page(kPageSize);
+    read_page_from_disk(id, page);
+    install(id, page, /*dirty=*/false);
+    return page;
+  }
+
+  void put_page(std::uint32_t id, const Page& page) {
+    auto it = pool_.find(id);
+    if (it != pool_.end()) {
+      it->second.data = page;
+      it->second.dirty = true;
+      it->second.lru = ++lru_clock_;
+      return;
+    }
+    install(id, page, /*dirty=*/true);
+  }
+
+  void install(std::uint32_t id, const Page& page, bool dirty) {
+    if (pool_.size() >= pool_capacity_) evict_one();
+    Frame f;
+    f.data = page;
+    f.dirty = dirty;
+    f.lru = ++lru_clock_;
+    pool_.emplace(id, std::move(f));
+  }
+
+  void evict_one() {
+    auto victim = pool_.begin();
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      if (it->second.lru < victim->second.lru) victim = it;
+    }
+    if (victim->second.dirty) {
+      write_page_to_disk(victim->first, victim->second.data);
+    }
+    pool_.erase(victim);
+  }
+
+  std::uint32_t alloc_page() {
+    const std::uint32_t id = header_.page_count++;
+    header_dirty_ = true;
+    return id;
+  }
+
+  // -- raw file I/O ---------------------------------------------------------
+
+  void read_page_from_disk(std::uint32_t id, Page& page) {
+    ++stats_.page_reads;
+    const auto off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+    const ssize_t n = ::pread(fd_, page.data(), kPageSize, off);
+    if (n < 0) throw std::runtime_error("EtreeStore: pread failed");
+    if (static_cast<std::size_t>(n) < kPageSize) {
+      // Freshly allocated page that was never flushed: treat as zeroed.
+      std::fill(page.begin() + n, page.end(), std::byte{0});
+    }
+  }
+
+  void write_page_to_disk(std::uint32_t id, const Page& page) {
+    ++stats_.page_writes;
+    const auto off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+    if (::pwrite(fd_, page.data(), kPageSize, off) !=
+        static_cast<ssize_t>(kPageSize)) {
+      throw std::runtime_error("EtreeStore: pwrite failed");
+    }
+  }
+
+  void write_file_header() {
+    Page page(kPageSize, std::byte{0});
+    std::memcpy(page.data(), &header_, sizeof header_);
+    write_page_to_disk(0, page);
+    header_dirty_ = false;
+  }
+
+  void read_file_header() {
+    Page page(kPageSize);
+    read_page_from_disk(0, page);
+    std::memcpy(&header_, page.data(), sizeof header_);
+  }
+
+  std::string path_;
+  int fd_ = -1;
+  FileHeader header_{};
+  bool header_dirty_ = false;
+  std::size_t leaf_entry_ = 0;
+  std::size_t leaf_capacity_ = 0;
+  std::size_t internal_capacity_ = 0;
+
+  std::size_t pool_capacity_;
+  std::unordered_map<std::uint32_t, Frame> pool_;
+  std::uint64_t lru_clock_ = 0;
+  Stats stats_;
+};
+
+EtreeStore::EtreeStore(std::string path, std::uint32_t value_size,
+                       std::size_t pool_pages, bool create)
+    : impl_(std::make_unique<Impl>(std::move(path), value_size, pool_pages,
+                                   create)) {}
+
+EtreeStore::~EtreeStore() = default;
+
+void EtreeStore::put(const Octant& o, std::span<const std::byte> value) {
+  impl_->put(o, value);
+}
+bool EtreeStore::get(const Octant& o, std::span<std::byte> value_out) const {
+  return impl_->get(o, value_out);
+}
+bool EtreeStore::erase(const Octant& o) { return impl_->erase(o); }
+std::uint64_t EtreeStore::count() const { return impl_->count(); }
+void EtreeStore::scan(
+    const std::function<void(const Octant&, std::span<const std::byte>)>& fn)
+    const {
+  impl_->scan(fn);
+}
+void EtreeStore::flush() { impl_->flush(); }
+std::uint32_t EtreeStore::value_size() const { return impl_->value_size(); }
+EtreeStore::Stats EtreeStore::stats() const { return impl_->stats(); }
+
+}  // namespace quake::octree

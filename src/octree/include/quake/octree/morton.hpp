@@ -1,0 +1,63 @@
+#pragma once
+
+// 3D Morton (Z-order) codes. The etree method (§2.3 of the paper) linearizes
+// an octree by assigning each octant a key formed from the Morton code of its
+// lower-left corner plus its level; the Morton code is computed by
+// interleaving the bits of the integer coordinates.
+//
+// Coordinates are expressed in "ticks": the domain is a cube divided into
+// 2^kMaxLevel ticks per dimension, and every octant anchor lies on a tick.
+
+#include <cstdint>
+
+namespace quake::octree {
+
+// Maximum octree depth. 21 bits per dimension interleave into 63 bits,
+// fitting a 64-bit Morton code.
+inline constexpr int kMaxLevel = 21;
+inline constexpr std::uint32_t kTicks = 1u << kMaxLevel;
+
+namespace detail {
+
+// Spreads the low 21 bits of x so that bit i moves to bit 3i.
+constexpr std::uint64_t spread3(std::uint64_t x) noexcept {
+  x &= 0x1fffff;  // 21 bits
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+// Inverse of spread3: collects every third bit back into the low 21 bits.
+constexpr std::uint32_t compact3(std::uint64_t x) noexcept {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x1fffff;
+  return static_cast<std::uint32_t>(x);
+}
+
+}  // namespace detail
+
+// Interleaves (x, y, z) into a Morton code: bit i of x lands at bit 3i,
+// y at 3i+1, z at 3i+2. Inputs must be < 2^21.
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                                      std::uint32_t z) noexcept {
+  return detail::spread3(x) | (detail::spread3(y) << 1) |
+         (detail::spread3(z) << 2);
+}
+
+struct MortonXyz {
+  std::uint32_t x, y, z;
+};
+
+constexpr MortonXyz morton_decode(std::uint64_t code) noexcept {
+  return MortonXyz{detail::compact3(code), detail::compact3(code >> 1),
+                   detail::compact3(code >> 2)};
+}
+
+}  // namespace quake::octree

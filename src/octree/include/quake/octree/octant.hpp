@@ -1,0 +1,115 @@
+#pragma once
+
+// Octant keys and the algebra on them: parent/child, neighbors, containment.
+// An octant is identified by its anchor (lower corner, in ticks) and its
+// level; the linear-octree key is (Morton(anchor), level), matching the
+// paper's "Morton code of the left-lower corner with the level appended".
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "quake/octree/morton.hpp"
+
+namespace quake::octree {
+
+struct Octant {
+  std::uint32_t x = 0, y = 0, z = 0;  // anchor in ticks
+  std::uint8_t level = 0;             // 0 = root (whole domain)
+
+  // Edge length in ticks.
+  [[nodiscard]] constexpr std::uint32_t size() const noexcept {
+    return 1u << (kMaxLevel - level);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t morton() const noexcept {
+    return morton_encode(x, y, z);
+  }
+
+  // Composite B-tree key: Morton code in the high bits, level in the low 8.
+  // Preserves Morton order as primary sort, ancestors before descendants
+  // that share an anchor.
+  [[nodiscard]] constexpr std::uint64_t anchor_key() const noexcept {
+    return morton();
+  }
+
+  [[nodiscard]] constexpr Octant parent() const noexcept {
+    const std::uint32_t mask = ~((size() << 1) - 1u);
+    return Octant{x & mask, y & mask, z & mask,
+                  static_cast<std::uint8_t>(level - 1)};
+  }
+
+  // Child c in Morton order: bit 0 of c selects +x, bit 1 +y, bit 2 +z.
+  [[nodiscard]] constexpr Octant child(int c) const noexcept {
+    const std::uint32_t h = size() >> 1;
+    return Octant{x + ((c & 1) ? h : 0u), y + ((c & 2) ? h : 0u),
+                  z + ((c & 4) ? h : 0u),
+                  static_cast<std::uint8_t>(level + 1)};
+  }
+
+  // True if `o` lies inside (or equals) this octant.
+  [[nodiscard]] constexpr bool contains(const Octant& o) const noexcept {
+    if (o.level < level) return false;
+    const std::uint32_t s = size();
+    return o.x >= x && o.x < x + s && o.y >= y && o.y < y + s && o.z >= z &&
+           o.z < z + s;
+  }
+
+  // Same-size neighbor displaced by (dx, dy, dz) octant-widths; nullopt if
+  // it would leave the root domain. |d*| <= 1 in practice.
+  [[nodiscard]] std::optional<Octant> neighbor(int dx, int dy,
+                                               int dz) const noexcept {
+    const std::int64_t s = size();
+    const std::int64_t nx = static_cast<std::int64_t>(x) + dx * s;
+    const std::int64_t ny = static_cast<std::int64_t>(y) + dy * s;
+    const std::int64_t nz = static_cast<std::int64_t>(z) + dz * s;
+    const std::int64_t lim = kTicks;
+    if (nx < 0 || ny < 0 || nz < 0 || nx >= lim || ny >= lim || nz >= lim) {
+      return std::nullopt;
+    }
+    return Octant{static_cast<std::uint32_t>(nx),
+                  static_cast<std::uint32_t>(ny),
+                  static_cast<std::uint32_t>(nz), level};
+  }
+
+  // Ancestor at the given (coarser or equal) level.
+  [[nodiscard]] constexpr Octant ancestor_at(std::uint8_t lvl) const noexcept {
+    const std::uint32_t mask = ~((1u << (kMaxLevel - lvl)) - 1u);
+    return Octant{x & mask, y & mask, z & mask, lvl};
+  }
+
+  friend constexpr bool operator==(const Octant&, const Octant&) = default;
+};
+
+// Linear-octree (space-filling-curve) order: by anchor Morton code, with
+// ancestors preceding descendants at the same anchor.
+struct OctantLess {
+  constexpr bool operator()(const Octant& a, const Octant& b) const noexcept {
+    const std::uint64_t ma = a.morton();
+    const std::uint64_t mb = b.morton();
+    if (ma != mb) return ma < mb;
+    return a.level < b.level;
+  }
+};
+
+// The 26 same-size neighbor direction triples (faces, edges, corners).
+inline constexpr std::array<std::array<int, 3>, 26> kNeighborDirs = [] {
+  std::array<std::array<int, 3>, 26> dirs{};
+  int k = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        dirs[static_cast<std::size_t>(k++)] = {dx, dy, dz};
+      }
+    }
+  }
+  return dirs;
+}();
+
+// The 6 face directions.
+inline constexpr std::array<std::array<int, 3>, 6> kFaceDirs = {{
+    {{-1, 0, 0}}, {{1, 0, 0}}, {{0, -1, 0}}, {{0, 1, 0}}, {{0, 0, -1}}, {{0, 0, 1}},
+}};
+
+}  // namespace quake::octree

@@ -1,0 +1,325 @@
+#include "quake/octree/linear_octree.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <stdexcept>
+
+namespace quake::octree {
+namespace {
+
+// Morton-code volume of an octant: number of tick points it covers. The
+// codes inside an octant form the contiguous range
+// [morton(anchor), morton(anchor) + volume).
+std::uint64_t morton_volume(const Octant& o) noexcept {
+  const int shift = 3 * (kMaxLevel - o.level);
+  return shift >= 64 ? 0 : (std::uint64_t{1} << shift);
+}
+
+std::span<const std::array<int, 3>> dirs_for(BalanceScope scope) noexcept {
+  switch (scope) {
+    case BalanceScope::kFaces:
+      return {kFaceDirs.data(), kFaceDirs.size()};
+    case BalanceScope::kFacesEdges:
+      // kNeighborDirs is ordered with all 26; faces+edges are those with at
+      // most two nonzero components. Precompute once.
+      {
+        static const std::vector<std::array<int, 3>> fe = [] {
+          std::vector<std::array<int, 3>> v;
+          for (const auto& d : kNeighborDirs) {
+            const int nz = (d[0] != 0) + (d[1] != 0) + (d[2] != 0);
+            if (nz <= 2) v.push_back(d);
+          }
+          return v;
+        }();
+        return {fe.data(), fe.size()};
+      }
+    case BalanceScope::kAll:
+      return {kNeighborDirs.data(), kNeighborDirs.size()};
+  }
+  return {};
+}
+
+// Leaf set keyed by anchor Morton code. Disjoint leaves have distinct
+// anchors, so the anchor alone identifies a leaf; the mapped value is its
+// level.
+using LeafMap = std::unordered_map<std::uint64_t, std::uint8_t>;
+
+LeafMap to_map(std::span<const Octant> leaves) {
+  LeafMap map;
+  map.reserve(leaves.size() * 2);
+  for (const Octant& o : leaves) map.emplace(o.morton(), o.level);
+  return map;
+}
+
+std::vector<Octant> to_leaves(const LeafMap& map) {
+  std::vector<Octant> out;
+  out.reserve(map.size());
+  for (const auto& [code, level] : map) {
+    const MortonXyz p = morton_decode(code);
+    out.push_back(Octant{p.x, p.y, p.z, level});
+  }
+  return out;
+}
+
+// Finds the leaf containing tick point (x, y, z) by probing ancestors from
+// fine to coarse. Returns false when the point is uncovered.
+bool find_leaf_at(const LeafMap& map, std::uint32_t x, std::uint32_t y,
+                  std::uint32_t z, int finest_level, Octant& out) {
+  for (int lvl = finest_level; lvl >= 0; --lvl) {
+    const Octant probe =
+        Octant{x, y, z, 0}.ancestor_at(static_cast<std::uint8_t>(lvl));
+    auto it = map.find(probe.morton());
+    if (it != map.end() && it->second == lvl) {
+      out = Octant{probe.x, probe.y, probe.z, it->second};
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LinearOctree::LinearOctree(std::vector<Octant> leaves)
+    : leaves_(std::move(leaves)) {
+  std::sort(leaves_.begin(), leaves_.end(), OctantLess{});
+}
+
+std::optional<std::size_t> LinearOctree::find_containing(
+    std::uint32_t x, std::uint32_t y, std::uint32_t z) const {
+  if (leaves_.empty()) return std::nullopt;
+  const std::uint64_t code = morton_encode(x, y, z);
+  // Last leaf whose anchor code is <= code.
+  auto it = std::upper_bound(
+      leaves_.begin(), leaves_.end(), code,
+      [](std::uint64_t c, const Octant& o) { return c < o.morton(); });
+  if (it == leaves_.begin()) return std::nullopt;
+  --it;
+  const Octant probe{x, y, z, kMaxLevel};
+  if (!it->contains(probe)) return std::nullopt;
+  return static_cast<std::size_t>(it - leaves_.begin());
+}
+
+std::optional<std::size_t> LinearOctree::find(const Octant& o) const {
+  auto it = std::lower_bound(leaves_.begin(), leaves_.end(), o, OctantLess{});
+  if (it == leaves_.end() || !(*it == o)) return std::nullopt;
+  return static_cast<std::size_t>(it - leaves_.begin());
+}
+
+bool LinearOctree::validate(bool require_cover) const {
+  std::uint64_t expected_next = 0;
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    const Octant& o = leaves_[i];
+    const std::uint64_t code = o.morton();
+    if (i > 0 && code < expected_next) return false;  // overlap or disorder
+    if (require_cover && code != expected_next) return false;  // gap
+    expected_next = code + morton_volume(o);
+    covered += morton_volume(o);
+  }
+  if (require_cover) {
+    const std::uint64_t full = std::uint64_t{1} << (3 * kMaxLevel);
+    return covered == full;
+  }
+  return true;
+}
+
+std::pair<int, int> LinearOctree::level_range() const {
+  if (leaves_.empty()) return {0, 0};
+  int lo = kMaxLevel, hi = 0;
+  for (const Octant& o : leaves_) {
+    lo = std::min<int>(lo, o.level);
+    hi = std::max<int>(hi, o.level);
+  }
+  return {lo, hi};
+}
+
+std::vector<std::size_t> LinearOctree::level_histogram() const {
+  std::vector<std::size_t> h(kMaxLevel + 1, 0);
+  for (const Octant& o : leaves_) ++h[o.level];
+  return h;
+}
+
+LinearOctree build_octree(const RefinePolicy& policy, int max_level) {
+  if (max_level < 0 || max_level > kMaxLevel) {
+    throw std::invalid_argument("build_octree: bad max_level");
+  }
+  std::vector<Octant> leaves;
+  // Iterative preorder traversal; children visited in Morton order, so the
+  // emitted leaf sequence is already space-filling-curve sorted.
+  std::vector<Octant> stack{Octant{}};
+  while (!stack.empty()) {
+    const Octant o = stack.back();
+    stack.pop_back();
+    if (o.level < max_level && policy(o)) {
+      // Push children in reverse Morton order so they pop in Morton order.
+      for (int c = 7; c >= 0; --c) stack.push_back(o.child(c));
+    } else {
+      leaves.push_back(o);
+    }
+  }
+  return LinearOctree(std::move(leaves));
+}
+
+bool is_balanced(const LinearOctree& tree, BalanceScope scope) {
+  const auto dirs = dirs_for(scope);
+  const LeafMap map = to_map(tree.leaves());
+  const int finest = tree.level_range().second;
+  for (const Octant& o : tree.leaves()) {
+    for (const auto& d : dirs) {
+      const auto n = o.neighbor(d[0], d[1], d[2]);
+      if (!n) continue;
+      Octant leaf;
+      if (!find_leaf_at(map, n->x, n->y, n->z, finest, leaf)) continue;
+      if (static_cast<int>(o.level) - static_cast<int>(leaf.level) > 1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Core work-queue balancing over a LeafMap. `may_split` filters which leaves
+// this pass is allowed to refine (used by local balancing to keep internal
+// passes inside their block); `check` filters which neighbor probes are
+// made. Seeds are the octants initially enqueued.
+template <typename MaySplit, typename CheckDir>
+void balance_queue(LeafMap& map, int& finest, std::deque<Octant>& queue,
+                   std::span<const std::array<int, 3>> dirs,
+                   const MaySplit& may_split, const CheckDir& check) {
+  while (!queue.empty()) {
+    const Octant o = queue.front();
+    queue.pop_front();
+    auto self = map.find(o.morton());
+    if (self == map.end() || self->second != o.level) continue;  // stale
+    for (const auto& d : dirs) {
+      if (!check(o, d)) continue;
+      const auto n = o.neighbor(d[0], d[1], d[2]);
+      if (!n) continue;
+      Octant leaf;
+      if (!find_leaf_at(map, n->x, n->y, n->z, finest, leaf)) continue;
+      if (static_cast<int>(o.level) - static_cast<int>(leaf.level) <= 1) {
+        continue;
+      }
+      if (!may_split(leaf)) continue;
+      // Forced split: replace the too-coarse leaf by its eight children and
+      // re-examine both the children and the instigating octant.
+      map.erase(leaf.morton());
+      for (int c = 0; c < 8; ++c) {
+        const Octant ch = leaf.child(c);
+        map.emplace(ch.morton(), ch.level);
+        queue.push_back(ch);
+      }
+      finest = std::max(finest, leaf.level + 1);
+      queue.push_back(o);
+    }
+  }
+}
+
+constexpr auto kSplitAny = [](const Octant&) { return true; };
+constexpr auto kCheckAny = [](const Octant&, const std::array<int, 3>&) {
+  return true;
+};
+
+}  // namespace
+
+LinearOctree balance(const LinearOctree& tree, BalanceScope scope) {
+  const auto dirs = dirs_for(scope);
+  LeafMap map = to_map(tree.leaves());
+  int finest = tree.level_range().second;
+  std::deque<Octant> queue(tree.leaves().begin(), tree.leaves().end());
+  balance_queue(map, finest, queue, dirs, kSplitAny, kCheckAny);
+  return LinearOctree(to_leaves(map));
+}
+
+LinearOctree balance_global_sweeps(const LinearOctree& tree,
+                                   BalanceScope scope) {
+  const auto dirs = dirs_for(scope);
+  std::vector<Octant> leaves(tree.leaves().begin(), tree.leaves().end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    LeafMap map = to_map(leaves);
+    int finest = 0;
+    for (const Octant& o : leaves) finest = std::max<int>(finest, o.level);
+    LeafMap to_split;  // anchor -> level of leaves that must refine
+    for (const Octant& o : leaves) {
+      for (const auto& d : dirs) {
+        const auto n = o.neighbor(d[0], d[1], d[2]);
+        if (!n) continue;
+        Octant leaf;
+        if (!find_leaf_at(map, n->x, n->y, n->z, finest, leaf)) continue;
+        if (static_cast<int>(o.level) - static_cast<int>(leaf.level) > 1) {
+          to_split.emplace(leaf.morton(), leaf.level);
+        }
+      }
+    }
+    if (!to_split.empty()) {
+      changed = true;
+      std::vector<Octant> next;
+      next.reserve(leaves.size() + 7 * to_split.size());
+      for (const Octant& o : leaves) {
+        auto it = to_split.find(o.morton());
+        if (it != to_split.end() && it->second == o.level) {
+          for (int c = 0; c < 8; ++c) next.push_back(o.child(c));
+        } else {
+          next.push_back(o);
+        }
+      }
+      leaves = std::move(next);
+    }
+  }
+  return LinearOctree(std::move(leaves));
+}
+
+LinearOctree balance_local(const LinearOctree& tree, BalanceScope scope,
+                           int block_level) {
+  const auto dirs = dirs_for(scope);
+  // Blocks coarser than the coarsest leaf would leave leaves spanning
+  // several blocks; clamp so every leaf lies in exactly one block.
+  const int coarsest = tree.level_range().first;
+  const int bl = std::min(block_level, coarsest);
+
+  LeafMap map = to_map(tree.leaves());
+  int finest = tree.level_range().second;
+
+  // Internal balancing: one pass per block, splits and probes confined to
+  // the block. Group leaves by their level-bl ancestor.
+  std::unordered_map<std::uint64_t, std::vector<Octant>> blocks;
+  for (const Octant& o : tree.leaves()) {
+    blocks[o.ancestor_at(static_cast<std::uint8_t>(bl)).morton()].push_back(o);
+  }
+  for (auto& [block_code, members] : blocks) {
+    const MortonXyz p = morton_decode(block_code);
+    const Octant block{p.x, p.y, p.z, static_cast<std::uint8_t>(bl)};
+    auto inside = [&block](const Octant& o) { return block.contains(o); };
+    auto check_dir = [&](const Octant& o, const std::array<int, 3>& d) {
+      const auto n = o.neighbor(d[0], d[1], d[2]);
+      return n && block.contains(*n);
+    };
+    std::deque<Octant> queue(members.begin(), members.end());
+    balance_queue(map, finest, queue, dirs, inside, check_dir);
+  }
+
+  // Boundary balancing: seed the global queue with every leaf touching a
+  // block face; cascades re-enter block interiors as needed.
+  std::deque<Octant> queue;
+  const std::uint32_t block_size = 1u << (kMaxLevel - bl);
+  for (const auto& [code, level] : map) {
+    const MortonXyz p = morton_decode(code);
+    const Octant o{p.x, p.y, p.z, level};
+    const std::uint32_t s = o.size();
+    const bool on_boundary =
+        (o.x % block_size == 0) || ((o.x + s) % block_size == 0) ||
+        (o.y % block_size == 0) || ((o.y + s) % block_size == 0) ||
+        (o.z % block_size == 0) || ((o.z + s) % block_size == 0);
+    if (on_boundary) queue.push_back(o);
+  }
+  balance_queue(map, finest, queue, dirs, kSplitAny, kCheckAny);
+  return LinearOctree(to_leaves(map));
+}
+
+}  // namespace quake::octree

@@ -1,0 +1,79 @@
+#include "quake/opt/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "quake/util/stats.hpp"
+
+namespace quake::opt {
+
+CgResult conjugate_gradient(const LinOp& apply_a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& options,
+                            const LinOp* precond, const PairCollector* collect) {
+  const std::size_t n = b.size();
+  std::vector<double> r(n), z(n), p(n), ap(n);
+
+  // r = b - A x.
+  std::fill(ap.begin(), ap.end(), 0.0);
+  apply_a(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  auto apply_m = [&](std::span<const double> in, std::span<double> out) {
+    if (precond != nullptr) {
+      std::fill(out.begin(), out.end(), 0.0);
+      (*precond)(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  apply_m(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+  double rz = util::dot(r, z);
+
+  CgResult res;
+  res.initial_residual = util::norm_l2(r);
+  res.final_residual = res.initial_residual;
+  if (res.initial_residual == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  const double target = options.rel_tolerance * res.initial_residual;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::fill(ap.begin(), ap.end(), 0.0);
+    apply_a(p, ap);
+    const double pap = util::dot(p, ap);
+    if (pap <= 0.0) {
+      res.hit_negative_curvature = true;
+      break;
+    }
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    if (collect != nullptr) {
+      std::vector<double> s(n), ys(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        s[i] = alpha * p[i];
+        ys[i] = alpha * ap[i];
+      }
+      (*collect)(s, ys);
+    }
+    ++res.iterations;
+    res.final_residual = util::norm_l2(r);
+    if (res.final_residual <= target) {
+      res.converged = true;
+      break;
+    }
+    apply_m(r, z);
+    const double rz_new = util::dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace quake::opt

@@ -1,0 +1,74 @@
+#include "quake/opt/frankel.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "quake/util/stats.hpp"
+
+namespace quake::opt {
+
+double estimate_lambda_max(const LinOp& apply_a, std::size_t dim,
+                           int iterations) {
+  std::vector<double> v(dim), av(dim);
+  // Deterministic non-degenerate start.
+  for (std::size_t i = 0; i < dim; ++i) {
+    v[i] = 1.0 + 0.37 * static_cast<double>(i % 7);
+  }
+  double lambda = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(av.begin(), av.end(), 0.0);
+    apply_a(v, av);
+    const double n = util::norm_l2(av);
+    if (n == 0.0) return 0.0;
+    lambda = n / util::norm_l2(v);
+    for (std::size_t i = 0; i < dim; ++i) v[i] = av[i] / n;
+  }
+  return lambda;
+}
+
+void frankel_two_step(const LinOp& apply_a, std::span<const double> b,
+                      std::span<double> x, const FrankelOptions& options,
+                      LbfgsOperator* seed) {
+  const std::size_t n = b.size();
+  double lmax = options.lambda_max;
+  if (!(lmax > 0.0)) {
+    // Power iteration underestimates; the two-step iteration diverges if any
+    // eigenvalue exceeds the assumed bound, so inflate the estimate.
+    lmax = 1.25 * estimate_lambda_max(apply_a, n, options.power_iterations);
+    if (!(lmax > 0.0)) return;
+  }
+  const double lmin =
+      options.lambda_min > 0.0 ? options.lambda_min : lmax * 1e-3;
+
+  // Optimal two-step parameters for spectrum in [lmin, lmax]:
+  //   x_{k+1} = x_k + omega (alpha r_k + (x_k - x_{k-1})),
+  // with rho = (1 - sqrt(kappa^{-1})) / (1 + sqrt(kappa^{-1})) the
+  // asymptotic rate (Axelsson, Iterative Solution Methods, ch. 5).
+  const double kappa = lmax / lmin;
+  const double srk = 1.0 / std::sqrt(kappa);
+  const double rho = (1.0 - srk) / (1.0 + srk);
+  const double omega = rho * rho;           // momentum coefficient
+  const double alpha = (1.0 + omega) * 2.0 / (lmax + lmin);  // step size
+
+  std::vector<double> r(n), x_prev(x.begin(), x.end()), ax(n);
+  std::vector<double> s(n), y(n);
+
+  for (int k = 0; k < options.sweeps; ++k) {
+    std::fill(ax.begin(), ax.end(), 0.0);
+    apply_a(x, ax);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x_new = x[i] + alpha * r[i] + omega * (x[i] - x_prev[i]);
+      s[i] = x_new - x[i];
+      x_prev[i] = x[i];
+      x[i] = x_new;
+    }
+    if (seed != nullptr) {
+      std::fill(y.begin(), y.end(), 0.0);
+      apply_a(s, y);
+      seed->add_pair(s, y);
+    }
+  }
+}
+
+}  // namespace quake::opt

@@ -1,0 +1,46 @@
+#pragma once
+
+// Matrix-free preconditioned conjugate gradients — the inner (linear) solver
+// of the multiscale Gauss-Newton-CG inversion algorithm (§3.1). The
+// operator and preconditioner are callbacks; every Hessian application in
+// the inversion costs one incremental forward plus one incremental adjoint
+// wave solve, so iteration counts are the currency Table 3.1 reports.
+
+#include <functional>
+#include <span>
+
+namespace quake::opt {
+
+// Applies the operator, ACCUMULATING into a pre-zeroed output buffer.
+using LinOp = std::function<void(std::span<const double>, std::span<double>)>;
+
+// Receives the (s, y) = (alpha p, alpha A p) curvature pair of each CG
+// iteration — exactly the pairs the Morales-Nocedal L-BFGS preconditioner
+// harvests.
+using PairCollector =
+    std::function<void(std::span<const double>, std::span<const double>)>;
+
+struct CgOptions {
+  int max_iterations = 100;
+  double rel_tolerance = 1e-2;  // on the preconditioned residual norm
+};
+
+struct CgResult {
+  int iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  bool converged = false;
+  // True when CG detected a direction of non-positive curvature and stopped
+  // (returning the best iterate so far) — the standard truncated-Newton
+  // safeguard.
+  bool hit_negative_curvature = false;
+};
+
+// Solves A x = b with initial guess x (overwritten). `precond` applies an
+// approximation of A^{-1}; pass nullptr for unpreconditioned CG.
+CgResult conjugate_gradient(const LinOp& apply_a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& options,
+                            const LinOp* precond = nullptr,
+                            const PairCollector* collect = nullptr);
+
+}  // namespace quake::opt

@@ -1,0 +1,37 @@
+#pragma once
+
+// Frankel's two-step (second-order Richardson) stationary iteration for SPD
+// systems. The paper initializes its L-BFGS reduced-Hessian preconditioner
+// with several Frankel sweeps on the reduced system (§3.1, ref. Axelsson);
+// each sweep also yields an (s, y) curvature pair that seeds the L-BFGS
+// operator.
+
+#include <span>
+
+#include "quake/opt/cg.hpp"
+#include "quake/opt/lbfgs.hpp"
+
+namespace quake::opt {
+
+struct FrankelOptions {
+  int sweeps = 5;
+  // Eigenvalue bounds of A used for the optimal parameters; when
+  // lambda_max <= 0 it is estimated by power iteration.
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  int power_iterations = 12;
+};
+
+// Estimates the largest eigenvalue of SPD operator A by power iteration
+// (deterministic start vector).
+double estimate_lambda_max(const LinOp& apply_a, std::size_t dim,
+                           int iterations);
+
+// Runs Frankel two-step iterations on A x = b starting from x (updated in
+// place). When `seed` is non-null, each sweep's (s = x_{k+1} - x_k,
+// y = A s) pair is fed to the L-BFGS operator.
+void frankel_two_step(const LinOp& apply_a, std::span<const double> b,
+                      std::span<double> x, const FrankelOptions& options,
+                      LbfgsOperator* seed);
+
+}  // namespace quake::opt

@@ -1,0 +1,45 @@
+#pragma once
+
+// Limited-memory BFGS inverse-Hessian operator, used as the reduced-Hessian
+// preconditioner of the Gauss-Newton-CG inversion (§3.1, after Morales &
+// Nocedal): curvature pairs (s, y) harvested from CG iterations (or from
+// Frankel warm-up sweeps) define an approximation of H^{-1} applied by the
+// classic two-loop recursion.
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace quake::opt {
+
+class LbfgsOperator {
+ public:
+  explicit LbfgsOperator(std::size_t dim, std::size_t max_pairs = 10)
+      : dim_(dim), max_pairs_(max_pairs) {}
+
+  // Adds a curvature pair; ignored unless s^T y > 0 (maintains positive
+  // definiteness). Oldest pairs are discarded beyond capacity.
+  void add_pair(std::span<const double> s, std::span<const double> y);
+
+  // out = H^{-1}_approx * v (two-loop recursion). With no stored pairs this
+  // is gamma * v (gamma from the most recent accepted pair, else 1).
+  void apply(std::span<const double> v, std::span<double> out) const;
+
+  [[nodiscard]] std::size_t n_pairs() const { return pairs_.size(); }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+
+  void clear() { pairs_.clear(); gamma_ = 1.0; }
+
+ private:
+  struct Pair {
+    std::vector<double> s, y;
+    double rho;  // 1 / (y^T s)
+  };
+  std::size_t dim_;
+  std::size_t max_pairs_;
+  std::deque<Pair> pairs_;
+  double gamma_ = 1.0;  // initial scaling (y^T s / y^T y of newest pair)
+};
+
+}  // namespace quake::opt

@@ -1,0 +1,31 @@
+#pragma once
+
+// Armijo backtracking line search — the globalization of the Gauss-Newton
+// iteration (§3.1, after Nocedal & Wright).
+
+#include <functional>
+
+namespace quake::opt {
+
+struct ArmijoOptions {
+  double c1 = 1e-4;          // sufficient-decrease constant
+  double backtrack = 0.5;    // step shrink factor
+  double alpha0 = 1.0;       // initial step
+  int max_trials = 25;
+};
+
+struct ArmijoResult {
+  double alpha = 0.0;   // accepted step (0 if the search failed)
+  double phi = 0.0;     // objective at the accepted step
+  int evaluations = 0;  // number of phi evaluations
+  bool success = false;
+};
+
+// phi(alpha) evaluates the objective along the direction; phi0 and dphi0
+// are the value and directional derivative at alpha = 0 (dphi0 must be
+// negative for a descent direction).
+ArmijoResult armijo_backtracking(const std::function<double(double)>& phi,
+                                 double phi0, double dphi0,
+                                 const ArmijoOptions& options);
+
+}  // namespace quake::opt

@@ -1,0 +1,49 @@
+#include "quake/opt/lbfgs.hpp"
+
+#include <stdexcept>
+
+#include "quake/util/stats.hpp"
+
+namespace quake::opt {
+
+void LbfgsOperator::add_pair(std::span<const double> s,
+                             std::span<const double> y) {
+  if (s.size() != dim_ || y.size() != dim_) {
+    throw std::invalid_argument("LbfgsOperator::add_pair: bad sizes");
+  }
+  const double sy = util::dot(s, y);
+  if (!(sy > 0.0)) return;  // reject non-positive curvature
+  const double yy = util::dot(y, y);
+  Pair p;
+  p.s.assign(s.begin(), s.end());
+  p.y.assign(y.begin(), y.end());
+  p.rho = 1.0 / sy;
+  pairs_.push_back(std::move(p));
+  if (pairs_.size() > max_pairs_) pairs_.pop_front();
+  if (yy > 0.0) gamma_ = sy / yy;
+}
+
+void LbfgsOperator::apply(std::span<const double> v,
+                          std::span<double> out) const {
+  if (v.size() != dim_ || out.size() != dim_) {
+    throw std::invalid_argument("LbfgsOperator::apply: bad sizes");
+  }
+  std::vector<double> q(v.begin(), v.end());
+  std::vector<double> alpha(pairs_.size());
+  for (std::size_t i = pairs_.size(); i-- > 0;) {
+    const Pair& p = pairs_[i];
+    alpha[i] = p.rho * util::dot(p.s, q);
+    for (std::size_t j = 0; j < dim_; ++j) q[j] -= alpha[i] * p.y[j];
+  }
+  for (std::size_t j = 0; j < dim_; ++j) q[j] *= gamma_;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const Pair& p = pairs_[i];
+    const double beta = p.rho * util::dot(p.y, q);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      q[j] += (alpha[i] - beta) * p.s[j];
+    }
+  }
+  for (std::size_t j = 0; j < dim_; ++j) out[j] += q[j];
+}
+
+}  // namespace quake::opt

@@ -1,0 +1,30 @@
+#include "quake/opt/linesearch.hpp"
+
+#include <stdexcept>
+
+namespace quake::opt {
+
+ArmijoResult armijo_backtracking(const std::function<double(double)>& phi,
+                                 double phi0, double dphi0,
+                                 const ArmijoOptions& options) {
+  if (dphi0 >= 0.0) {
+    throw std::invalid_argument("armijo: not a descent direction");
+  }
+  ArmijoResult res;
+  double alpha = options.alpha0;
+  for (int t = 0; t < options.max_trials; ++t) {
+    const double value = phi(alpha);
+    ++res.evaluations;
+    if (value <= phi0 + options.c1 * alpha * dphi0) {
+      res.alpha = alpha;
+      res.phi = value;
+      res.success = true;
+      return res;
+    }
+    alpha *= options.backtrack;
+  }
+  res.phi = phi0;
+  return res;
+}
+
+}  // namespace quake::opt

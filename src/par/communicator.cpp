@@ -1,0 +1,104 @@
+#include "quake/par/communicator.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace quake::par {
+
+Communicator::Communicator(int n_ranks) : n_ranks_(n_ranks) {
+  if (n_ranks < 1) throw std::invalid_argument("Communicator: n_ranks >= 1");
+}
+
+void Rank::send(int dest, int tag, std::span<const double> data) {
+  sent_ += data.size();
+  comm_->post(id_, dest, tag, std::vector<double>(data.begin(), data.end()));
+}
+
+std::vector<double> Rank::recv(int src, int tag) {
+  return comm_->take(src, id_, tag);
+}
+
+void Rank::barrier() { comm_->barrier_wait(); }
+
+double Rank::allreduce_sum(double v) { return comm_->reduce(v, false); }
+double Rank::allreduce_max(double v) { return comm_->reduce(v, true); }
+
+void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    boxes_[{src, dst, tag}].messages.push(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::vector<double> Communicator::take(int src, int dst, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto key = std::tuple<int, int, int>{src, dst, tag};
+  cv_.wait(lock, [&] {
+    auto it = boxes_.find(key);
+    return it != boxes_.end() && !it->second.messages.empty();
+  });
+  auto& q = boxes_[key].messages;
+  std::vector<double> msg = std::move(q.front());
+  q.pop();
+  return msg;
+}
+
+void Communicator::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t gen = barrier_gen_;
+  if (++barrier_count_ == n_ranks_) {
+    barrier_count_ = 0;
+    ++barrier_gen_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+  }
+}
+
+double Communicator::reduce(double v, bool max_mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t gen = reduce_gen_;
+  if (reduce_count_ == 0) {
+    reduce_acc_ = v;
+  } else {
+    reduce_acc_ = max_mode ? std::max(reduce_acc_, v) : reduce_acc_ + v;
+  }
+  if (++reduce_count_ == n_ranks_) {
+    reduce_result_ = reduce_acc_;
+    reduce_count_ = 0;
+    ++reduce_gen_;
+    cv_.notify_all();
+    return reduce_result_;
+  }
+  cv_.wait(lock, [&] { return reduce_gen_ != gen; });
+  return reduce_result_;
+}
+
+void Communicator::run(const std::function<void(Rank&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks_));
+  threads.reserve(static_cast<std::size_t>(n_ranks_));
+  std::vector<Rank> ranks;
+  ranks.reserve(static_cast<std::size_t>(n_ranks_));
+  for (int r = 0; r < n_ranks_; ++r) {
+    ranks.push_back(Rank(this, r, n_ranks_));
+  }
+  for (int r = 0; r < n_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(ranks[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  boxes_.clear();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace quake::par

@@ -1,0 +1,87 @@
+#pragma once
+
+// In-process SPMD substrate (see DESIGN.md): rank-per-thread execution with
+// typed point-to-point messages, barriers, and reductions — the message-
+// passing programming model of the paper's MPI code, runnable on one
+// machine. The partitioned data structures and the communication pattern
+// are identical to a distributed run; only the transport is shared memory.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <vector>
+
+namespace quake::par {
+
+class Communicator;
+
+// Per-rank handle passed to the SPMD function. Methods may be called
+// concurrently from different ranks' threads.
+class Rank {
+ public:
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  // Blocking tagged point-to-point. Messages between a (src, dst, tag)
+  // triple are delivered in order.
+  void send(int dest, int tag, std::span<const double> data);
+  std::vector<double> recv(int src, int tag);
+
+  void barrier();
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+
+  // Total doubles sent by this rank (communication-volume accounting).
+  [[nodiscard]] std::size_t doubles_sent() const { return sent_; }
+
+ private:
+  friend class Communicator;
+  Rank(Communicator* comm, int id, int size)
+      : comm_(comm), id_(id), size_(size) {}
+  Communicator* comm_;
+  int id_;
+  int size_;
+  std::size_t sent_ = 0;
+};
+
+class Communicator {
+ public:
+  explicit Communicator(int n_ranks);
+
+  // Runs `fn` once per rank, each on its own thread; returns when all
+  // complete. Exceptions thrown by any rank are rethrown (first one wins).
+  void run(const std::function<void(Rank&)>& fn);
+
+  [[nodiscard]] int size() const { return n_ranks_; }
+
+ private:
+  friend class Rank;
+
+  struct Mailbox {
+    std::queue<std::vector<double>> messages;
+  };
+
+  void post(int src, int dst, int tag, std::vector<double> msg);
+  std::vector<double> take(int src, int dst, int tag);
+  void barrier_wait();
+  double reduce(double v, bool max_mode);
+
+  int n_ranks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::tuple<int, int, int>, Mailbox> boxes_;
+
+  // Dissemination-free simple barrier / reduction state.
+  int barrier_count_ = 0;
+  std::size_t barrier_gen_ = 0;
+  int reduce_count_ = 0;
+  std::size_t reduce_gen_ = 0;
+  double reduce_acc_ = 0.0;
+  double reduce_result_ = 0.0;
+};
+
+}  // namespace quake::par

@@ -1,0 +1,67 @@
+#pragma once
+
+// SPMD explicit wave propagation: the serial update of eq. 2.4 run on a
+// partitioned mesh. Each rank owns a contiguous SFC chunk of elements,
+// holds copies of every node its elements touch (plus hanging-constraint
+// masters as ghosts), computes element-local partial stiffness products,
+// and exchanges partial sums on shared nodes each step — the communication
+// pattern of the paper's MPI solver.
+//
+// Determinism: the full sum at a shared node is accumulated in ascending
+// rank order on every copy, so all copies of a node compute bit-identical
+// updates and the parallel run matches the serial run to rounding.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quake/mesh/hex_mesh.hpp"
+#include "quake/par/partition.hpp"
+#include "quake/solver/elastic_operator.hpp"
+#include "quake/solver/explicit_solver.hpp"
+#include "quake/solver/source.hpp"
+
+namespace quake::par {
+
+struct ParallelResult {
+  std::vector<double> u_final;  // gathered full-length displacement
+  int n_steps = 0;
+  double dt = 0.0;
+
+  struct RankStats {
+    std::size_t n_elems = 0;
+    std::size_t n_local_nodes = 0;
+    std::size_t n_neighbors = 0;
+    std::size_t doubles_sent_per_step = 0;  // communication volume
+    std::uint64_t flops = 0;                // total over the run
+    double compute_seconds = 0.0;
+    double exchange_seconds = 0.0;
+  };
+  std::vector<RankStats> rank_stats;
+
+  // One history per requested receiver (displacement per step).
+  std::vector<std::vector<std::array<double, 3>>> receiver_histories;
+};
+
+// Runs the partitioned simulation with `part.n_ranks` in-process ranks.
+ParallelResult run_parallel(
+    const mesh::HexMesh& mesh, const Partition& part,
+    const solver::OperatorOptions& op_opt, const solver::SolverOptions& so,
+    std::span<const solver::SourceModel* const> sources,
+    std::span<const std::array<double, 3>> receiver_positions);
+
+// Analytic machine model used to translate measured per-rank work and
+// communication volumes into the parallel-efficiency column of Table 2.1
+// (this host has one core, so thread wall-clock speedup is not meaningful;
+// the model is evaluated with AlphaServer-class parameters — see DESIGN.md).
+struct MachineModel {
+  double flops_per_sec = 5.0e8;   // ~ Alpha EV68 sustained on this kernel
+  double bytes_per_sec = 2.0e8;   // Quadrics-class per-link bandwidth
+  double latency_sec = 5.0e-6;    // per message
+};
+
+// Modeled parallel efficiency: serial time / (R * slowest rank time).
+double modeled_efficiency(const ParallelResult& r, const MachineModel& m);
+
+}  // namespace quake::par

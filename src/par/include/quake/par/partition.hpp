@@ -1,0 +1,38 @@
+#pragma once
+
+// Space-filling-curve partitioning of the hexahedral mesh. The transform
+// step preserves the octree's Morton (Z-curve) leaf order, so splitting the
+// element sequence into contiguous equal-count chunks yields the standard
+// SFC partition: compact parts with low surface-to-volume, the quantity
+// that drives the parallel efficiency in Table 2.1.
+//
+// (Substitution note: the paper uses ParMETIS; SFC chunking is the standard
+// partitioner for linear octrees and serves the same role — see DESIGN.md.)
+
+#include <vector>
+
+#include "quake/mesh/hex_mesh.hpp"
+
+namespace quake::par {
+
+struct Partition {
+  int n_ranks = 1;
+  std::vector<int> elem_rank;               // element -> rank
+  std::vector<int> node_owner;              // node -> owning rank
+  std::vector<std::vector<mesh::ElemId>> rank_elems;
+
+  // Per-rank statistics used by the scaling bench.
+  struct RankStats {
+    std::size_t n_elems = 0;
+    std::size_t n_nodes = 0;         // nodes touched by local elements
+    std::size_t n_shared_nodes = 0;  // nodes also touched by other ranks
+  };
+  std::vector<RankStats> stats;
+
+  // Load imbalance: max over ranks of (rank elements / mean).
+  [[nodiscard]] double imbalance() const;
+};
+
+Partition partition_sfc(const mesh::HexMesh& mesh, int n_ranks);
+
+}  // namespace quake::par

@@ -1,0 +1,503 @@
+#include "quake/par/parallel_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "quake/fem/hex_element.hpp"
+#include "quake/par/communicator.hpp"
+#include "quake/util/timer.hpp"
+
+namespace quake::par {
+namespace {
+
+struct LocalConstraint {
+  int node;
+  std::array<int, 8> masters;
+  std::array<double, 8> weights;
+  int n;
+};
+
+struct Neighbor {
+  int rank;
+  std::vector<int> shared;  // local node indices, ascending global id
+};
+
+// Everything a rank needs, built serially before the SPMD launch (setup is
+// excluded from the reported timings, as the paper excludes I/O).
+struct RankLocal {
+  std::vector<mesh::ElemId> elems;
+  std::vector<mesh::NodeId> nodes;  // sorted global ids
+  std::unordered_map<mesh::NodeId, int> local_of;
+  std::vector<std::array<int, 8>> conn;
+  struct Face {
+    int elem;  // index into `elems`
+    mesh::BoundarySide side;
+  };
+  std::vector<Face> faces;
+  std::vector<LocalConstraint> cons;
+  std::vector<double> mass, am, bk, cab, inv_lhs;  // per local dof
+  std::vector<std::uint8_t> owned;                 // per local node
+  std::vector<Neighbor> neighbors;                 // ascending rank
+  std::vector<int> all_shared;                     // union of neighbor lists
+  std::vector<std::pair<int, int>> receivers;      // (global index, local node)
+};
+
+// ForceSink that keeps only this rank's nodes.
+class RankForceSink final : public solver::ForceSink {
+ public:
+  RankForceSink(const std::unordered_map<mesh::NodeId, int>& local_of,
+                std::vector<double>& f)
+      : local_of_(&local_of), f_(&f) {}
+  void add(mesh::NodeId node, int comp, double value) override {
+    auto it = local_of_->find(node);
+    if (it == local_of_->end()) return;
+    (*f_)[3 * static_cast<std::size_t>(it->second) +
+          static_cast<std::size_t>(comp)] += value;
+  }
+
+ private:
+  const std::unordered_map<mesh::NodeId, int>* local_of_;
+  std::vector<double>* f_;
+};
+
+}  // namespace
+
+ParallelResult run_parallel(
+    const mesh::HexMesh& mesh, const Partition& part,
+    const solver::OperatorOptions& op_opt, const solver::SolverOptions& so,
+    std::span<const solver::SourceModel* const> sources,
+    std::span<const std::array<double, 3>> receiver_positions) {
+  const int R = part.n_ranks;
+  const solver::ElasticOperator op(mesh, op_opt);
+  const double dt = so.dt > 0.0 ? so.dt : op.stable_dt(so.cfl_fraction);
+  const int n_steps = static_cast<int>(std::ceil(so.t_end / dt));
+  const bool rayleigh = op_opt.rayleigh;
+
+  // ---- serial setup: per-rank node sets with constraint closure ----------
+  std::vector<std::vector<std::uint8_t>> has_node(
+      static_cast<std::size_t>(R),
+      std::vector<std::uint8_t>(mesh.n_nodes(), 0));
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    auto& flags = has_node[static_cast<std::size_t>(part.elem_rank[e])];
+    for (mesh::NodeId n : mesh.elem_nodes[e]) {
+      flags[static_cast<std::size_t>(n)] = 1;
+    }
+  }
+  // Ghost the masters of every locally-touched hanging node. Constraint
+  // accumulation (B^T) is linear, so each rank applies it to its own partial
+  // sums BEFORE the exchange; a rank that holds a master but not the hanging
+  // node receives the folded contribution through the master's exchanged
+  // partials, and no transitive closure is needed (keeping ghost sets — and
+  // hence communication volume — proportional to the partition surface).
+  for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+    auto& flags = has_node[r];
+    for (const mesh::Constraint& c : mesh.constraints) {
+      if (flags[static_cast<std::size_t>(c.node)] == 0) continue;
+      for (int m = 0; m < c.n_masters; ++m) {
+        flags[static_cast<std::size_t>(
+            c.masters[static_cast<std::size_t>(m)])] = 1;
+      }
+    }
+  }
+
+  std::vector<RankLocal> locals(static_cast<std::size_t>(R));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+    RankLocal& L = locals[r];
+    L.elems = part.rank_elems[r];
+    for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+      if (has_node[r][n] != 0) {
+        L.local_of.emplace(static_cast<mesh::NodeId>(n),
+                           static_cast<int>(L.nodes.size()));
+        L.nodes.push_back(static_cast<mesh::NodeId>(n));
+      }
+    }
+    L.conn.reserve(L.elems.size());
+    for (mesh::ElemId e : L.elems) {
+      std::array<int, 8> c;
+      for (int i = 0; i < 8; ++i) {
+        c[static_cast<std::size_t>(i)] = L.local_of.at(
+            mesh.elem_nodes[static_cast<std::size_t>(e)][static_cast<std::size_t>(i)]);
+      }
+      L.conn.push_back(c);
+    }
+    for (const mesh::BoundaryFace& bf : mesh.boundary_faces) {
+      if (part.elem_rank[static_cast<std::size_t>(bf.elem)] !=
+          static_cast<int>(r)) {
+        continue;
+      }
+      const auto it =
+          std::lower_bound(L.elems.begin(), L.elems.end(), bf.elem);
+      L.faces.push_back(
+          {static_cast<int>(it - L.elems.begin()), bf.side});
+    }
+    for (const mesh::Constraint& c : mesh.constraints) {
+      auto it = L.local_of.find(c.node);
+      if (it == L.local_of.end()) continue;
+      LocalConstraint lc;
+      lc.node = it->second;
+      lc.n = c.n_masters;
+      for (int m = 0; m < c.n_masters; ++m) {
+        lc.masters[static_cast<std::size_t>(m)] =
+            L.local_of.at(c.masters[static_cast<std::size_t>(m)]);
+        lc.weights[static_cast<std::size_t>(m)] =
+            c.weights[static_cast<std::size_t>(m)];
+      }
+      L.cons.push_back(lc);
+    }
+    const std::size_t nl = L.nodes.size();
+    L.mass.resize(3 * nl);
+    L.am.resize(3 * nl);
+    L.bk.resize(3 * nl);
+    L.cab.resize(3 * nl);
+    L.inv_lhs.resize(3 * nl);
+    L.owned.resize(nl);
+    for (std::size_t i = 0; i < nl; ++i) {
+      const std::size_t g = static_cast<std::size_t>(L.nodes[i]);
+      L.owned[i] = part.node_owner[g] == static_cast<int>(r) ? 1 : 0;
+      for (int c = 0; c < 3; ++c) {
+        const std::size_t ld = 3 * i + static_cast<std::size_t>(c);
+        const std::size_t gd = 3 * g + static_cast<std::size_t>(c);
+        L.mass[ld] = op.lumped_mass()[gd];
+        L.am[ld] = op.alpha_mass()[gd];
+        L.bk[ld] = op.beta_k_diag()[gd];
+        L.cab[ld] = op.cab_diag()[gd];
+        const double lhs = L.mass[ld] + 0.5 * dt * (L.am[ld] + L.bk[ld] + L.cab[ld]);
+        L.inv_lhs[ld] = lhs > 0.0 ? 1.0 / lhs : 0.0;
+      }
+    }
+  }
+
+  // Sharing lists -> pairwise neighbor structures, ordered by global id.
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    int count = 0;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+      count += has_node[r][n];
+    }
+    if (count < 2) continue;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+      if (has_node[r][n] == 0) continue;
+      RankLocal& L = locals[r];
+      const int li = L.local_of.at(static_cast<mesh::NodeId>(n));
+      L.all_shared.push_back(li);
+      for (std::size_t s = 0; s < static_cast<std::size_t>(R); ++s) {
+        if (s == r || has_node[s][n] == 0) continue;
+        // Find or create the neighbor entry (neighbors kept ascending).
+        auto it = std::find_if(L.neighbors.begin(), L.neighbors.end(),
+                               [&](const Neighbor& nb) {
+                                 return nb.rank == static_cast<int>(s);
+                               });
+        if (it == L.neighbors.end()) {
+          L.neighbors.push_back({static_cast<int>(s), {}});
+          it = L.neighbors.end() - 1;
+        }
+        it->shared.push_back(li);
+      }
+    }
+  }
+  for (auto& L : locals) {
+    std::sort(L.neighbors.begin(), L.neighbors.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.rank < b.rank; });
+  }
+
+  // Receivers assigned to the owner of the nearest node.
+  ParallelResult result;
+  result.dt = dt;
+  result.n_steps = n_steps;
+  result.receiver_histories.assign(receiver_positions.size(), {});
+  for (std::size_t ri = 0; ri < receiver_positions.size(); ++ri) {
+    const mesh::NodeId n = solver::nearest_node(mesh, receiver_positions[ri]);
+    const int owner = part.node_owner[static_cast<std::size_t>(n)];
+    RankLocal& L = locals[static_cast<std::size_t>(owner)];
+    L.receivers.emplace_back(static_cast<int>(ri), L.local_of.at(n));
+    result.receiver_histories[ri].reserve(static_cast<std::size_t>(n_steps));
+  }
+
+  result.u_final.assign(3 * mesh.n_nodes(), 0.0);
+  result.rank_stats.assign(static_cast<std::size_t>(R), {});
+
+  const fem::HexReference& ref = fem::HexReference::get();
+  const auto elem_damping = op.element_damping();
+
+  // ---- SPMD execution ------------------------------------------------------
+  Communicator comm(R);
+  comm.run([&](Rank& rank) {
+    const std::size_t r = static_cast<std::size_t>(rank.id());
+    RankLocal& L = locals[r];
+    const std::size_t nd = 3 * L.nodes.size();
+    std::vector<double> u(nd, 0.0), u_prev(nd, 0.0), u_next(nd, 0.0);
+    std::vector<double> f(nd, 0.0), ku(nd, 0.0), dku(nd, 0.0), dku_prev(nd, 0.0);
+    const std::size_t pack = rayleigh ? 2u : 1u;
+    std::vector<std::vector<double>> sendbuf(L.neighbors.size());
+
+    util::StopWatch compute_watch, exchange_watch;
+    std::uint64_t flops = 0;
+    std::size_t sent_per_step = 0;
+
+    auto expand = [&](std::vector<double>& x) {
+      for (const LocalConstraint& c : L.cons) {
+        for (int comp = 0; comp < 3; ++comp) {
+          double v = 0.0;
+          for (int m = 0; m < c.n; ++m) {
+            v += c.weights[static_cast<std::size_t>(m)] *
+                 x[3 * static_cast<std::size_t>(
+                          c.masters[static_cast<std::size_t>(m)]) +
+                   static_cast<std::size_t>(comp)];
+          }
+          x[3 * static_cast<std::size_t>(c.node) +
+            static_cast<std::size_t>(comp)] = v;
+        }
+      }
+    };
+    auto accumulate = [&](std::vector<double>& x) {
+      for (const LocalConstraint& c : L.cons) {
+        for (int comp = 0; comp < 3; ++comp) {
+          const std::size_t hd = 3 * static_cast<std::size_t>(c.node) +
+                                 static_cast<std::size_t>(comp);
+          for (int m = 0; m < c.n; ++m) {
+            x[3 * static_cast<std::size_t>(
+                     c.masters[static_cast<std::size_t>(m)]) +
+              static_cast<std::size_t>(comp)] +=
+                c.weights[static_cast<std::size_t>(m)] * x[hd];
+          }
+          x[hd] = 0.0;
+        }
+      }
+    };
+
+    for (int k = 0; k < n_steps; ++k) {
+      compute_watch.start();
+      const double t_k = k * dt;
+      std::fill(f.begin(), f.end(), 0.0);
+      RankForceSink sink(L.local_of, f);
+      for (const solver::SourceModel* s : sources) s->add_forces(t_k, sink);
+      accumulate(f);
+
+      std::fill(ku.begin(), ku.end(), 0.0);
+      if (rayleigh) std::fill(dku.begin(), dku.end(), 0.0);
+      double ue[fem::kHexDofs], ye[fem::kHexDofs], de[fem::kHexDofs];
+      for (std::size_t le = 0; le < L.elems.size(); ++le) {
+        const std::size_t ge = static_cast<std::size_t>(L.elems[le]);
+        const auto& c = L.conn[le];
+        for (int i = 0; i < 8; ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(c[static_cast<std::size_t>(i)]);
+          ue[3 * i] = u[base];
+          ue[3 * i + 1] = u[base + 1];
+          ue[3 * i + 2] = u[base + 2];
+        }
+        std::fill(ye, ye + fem::kHexDofs, 0.0);
+        if (rayleigh) std::fill(de, de + fem::kHexDofs, 0.0);
+        const double h = mesh.elem_size[ge];
+        const vel::Material& mat = mesh.elem_mat[ge];
+        fem::hex_apply(ref, ue, h * mat.lambda, h * mat.mu, ye,
+                       rayleigh ? elem_damping[ge].beta : 0.0,
+                       rayleigh ? de : nullptr);
+        for (int i = 0; i < 8; ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(c[static_cast<std::size_t>(i)]);
+          ku[base] += ye[3 * i];
+          ku[base + 1] += ye[3 * i + 1];
+          ku[base + 2] += ye[3 * i + 2];
+          if (rayleigh) {
+            dku[base] += de[3 * i];
+            dku[base + 1] += de[3 * i + 1];
+            dku[base + 2] += de[3 * i + 2];
+          }
+        }
+        flops += fem::hex_apply_flops(rayleigh);
+      }
+      if (op_opt.abc == fem::AbcType::kStacey) {
+        double uf[12], yf[12];
+        for (const auto& face : L.faces) {
+          if (!op_opt.absorbing_sides[static_cast<std::size_t>(face.side)]) {
+            continue;
+          }
+          const std::size_t ge =
+              static_cast<std::size_t>(L.elems[static_cast<std::size_t>(face.elem)]);
+          const auto& fn = mesh::kFaceNodes[static_cast<std::size_t>(face.side)];
+          const auto& c = L.conn[static_cast<std::size_t>(face.elem)];
+          for (int i = 0; i < 4; ++i) {
+            const std::size_t base = 3 * static_cast<std::size_t>(
+                c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
+            uf[3 * i] = u[base];
+            uf[3 * i + 1] = u[base + 1];
+            uf[3 * i + 2] = u[base + 2];
+          }
+          std::fill(yf, yf + 12, 0.0);
+          fem::face_stacey_apply(mesh.elem_mat[ge], mesh.elem_size[ge],
+                                 face.side, uf, yf);
+          for (int i = 0; i < 4; ++i) {
+            const std::size_t base = 3 * static_cast<std::size_t>(
+                c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
+            ku[base] += yf[3 * i];
+            ku[base + 1] += yf[3 * i + 1];
+            ku[base + 2] += yf[3 * i + 2];
+          }
+          flops += 200;
+        }
+      }
+      // Fold hanging-node partials into their masters BEFORE the exchange
+      // (B^T is linear, so projecting partials and summing commutes with
+      // summing and projecting) — this keeps ghost sets surface-sized.
+      accumulate(ku);
+      if (rayleigh) accumulate(dku);
+      compute_watch.stop();
+
+      // ---- shared-node exchange: pack own partials, send, sum in rank
+      // order (own partial inserted at this rank's position) ----
+      exchange_watch.start();
+      for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+        auto& buf = sendbuf[nb];
+        const auto& sh = L.neighbors[nb].shared;
+        buf.assign(pack * 3 * sh.size(), 0.0);
+        for (std::size_t i = 0; i < sh.size(); ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(sh[i]);
+          buf[3 * i] = ku[base];
+          buf[3 * i + 1] = ku[base + 1];
+          buf[3 * i + 2] = ku[base + 2];
+          if (rayleigh) {
+            const std::size_t off = 3 * sh.size();
+            buf[off + 3 * i] = dku[base];
+            buf[off + 3 * i + 1] = dku[base + 1];
+            buf[off + 3 * i + 2] = dku[base + 2];
+          }
+        }
+        rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
+      }
+      if (k == 0) {
+        sent_per_step = 0;
+        for (const auto& buf : sendbuf) sent_per_step += buf.size();
+      }
+      // Zero the shared entries, then accumulate contributions in ascending
+      // rank order; sendbuf still holds this rank's own partials.
+      for (int li : L.all_shared) {
+        const std::size_t base = 3 * static_cast<std::size_t>(li);
+        ku[base] = ku[base + 1] = ku[base + 2] = 0.0;
+        if (rayleigh) dku[base] = dku[base + 1] = dku[base + 2] = 0.0;
+      }
+      // Accumulate contributions in ascending rank order so every copy of a
+      // shared node computes the identical floating-point sum. The own
+      // partial (recovered from the send buffers, which still hold it) is
+      // inserted at this rank's position in the order.
+      {
+        for (int s = 0; s < R; ++s) {
+          if (s == rank.id()) {
+            // Own partials: recover from send buffers, first occurrence.
+            std::vector<std::uint8_t> done(L.nodes.size(), 0);
+            for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+              const auto& sh = L.neighbors[nb].shared;
+              const auto& buf = sendbuf[nb];
+              for (std::size_t i = 0; i < sh.size(); ++i) {
+                const std::size_t li = static_cast<std::size_t>(sh[i]);
+                if (done[li] != 0) continue;
+                done[li] = 1;
+                const std::size_t base = 3 * li;
+                ku[base] += buf[3 * i];
+                ku[base + 1] += buf[3 * i + 1];
+                ku[base + 2] += buf[3 * i + 2];
+                if (rayleigh) {
+                  const std::size_t off = 3 * sh.size();
+                  dku[base] += buf[off + 3 * i];
+                  dku[base + 1] += buf[off + 3 * i + 1];
+                  dku[base + 2] += buf[off + 3 * i + 2];
+                }
+              }
+            }
+            continue;
+          }
+          // Receive from neighbor s if it is one.
+          const auto it = std::find_if(
+              L.neighbors.begin(), L.neighbors.end(),
+              [&](const Neighbor& nbr) { return nbr.rank == s; });
+          if (it == L.neighbors.end()) continue;
+          const std::vector<double> msg = rank.recv(s, /*tag=*/0);
+          const auto& sh = it->shared;
+          for (std::size_t i = 0; i < sh.size(); ++i) {
+            const std::size_t base = 3 * static_cast<std::size_t>(sh[i]);
+            ku[base] += msg[3 * i];
+            ku[base + 1] += msg[3 * i + 1];
+            ku[base + 2] += msg[3 * i + 2];
+            if (rayleigh) {
+              const std::size_t off = 3 * sh.size();
+              dku[base] += msg[off + 3 * i];
+              dku[base + 1] += msg[off + 3 * i + 1];
+              dku[base + 2] += msg[off + 3 * i + 2];
+            }
+          }
+        }
+      }
+      exchange_watch.stop();
+
+      compute_watch.start();
+      const double dt2 = dt * dt;
+      const double hdt = 0.5 * dt;
+      for (std::size_t d = 0; d < nd; ++d) {
+        double rhs = 2.0 * L.mass[d] * u[d] - dt2 * ku[d] + dt2 * f[d] +
+                     (hdt * L.am[d] - L.mass[d]) * u_prev[d] +
+                     hdt * L.cab[d] * u_prev[d];
+        if (rayleigh) {
+          rhs -= hdt * (dku[d] - L.bk[d] * u[d]);
+          rhs += hdt * dku_prev[d];
+        }
+        u_next[d] = rhs * L.inv_lhs[d];
+      }
+      expand(u_next);
+      flops += nd * 14ull;
+
+      std::swap(dku_prev, dku);
+      std::swap(u_prev, u);
+      std::swap(u, u_next);
+
+      for (const auto& [ri, ln] : L.receivers) {
+        const std::size_t base = 3 * static_cast<std::size_t>(ln);
+        result.receiver_histories[static_cast<std::size_t>(ri)].push_back(
+            {u[base], u[base + 1], u[base + 2]});
+      }
+      compute_watch.stop();
+    }
+
+    // Gather: each rank writes its owned nodes (owners are unique).
+    for (std::size_t i = 0; i < L.nodes.size(); ++i) {
+      if (L.owned[i] == 0) continue;
+      const std::size_t g = 3 * static_cast<std::size_t>(L.nodes[i]);
+      result.u_final[g] = u[3 * i];
+      result.u_final[g + 1] = u[3 * i + 1];
+      result.u_final[g + 2] = u[3 * i + 2];
+    }
+
+    auto& st = result.rank_stats[r];
+    st.n_elems = L.elems.size();
+    st.n_local_nodes = L.nodes.size();
+    st.n_neighbors = L.neighbors.size();
+    st.doubles_sent_per_step = sent_per_step;
+    st.flops = flops;
+    st.compute_seconds = compute_watch.total_seconds();
+    st.exchange_seconds = exchange_watch.total_seconds();
+  });
+
+  return result;
+}
+
+double modeled_efficiency(const ParallelResult& r, const MachineModel& m) {
+  if (r.rank_stats.empty() || r.n_steps == 0) return 1.0;
+  double total_flops = 0.0;
+  double worst = 0.0;
+  for (const auto& s : r.rank_stats) {
+    total_flops += static_cast<double>(s.flops);
+    const double flops_step =
+        static_cast<double>(s.flops) / static_cast<double>(r.n_steps);
+    const double t = flops_step / m.flops_per_sec +
+                     static_cast<double>(s.n_neighbors) * m.latency_sec +
+                     static_cast<double>(s.doubles_sent_per_step) * 8.0 /
+                         m.bytes_per_sec;
+    worst = std::max(worst, t);
+  }
+  const double t1 =
+      total_flops / static_cast<double>(r.n_steps) / m.flops_per_sec;
+  const double denom =
+      static_cast<double>(r.rank_stats.size()) * worst;
+  return denom > 0.0 ? t1 / denom : 1.0;
+}
+
+}  // namespace quake::par

@@ -1,0 +1,64 @@
+#include "quake/par/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace quake::par {
+
+double Partition::imbalance() const {
+  if (stats.empty()) return 1.0;
+  std::size_t total = 0, worst = 0;
+  for (const auto& s : stats) {
+    total += s.n_elems;
+    worst = std::max(worst, s.n_elems);
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(stats.size());
+  return mean > 0.0 ? static_cast<double>(worst) / mean : 1.0;
+}
+
+Partition partition_sfc(const mesh::HexMesh& mesh, int n_ranks) {
+  if (n_ranks < 1) throw std::invalid_argument("partition_sfc: n_ranks >= 1");
+  const std::size_t ne = mesh.n_elements();
+  Partition p;
+  p.n_ranks = n_ranks;
+  p.elem_rank.resize(ne);
+  p.rank_elems.assign(static_cast<std::size_t>(n_ranks), {});
+  // Contiguous chunks along the SFC order with balanced counts.
+  for (std::size_t e = 0; e < ne; ++e) {
+    const int r = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(n_ranks) - 1,
+                              e * static_cast<std::size_t>(n_ranks) / ne));
+    p.elem_rank[e] = r;
+    p.rank_elems[static_cast<std::size_t>(r)].push_back(
+        static_cast<mesh::ElemId>(e));
+  }
+
+  // Node ownership: lowest rank whose elements touch the node.
+  p.node_owner.assign(mesh.n_nodes(), n_ranks);
+  // Ranks touching each node, for shared-node statistics.
+  std::vector<std::set<int>> touchers(mesh.n_nodes());
+  for (std::size_t e = 0; e < ne; ++e) {
+    for (const mesh::NodeId n : mesh.elem_nodes[e]) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      p.node_owner[ni] = std::min(p.node_owner[ni], p.elem_rank[e]);
+      touchers[ni].insert(p.elem_rank[e]);
+    }
+  }
+
+  p.stats.assign(static_cast<std::size_t>(n_ranks), {});
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n_ranks); ++r) {
+    p.stats[r].n_elems = p.rank_elems[r].size();
+  }
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    for (int r : touchers[n]) {
+      ++p.stats[static_cast<std::size_t>(r)].n_nodes;
+      if (touchers[n].size() > 1) {
+        ++p.stats[static_cast<std::size_t>(r)].n_shared_nodes;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace quake::par

@@ -1,0 +1,82 @@
+#include "quake/solver/sparse_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "quake/fem/hex_element.hpp"
+
+namespace quake::solver {
+
+SparseStiffness::SparseStiffness(const mesh::HexMesh& mesh) {
+  const std::size_t nd = 3 * mesh.n_nodes();
+  const fem::HexReference& ref = fem::HexReference::get();
+
+  struct Triplet {
+    std::int32_t row, col;
+    double v;
+  };
+  std::vector<Triplet> trips;
+  trips.reserve(mesh.n_elements() * fem::kHexDofs * fem::kHexDofs);
+
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    const double sl = mesh.elem_size[e] * mesh.elem_mat[e].lambda;
+    const double sm = mesh.elem_size[e] * mesh.elem_mat[e].mu;
+    const auto& conn = mesh.elem_nodes[e];
+    for (int r = 0; r < fem::kHexDofs; ++r) {
+      const std::int32_t row =
+          3 * conn[static_cast<std::size_t>(r / 3)] + r % 3;
+      for (int c = 0; c < fem::kHexDofs; ++c) {
+        const std::size_t idx =
+            static_cast<std::size_t>(r) * fem::kHexDofs + static_cast<std::size_t>(c);
+        const double v = sl * ref.k_lambda[idx] + sm * ref.k_mu[idx];
+        if (v == 0.0) continue;
+        trips.push_back(
+            {row, 3 * conn[static_cast<std::size_t>(c / 3)] + c % 3, v});
+      }
+    }
+  }
+
+  std::sort(trips.begin(), trips.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  row_ptr_.assign(nd + 1, 0);
+  cols_.reserve(trips.size());
+  values_.reserve(trips.size());
+  for (std::size_t i = 0; i < trips.size();) {
+    std::size_t j = i;
+    double v = 0.0;
+    while (j < trips.size() && trips[j].row == trips[i].row &&
+           trips[j].col == trips[i].col) {
+      v += trips[j].v;
+      ++j;
+    }
+    cols_.push_back(trips[i].col);
+    values_.push_back(v);
+    row_ptr_[static_cast<std::size_t>(trips[i].row) + 1] =
+        static_cast<std::int64_t>(values_.size());
+    i = j;
+  }
+  // Fill gaps for empty rows.
+  for (std::size_t r = 1; r <= nd; ++r) {
+    row_ptr_[r] = std::max(row_ptr_[r], row_ptr_[r - 1]);
+  }
+}
+
+void SparseStiffness::apply(std::span<const double> u,
+                            std::span<double> y) const {
+  const std::size_t nd = row_ptr_.size() - 1;
+  if (u.size() != nd || y.size() != nd) {
+    throw std::invalid_argument("SparseStiffness::apply: size mismatch");
+  }
+  for (std::size_t r = 0; r < nd; ++r) {
+    double s = 0.0;
+    for (std::int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           u[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+    }
+    y[r] += s;
+  }
+}
+
+}  // namespace quake::solver

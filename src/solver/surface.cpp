@@ -1,0 +1,66 @@
+#include "quake/solver/surface.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "quake/util/io.hpp"
+
+namespace quake::solver {
+
+SurfaceRaster::SurfaceRaster(const mesh::HexMesh& mesh, int img) : img_(img) {
+  if (img < 1) throw std::invalid_argument("SurfaceRaster: img >= 1");
+  const double extent = mesh.domain.size;
+  pixel_node_.assign(static_cast<std::size_t>(img) * img, 0);
+  peak_.assign(pixel_node_.size(), 0.0);
+  std::vector<double> best(pixel_node_.size(),
+                           std::numeric_limits<double>::max());
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    const auto& c = mesh.node_coords[n];
+    if (c[2] > 1e-6 * extent) continue;  // surface nodes only
+    const int ix = std::min(img - 1, static_cast<int>(c[0] / extent * img));
+    const int iy = std::min(img - 1, static_cast<int>(c[1] / extent * img));
+    const std::size_t p = static_cast<std::size_t>(iy) * img + ix;
+    const double px = (ix + 0.5) * extent / img;
+    const double py = (iy + 0.5) * extent / img;
+    const double d = std::hypot(c[0] - px, c[1] - py);
+    if (d < best[p]) {
+      best[p] = d;
+      pixel_node_[p] = static_cast<mesh::NodeId>(n);
+    }
+  }
+}
+
+std::vector<double> SurfaceRaster::velocity_magnitude(
+    std::span<const double> v) const {
+  std::vector<double> mag(pixel_node_.size());
+  for (std::size_t p = 0; p < pixel_node_.size(); ++p) {
+    const std::size_t b = 3 * static_cast<std::size_t>(pixel_node_[p]);
+    mag[p] =
+        std::sqrt(v[b] * v[b] + v[b + 1] * v[b + 1] + v[b + 2] * v[b + 2]);
+  }
+  return mag;
+}
+
+std::vector<double> SurfaceRaster::component(std::span<const double> u,
+                                             int comp) const {
+  std::vector<double> out(pixel_node_.size());
+  for (std::size_t p = 0; p < pixel_node_.size(); ++p) {
+    out[p] = u[3 * static_cast<std::size_t>(pixel_node_[p]) +
+               static_cast<std::size_t>(comp)];
+  }
+  return out;
+}
+
+void SurfaceRaster::update_peak(std::span<const double> magnitudes) {
+  for (std::size_t p = 0; p < peak_.size(); ++p) {
+    peak_[p] = std::max(peak_[p], magnitudes[p]);
+  }
+}
+
+void SurfaceRaster::write_pgm(const std::string& path,
+                              std::span<const double> values, double lo,
+                              double hi) const {
+  util::write_pgm(path, values, img_, img_, lo, hi);
+}
+
+}  // namespace quake::solver

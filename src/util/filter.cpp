@@ -1,0 +1,52 @@
+#include "quake/util/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace quake::util {
+
+Biquad butterworth_lowpass(double fc, double fs) {
+  if (!(fc > 0.0) || !(fc < 0.5 * fs)) {
+    throw std::invalid_argument("butterworth_lowpass: need 0 < fc < fs/2");
+  }
+  // Bilinear transform of H(s) = 1 / (s^2 + sqrt(2) s + 1), s pre-warped.
+  const double k = std::tan(std::numbers::pi * fc / fs);
+  const double q = std::numbers::sqrt2;
+  const double norm = 1.0 / (1.0 + q * k + k * k);
+  Biquad bq;
+  bq.b0 = k * k * norm;
+  bq.b1 = 2.0 * bq.b0;
+  bq.b2 = bq.b0;
+  bq.a1 = 2.0 * (k * k - 1.0) * norm;
+  bq.a2 = (1.0 - q * k + k * k) * norm;
+  return bq;
+}
+
+std::vector<double> filter(const Biquad& bq, std::span<const double> x) {
+  std::vector<double> y(x.size());
+  double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double yn =
+        bq.b0 * x[n] + bq.b1 * x1 + bq.b2 * x2 - bq.a1 * y1 - bq.a2 * y2;
+    x2 = x1;
+    x1 = x[n];
+    y2 = y1;
+    y1 = yn;
+    y[n] = yn;
+  }
+  return y;
+}
+
+std::vector<double> lowpass_zero_phase(std::span<const double> x, double fc,
+                                       double fs) {
+  const Biquad bq = butterworth_lowpass(fc, fs);
+  std::vector<double> fwd = filter(bq, x);
+  std::reverse(fwd.begin(), fwd.end());
+  std::vector<double> bwd = filter(bq, fwd);
+  std::reverse(bwd.begin(), bwd.end());
+  return bwd;
+}
+
+}  // namespace quake::util

@@ -1,0 +1,31 @@
+#pragma once
+
+// Zero-phase Butterworth low-pass filtering of seismograms. Fig 2.4 of the
+// paper compares hexahedral and tetrahedral synthetics after low-pass
+// filtering to 0.5 Hz and 1.0 Hz; we reproduce that post-processing here.
+
+#include <span>
+#include <vector>
+
+namespace quake::util {
+
+// Coefficients of a single biquad section: y[n] = b0 x[n] + b1 x[n-1] +
+// b2 x[n-2] - a1 y[n-1] - a2 y[n-2] (a0 normalized to 1).
+struct Biquad {
+  double b0, b1, b2, a1, a2;
+};
+
+// Second-order Butterworth low-pass biquad for cutoff `fc` (Hz) at sample
+// rate `fs` (Hz), via the bilinear transform. Requires 0 < fc < fs/2.
+Biquad butterworth_lowpass(double fc, double fs);
+
+// Causal filtering with a single biquad (zero initial conditions).
+std::vector<double> filter(const Biquad& bq, std::span<const double> x);
+
+// Zero-phase (forward-backward) low-pass: 4th-order magnitude response,
+// no phase distortion. Matches the standard filtfilt post-processing of
+// synthetic seismograms.
+std::vector<double> lowpass_zero_phase(std::span<const double> x, double fc,
+                                       double fs);
+
+}  // namespace quake::util

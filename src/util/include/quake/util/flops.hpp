@@ -1,0 +1,27 @@
+#pragma once
+
+// Floating-point operation accounting. The paper reports sustained flop
+// rates per processor (Table 2.1); since hardware counters are not portable
+// we count the flops our kernels perform analytically and divide by wall
+// time, exactly the convention used for reporting unstructured FEM codes.
+
+#include <cstdint>
+
+namespace quake::util {
+
+class FlopCounter {
+ public:
+  void add(std::uint64_t flops) noexcept { flops_ += flops; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return flops_; }
+  void clear() noexcept { flops_ = 0; }
+
+  // Megaflop/s over an interval; returns 0 for degenerate intervals.
+  [[nodiscard]] double mflops(double seconds) const noexcept {
+    return seconds > 0 ? static_cast<double>(flops_) / seconds * 1e-6 : 0.0;
+  }
+
+ private:
+  std::uint64_t flops_ = 0;
+};
+
+}  // namespace quake::util

@@ -1,0 +1,23 @@
+#pragma once
+
+// Plain-text artifact writers used by the benches: CSV time series and
+// grayscale PGM rasters (used for the Fig 2.3/2.5 velocity-field and
+// snapshot images).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace quake::util {
+
+// Writes one column per series, with a header row. All series must have the
+// same length. Throws std::runtime_error on I/O failure.
+void write_csv(const std::string& path, std::span<const std::string> names,
+               std::span<const std::vector<double>> columns);
+
+// Writes an 8-bit PGM image. `values` is row-major, `width * height` long,
+// linearly mapped from [lo, hi] to [0, 255] (clamped).
+void write_pgm(const std::string& path, std::span<const double> values,
+               int width, int height, double lo, double hi);
+
+}  // namespace quake::util

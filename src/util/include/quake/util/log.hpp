@@ -1,0 +1,27 @@
+#pragma once
+
+// Minimal leveled logging to stderr. Quiet by default in tests; benches and
+// examples raise the level explicitly.
+
+#include <cstdio>
+#include <string>
+
+namespace quake::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Process-wide log threshold. Not synchronized: set it once at startup.
+LogLevel& log_level() noexcept;
+
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define QUAKE_LOG_INFO(...) ::quake::util::vlog(::quake::util::LogLevel::kInfo, __VA_ARGS__)
+#define QUAKE_LOG_WARN(...) ::quake::util::vlog(::quake::util::LogLevel::kWarn, __VA_ARGS__)
+#define QUAKE_LOG_ERROR(...) ::quake::util::vlog(::quake::util::LogLevel::kError, __VA_ARGS__)
+#define QUAKE_LOG_DEBUG(...) ::quake::util::vlog(::quake::util::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace quake::util

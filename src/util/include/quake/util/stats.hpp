@@ -1,0 +1,24 @@
+#pragma once
+
+// Norms and waveform-comparison metrics used by the verification benches
+// (Fig 2.2, Fig 2.4) and the inversion reporting (Fig 3.2/3.3).
+
+#include <span>
+
+namespace quake::util {
+
+double norm_l2(std::span<const double> x);
+double norm_max(std::span<const double> x);
+double dot(std::span<const double> x, std::span<const double> y);
+
+// ||x - y||_2 ; sizes must match.
+double diff_l2(std::span<const double> x, std::span<const double> y);
+
+// Relative L2 misfit ||x - y|| / ||y||; returns ||x - y|| when ||y|| == 0.
+double rel_l2(std::span<const double> x, std::span<const double> y);
+
+// Normalized cross-correlation at zero lag, in [-1, 1]; 1 means identical
+// waveform shape. Returns 0 when either input is identically zero.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace quake::util

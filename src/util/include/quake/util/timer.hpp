@@ -1,0 +1,40 @@
+#pragma once
+
+// Wall-clock timing utilities used by the benches and the parallel solver's
+// per-rank accounting.
+
+#include <chrono>
+
+namespace quake::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across start/stop intervals (e.g. compute vs exchange
+// phases of the explicit solver loop).
+class StopWatch {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace quake::util

@@ -1,0 +1,70 @@
+#include "quake/util/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace quake::util {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, std::span<const std::string> names,
+               std::span<const std::vector<double>> columns) {
+  if (names.size() != columns.size()) {
+    throw std::invalid_argument("write_csv: names/columns size mismatch");
+  }
+  const std::size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const auto& c : columns) {
+    if (c.size() != rows) {
+      throw std::invalid_argument("write_csv: ragged columns");
+    }
+  }
+  FilePtr f = open_or_throw(path, "w");
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    std::fprintf(f.get(), "%s%s", names[j].c_str(),
+                 j + 1 < names.size() ? "," : "\n");
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      std::fprintf(f.get(), "%.9g%s", columns[j][i],
+                   j + 1 < columns.size() ? "," : "\n");
+    }
+  }
+}
+
+void write_pgm(const std::string& path, std::span<const double> values,
+               int width, int height, double lo, double hi) {
+  if (width <= 0 || height <= 0 ||
+      values.size() != static_cast<std::size_t>(width) * height) {
+    throw std::invalid_argument("write_pgm: bad dimensions");
+  }
+  FilePtr f = open_or_throw(path, "wb");
+  std::fprintf(f.get(), "P5\n%d %d\n255\n", width, height);
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  std::vector<unsigned char> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double v = (values[static_cast<std::size_t>(y) * width + x] - lo) * scale;
+      row[static_cast<std::size_t>(x)] =
+          static_cast<unsigned char>(std::clamp(v, 0.0, 255.0));
+    }
+    std::fwrite(row.data(), 1, row.size(), f.get());
+  }
+}
+
+}  // namespace quake::util

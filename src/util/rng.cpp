@@ -1,0 +1,11 @@
+#include "quake/util/rng.hpp"
+
+#include <cmath>
+
+namespace quake::util {
+
+double Rng::sqrt_neg2_log(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace quake::util

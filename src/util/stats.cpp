@@ -1,0 +1,52 @@
+#include "quake/util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quake::util {
+
+double norm_l2(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+double norm_max(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double diff_l2(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("diff_l2: size mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double rel_l2(std::span<const double> x, std::span<const double> y) {
+  const double den = norm_l2(y);
+  const double num = diff_l2(x, y);
+  return den > 0.0 ? num / den : num;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  const double nx = norm_l2(x);
+  const double ny = norm_l2(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return dot(x, y) / (nx * ny);
+}
+
+}  // namespace quake::util

@@ -1,0 +1,93 @@
+#include "quake/vel/etree_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "quake/octree/linear_octree.hpp"
+
+namespace quake::vel {
+namespace {
+
+// Fixed record: (rho, lambda, mu) of the octant.
+struct Record {
+  double rho, lambda, mu;
+};
+
+octree::Octant octant_at(double x, double y, double z, int level,
+                         double domain_size) {
+  const double t = static_cast<double>(octree::kTicks) / domain_size;
+  auto tick = [&](double v) {
+    const double clamped =
+        std::clamp(v, 0.0, domain_size * (1.0 - 1e-12));
+    return static_cast<std::uint32_t>(clamped * t);
+  };
+  return octree::Octant{tick(x), tick(y), tick(z), 0}.ancestor_at(
+      static_cast<std::uint8_t>(level));
+}
+
+}  // namespace
+
+std::size_t build_etree_model(const VelocityModel& model,
+                              const EtreeModelOptions& opt,
+                              const std::string& path) {
+  if (!(opt.domain_size > 0.0) || opt.level < 0 || opt.level > 10) {
+    throw std::invalid_argument("build_etree_model: bad options");
+  }
+  octree::EtreeStore store(path, sizeof(Record), opt.pool_pages,
+                           /*create=*/true);
+  // Sample in SFC order (build a uniform octree and walk its leaves) so the
+  // B-tree fills append-only.
+  const octree::LinearOctree tree = octree::build_octree(
+      [&](const octree::Octant& o) { return o.level < opt.level; },
+      opt.level);
+  const double m_per_tick =
+      opt.domain_size / static_cast<double>(octree::kTicks);
+  std::size_t n = 0;
+  for (const octree::Octant& o : tree.leaves()) {
+    const double h = o.size() * m_per_tick;
+    const Material mat = model.at(o.x * m_per_tick + 0.5 * h,
+                                  o.y * m_per_tick + 0.5 * h,
+                                  o.z * m_per_tick + 0.5 * h);
+    const Record rec{mat.rho, mat.lambda, mat.mu};
+    store.put(o, std::as_bytes(std::span<const Record, 1>(&rec, 1)));
+    ++n;
+  }
+  store.flush();
+  return n;
+}
+
+EtreeVelocityModel::EtreeVelocityModel(const std::string& path,
+                                       const EtreeModelOptions& opt)
+    : store_(std::make_unique<octree::EtreeStore>(path, sizeof(Record),
+                                                  opt.pool_pages,
+                                                  /*create=*/false)),
+      opt_(opt) {
+  if (!(opt_.domain_size > 0.0)) {
+    throw std::invalid_argument("EtreeVelocityModel: domain_size required");
+  }
+  // min_vs scan (one pass; done once at open).
+  double vmin = std::numeric_limits<double>::max();
+  store_->scan([&](const octree::Octant&, std::span<const std::byte> v) {
+    Record rec;
+    std::memcpy(&rec, v.data(), sizeof rec);
+    vmin = std::min(vmin, std::sqrt(rec.mu / rec.rho));
+  });
+  min_vs_ = vmin;
+}
+
+Material EtreeVelocityModel::at(double x, double y, double z) const {
+  const octree::Octant o = octant_at(x, y, z, opt_.level, opt_.domain_size);
+  Record rec;
+  if (!store_->get(o, std::as_writable_bytes(std::span<Record, 1>(&rec, 1)))) {
+    throw std::runtime_error("EtreeVelocityModel: octant missing from store");
+  }
+  Material m;
+  m.rho = rec.rho;
+  m.lambda = rec.lambda;
+  m.mu = rec.mu;
+  return m;
+}
+
+}  // namespace quake::vel

@@ -1,0 +1,53 @@
+#pragma once
+
+// Etree-backed velocity model. The paper's toolchain queries the SCEC
+// Community Velocity Model through an etree database (the "CVM etree"): the
+// ground model is sampled once into an octree keyed by Morton codes and
+// stored on disk; meshing and solvers then query the database instead of
+// the (slow, shared) model code. This class reproduces that component:
+// build_etree_model() samples any VelocityModel into an EtreeStore at a
+// given resolution, and EtreeVelocityModel answers at(x, y, z) queries from
+// the store through its buffer pool.
+
+#include <memory>
+#include <string>
+
+#include "quake/octree/etree_store.hpp"
+#include "quake/vel/model.hpp"
+
+namespace quake::vel {
+
+struct EtreeModelOptions {
+  double domain_size = 0.0;  // cube edge [m]
+  int level = 6;             // uniform sampling level (8^level octants)
+  std::size_t pool_pages = 256;
+};
+
+// Samples `model` at the centers of all level-`level` octants into a new
+// store at `path`. Returns the number of records written.
+std::size_t build_etree_model(const VelocityModel& model,
+                              const EtreeModelOptions& opt,
+                              const std::string& path);
+
+// A VelocityModel view over a material database built by build_etree_model.
+// Queries return the material of the octant containing the point (piecewise
+// constant at the sampling resolution).
+class EtreeVelocityModel final : public VelocityModel {
+ public:
+  EtreeVelocityModel(const std::string& path, const EtreeModelOptions& opt);
+
+  [[nodiscard]] Material at(double x, double y, double z) const override;
+  [[nodiscard]] double min_vs() const override { return min_vs_; }
+
+  // Buffer-pool statistics of the underlying store.
+  [[nodiscard]] octree::EtreeStore::Stats stats() const {
+    return store_->stats();
+  }
+
+ private:
+  std::unique_ptr<octree::EtreeStore> store_;
+  EtreeModelOptions opt_;
+  double min_vs_ = 0.0;
+};
+
+}  // namespace quake::vel

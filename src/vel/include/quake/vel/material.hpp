@@ -1,0 +1,29 @@
+#pragma once
+
+// Material description at a point: density and the Lamé moduli, plus the
+// derived wave speeds vp = sqrt((lambda + 2 mu) / rho), vs = sqrt(mu / rho)
+// used throughout §2.1 of the paper.
+
+#include <cmath>
+
+namespace quake::vel {
+
+struct Material {
+  double rho = 0.0;     // density [kg/m^3]
+  double lambda = 0.0;  // first Lamé modulus [Pa]
+  double mu = 0.0;      // shear modulus [Pa]
+
+  [[nodiscard]] double vp() const { return std::sqrt((lambda + 2.0 * mu) / rho); }
+  [[nodiscard]] double vs() const { return std::sqrt(mu / rho); }
+
+  // Builds a material from seismic velocities and density.
+  static Material from_velocities(double vp, double vs, double rho) {
+    Material m;
+    m.rho = rho;
+    m.mu = rho * vs * vs;
+    m.lambda = rho * (vp * vp - 2.0 * vs * vs);
+    return m;
+  }
+};
+
+}  // namespace quake::vel

@@ -1,0 +1,105 @@
+#pragma once
+
+// Velocity models: the geological description that drives both meshing
+// (element size tailored to the local shear wavelength, §2.2/§2.3) and the
+// element material properties.
+//
+// Substitution note (see DESIGN.md): the paper samples the SCEC Community
+// Velocity Model of the LA Basin; we provide a synthetic basin with the same
+// governing character — one-to-two orders of magnitude of shear-velocity
+// contrast between soft near-surface sediments and basement rock, organized
+// as sediment-filled depressions in a hard halfspace.
+
+#include <memory>
+#include <vector>
+
+#include "quake/vel/material.hpp"
+
+namespace quake::vel {
+
+// Coordinates are meters; z is depth, positive downward, z = 0 the free
+// surface.
+class VelocityModel {
+ public:
+  virtual ~VelocityModel() = default;
+  [[nodiscard]] virtual Material at(double x, double y, double z) const = 0;
+  // Global lower bound on shear velocity; drives the finest element size.
+  [[nodiscard]] virtual double min_vs() const = 0;
+};
+
+class HomogeneousModel final : public VelocityModel {
+ public:
+  explicit HomogeneousModel(Material m) : m_(m) {}
+  [[nodiscard]] Material at(double, double, double) const override {
+    return m_;
+  }
+  [[nodiscard]] double min_vs() const override { return m_.vs(); }
+
+ private:
+  Material m_;
+};
+
+// Horizontal layers over a halfspace; used by the Fig 2.2 verification
+// problem (soft layer over stiff halfspace).
+class LayeredModel final : public VelocityModel {
+ public:
+  struct Layer {
+    double thickness;  // meters; the last entry is the halfspace (ignored)
+    Material material;
+  };
+  // `layers` ordered from the surface downward; the final layer acts as the
+  // halfspace regardless of its thickness.
+  explicit LayeredModel(std::vector<Layer> layers);
+
+  [[nodiscard]] Material at(double x, double y, double z) const override;
+  [[nodiscard]] double min_vs() const override { return min_vs_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+ private:
+  std::vector<Layer> layers_;
+  double min_vs_;
+};
+
+// Synthetic LA-basin-like model: superposed Gaussian sediment-filled
+// depressions in a rock halfspace. Inside the basin the shear velocity
+// grades from `vs_surface` at z = 0 to the rock velocity at the local
+// basement depth (square-root depth profile, typical of compacting
+// sediments); outside it is rock with a mild positive gradient.
+class BasinModel final : public VelocityModel {
+ public:
+  struct Depression {
+    double cx, cy;    // center [m]
+    double radius;    // Gaussian radius [m]
+    double depth;     // maximum basement depth [m]
+  };
+  struct Params {
+    std::vector<Depression> depressions;
+    double vs_surface = 100.0;    // softest sediments [m/s]
+    double vs_rock = 3200.0;      // basement shear velocity at z = 0 [m/s]
+    double rock_gradient = 0.05;  // d(vs)/dz in rock [1/s]
+    double vs_rock_max = 4500.0;  // cap on rock velocity [m/s]
+    double vp_vs_ratio = 2.0;     // sediments are high-Poisson; rock ~1.73
+  };
+
+  explicit BasinModel(Params p) : p_(std::move(p)) {}
+
+  // Basement depth below (x, y); zero outside all depressions.
+  [[nodiscard]] double basement_depth(double x, double y) const;
+
+  [[nodiscard]] Material at(double x, double y, double z) const override;
+  [[nodiscard]] double min_vs() const override { return p_.vs_surface; }
+  [[nodiscard]] const Params& params() const { return p_; }
+
+  // A ready-made scaled-down Greater-LA-like instance spanning a square
+  // domain of side `extent` meters (two overlapping major depressions plus
+  // a small deep pocket, echoing the San Fernando / LA basin pair).
+  static BasinModel demo(double extent);
+
+ private:
+  Params p_;
+};
+
+// Local element-size rule h = vs / (n_lambda * f_max) (§2.2 footnote 5).
+[[nodiscard]] double element_size_for(double vs, double f_max, double n_lambda);
+
+}  // namespace quake::vel

@@ -1,0 +1,76 @@
+#include "quake/vel/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace quake::vel {
+
+LayeredModel::LayeredModel(std::vector<Layer> layers)
+    : layers_(std::move(layers)) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("LayeredModel: need at least one layer");
+  }
+  min_vs_ = layers_[0].material.vs();
+  for (const Layer& l : layers_) min_vs_ = std::min(min_vs_, l.material.vs());
+}
+
+Material LayeredModel::at(double /*x*/, double /*y*/, double z) const {
+  double top = 0.0;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    top += layers_[i].thickness;
+    if (z < top) return layers_[i].material;
+  }
+  return layers_.back().material;
+}
+
+double BasinModel::basement_depth(double x, double y) const {
+  double d = 0.0;
+  for (const Depression& dep : p_.depressions) {
+    const double dx = (x - dep.cx) / dep.radius;
+    const double dy = (y - dep.cy) / dep.radius;
+    d = std::max(d, dep.depth * std::exp(-(dx * dx + dy * dy)));
+  }
+  return d;
+}
+
+Material BasinModel::at(double x, double y, double z) const {
+  const double basement = basement_depth(x, y);
+  double vs;
+  double vp_vs;
+  if (z < basement && basement > 0.0) {
+    // Square-root compaction profile from vs_surface to the rock velocity
+    // at the local basement.
+    const double t = std::sqrt(std::clamp(z / basement, 0.0, 1.0));
+    vs = p_.vs_surface + (p_.vs_rock - p_.vs_surface) * t;
+    vp_vs = p_.vp_vs_ratio;
+  } else {
+    vs = std::min(p_.vs_rock + p_.rock_gradient * z, p_.vs_rock_max);
+    vp_vs = 1.732;
+  }
+  // Density from a smooth velocity-density trend (Gardner-like), clamped to
+  // physical soil/rock values.
+  const double rho = std::clamp(1500.0 + 0.35 * vs, 1600.0, 2900.0);
+  return Material::from_velocities(vp_vs * vs, vs, rho);
+}
+
+BasinModel BasinModel::demo(double extent) {
+  Params p;
+  // Two major overlapping depressions (San Fernando Valley / LA Basin
+  // analogue) plus a compact deep pocket.
+  p.depressions = {
+      {0.35 * extent, 0.40 * extent, 0.28 * extent, 0.055 * extent},
+      {0.62 * extent, 0.58 * extent, 0.22 * extent, 0.080 * extent},
+      {0.55 * extent, 0.30 * extent, 0.10 * extent, 0.100 * extent},
+  };
+  return BasinModel(std::move(p));
+}
+
+double element_size_for(double vs, double f_max, double n_lambda) {
+  if (!(vs > 0.0) || !(f_max > 0.0) || !(n_lambda > 0.0)) {
+    throw std::invalid_argument("element_size_for: positive inputs required");
+  }
+  return vs / (n_lambda * f_max);
+}
+
+}  // namespace quake::vel

@@ -1,0 +1,92 @@
+#pragma once
+
+// The fault-line dislocation source of the 2D inversion (§3.1-3.2): a
+// vertical strike-slip fault perpendicular to the section, appearing as a
+// dipole along the fault trace,
+//     b = -div( mu u0 g(t - T; t0) delta(Sigma) n_Sigma ),
+// with per-fault-node dislocation amplitude u0(z), rise time t0(z), and
+// delay time T(z). The weak form turns each fault node into a force couple
+// on the two node columns either side of the fault line.
+//
+// Because b is proportional to the local mu, the material inversion must
+// account for df/dmu; those hooks are provided here alongside the source
+// parameter derivatives needed for source inversion (eqs. 3.5-3.7).
+
+#include <span>
+#include <vector>
+
+#include "quake/wave2d/sh_model.hpp"
+
+namespace quake::wave2d {
+
+struct Fault2d {
+  int i = 0;       // fault on the grid line x = i * h; requires 1 <= i < nx
+  int k_top = 0;   // node range along depth (inclusive)
+  int k_bot = 0;
+
+  [[nodiscard]] int n_points() const { return k_bot - k_top + 1; }
+};
+
+// Per-fault-node source parameters (arrays of length fault.n_points()).
+struct SourceParams2d {
+  std::vector<double> u0;  // dislocation amplitude [m]
+  std::vector<double> t0;  // rise time [s]
+  std::vector<double> T;   // delay time [s]
+};
+
+// Builds constant-parameter arrays with the delay set by a rupture
+// propagating from the hypocenter node index at `rupture_velocity`.
+SourceParams2d make_rupture_params(const ShGrid& grid, const Fault2d& fault,
+                                   double u0, double t0, int hypo_k,
+                                   double rupture_velocity);
+
+class FaultSource2d {
+ public:
+  FaultSource2d(const ShGrid& grid, const Fault2d& fault);
+
+  [[nodiscard]] const Fault2d& fault() const { return fault_; }
+
+  // f += b(t). Uses the model's element mu at the fault.
+  void add_forces(const ShModel& model, const SourceParams2d& p, double t,
+                  std::span<double> f) const;
+
+  // f += d b/d mu [dmu] (t) — incremental force for a material perturbation.
+  void add_forces_delta_mu(const ShModel& model, const SourceParams2d& p,
+                           std::span<const double> dmu, double t,
+                           std::span<double> f) const;
+
+  // f += d b/d params [du0, dt0, dT] (t) — incremental force for a source
+  // parameter perturbation (any span may be empty to skip it).
+  void add_forces_delta_params(const ShModel& model, const SourceParams2d& p,
+                               std::span<const double> du0,
+                               std::span<const double> dt0,
+                               std::span<const double> dT, double t,
+                               std::span<double> f) const;
+
+  // ge[e] += lambda^T db/dmu_e (t) — material sensitivity of the source.
+  void accumulate_material_form(const ShModel& model, const SourceParams2d& p,
+                                double t, std::span<const double> lambda,
+                                std::span<double> ge) const;
+
+  // g_*[j] += lambda^T db/dparam_j (t) — source parameter sensitivities.
+  void accumulate_param_forms(const ShModel& model, const SourceParams2d& p,
+                              double t, std::span<const double> lambda,
+                              std::span<double> g_u0, std::span<double> g_t0,
+                              std::span<double> g_T) const;
+
+ private:
+  struct Point {
+    int node_plus, node_minus;  // force couple nodes (i+1, k), (i-1, k)
+    double length;              // quadrature weight (h, or h/2 at the ends)
+    std::vector<int> adj_elems; // elements whose mu enters mu_bar
+  };
+
+  // mu averaged over the elements adjacent to fault point j.
+  [[nodiscard]] double mu_bar(const ShModel& model, std::size_t j) const;
+
+  ShGrid grid_;
+  Fault2d fault_;
+  std::vector<Point> points_;
+};
+
+}  // namespace quake::wave2d

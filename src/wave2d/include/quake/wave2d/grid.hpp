@@ -1,0 +1,44 @@
+#pragma once
+
+// Regular 2D grid for the antiplane (SH) inversion experiments (§3.2): a
+// vertical cross-section of a basin, x horizontal, z depth (z = 0 is the
+// free surface). Bilinear quad elements of edge h.
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace quake::wave2d {
+
+struct ShGrid {
+  int nx = 0;     // elements in x
+  int nz = 0;     // elements in z
+  double h = 0.0; // element edge [m]
+
+  [[nodiscard]] int n_nodes() const { return (nx + 1) * (nz + 1); }
+  [[nodiscard]] int n_elems() const { return nx * nz; }
+  [[nodiscard]] double width() const { return nx * h; }
+  [[nodiscard]] double depth() const { return nz * h; }
+
+  // Node (i, k): i in [0, nx], k in [0, nz]; k = 0 is the surface row.
+  [[nodiscard]] int node(int i, int k) const { return k * (nx + 1) + i; }
+  // Element (i, k): i in [0, nx), k in [0, nz).
+  [[nodiscard]] int elem(int i, int k) const { return k * nx + i; }
+
+  // Tensor-ordered element connectivity: (i,k), (i+1,k), (i,k+1), (i+1,k+1).
+  void elem_nodes(int e, int out[4]) const {
+    const int i = e % nx;
+    const int k = e / nx;
+    out[0] = node(i, k);
+    out[1] = node(i + 1, k);
+    out[2] = node(i, k + 1);
+    out[3] = node(i + 1, k + 1);
+  }
+
+  void validate() const {
+    if (nx < 1 || nz < 1 || !(h > 0.0)) {
+      throw std::invalid_argument("ShGrid: bad dimensions");
+    }
+  }
+};
+
+}  // namespace quake::wave2d

@@ -1,0 +1,61 @@
+#pragma once
+
+// Explicit central-difference time marching for the antiplane model:
+//   (M + dt/2 C) u^{k+1} = dt^2 (f^k - K u^k) + 2 M u^k - (M - dt/2 C) u^{k-1}
+// from quiescent initial conditions. The same recurrence (with symmetric M,
+// C, K) marches the state, the adjoint (in reversed time), and the
+// incremental (tangent) equations — only the right-hand side differs, so it
+// is supplied as a callback.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "quake/wave2d/sh_model.hpp"
+
+namespace quake::wave2d {
+
+struct MarchOptions {
+  double dt = 0.0;
+  int nt = 0;
+};
+
+// Fills `f` (pre-zeroed) with the force at step k (time t = k * dt).
+// For the adjoint march the callback receives the reversed step index.
+using RhsFn = std::function<void(int k, double t, std::span<double> f)>;
+
+struct MarchResult {
+  // history[k] = u^{k+1} for k = 0..nt-1 (empty unless requested);
+  // u^0 = 0 by the quiescent initial condition.
+  std::vector<std::vector<double>> history;
+  // records[r][k] = u^{k+1} at receiver node r.
+  std::vector<std::vector<double>> records;
+};
+
+MarchResult time_march(const ShModel& model, const MarchOptions& opt,
+                       const RhsFn& rhs, std::span<const int> receiver_nodes,
+                       bool store_history);
+
+// Single-step driver underlying time_march; exposed for the checkpointed
+// adjoint (Griewank), which restarts segments from stored (u, u_prev) pairs.
+class ShStepper {
+ public:
+  ShStepper(const ShModel& model, double dt);
+
+  // Restores the state (u^k, u^{k-1}); pass empty spans for quiescence.
+  void set_state(std::span<const double> u, std::span<const double> u_prev);
+
+  // Advances one step using rhs(k, k*dt, f); afterwards u() is u^{k+1}.
+  void step(int k, const RhsFn& rhs);
+
+  [[nodiscard]] const std::vector<double>& u() const { return u_; }
+  [[nodiscard]] const std::vector<double>& u_prev() const { return u_prev_; }
+
+ private:
+  const ShModel* model_;
+  double dt_;
+  std::vector<double> inv_ap_, am_;
+  std::vector<double> u_, u_prev_, u_next_, f_, ku_;
+};
+
+}  // namespace quake::wave2d

@@ -1,0 +1,19 @@
+#pragma once
+
+// The paper's dislocation time function (Fig 3.1): g rises from 0 to 1 over
+// the rise time t0 with a triangular (isosceles, unit-area) slip velocity.
+// The inversion needs g and its derivatives with respect to time, rise
+// time, and delay time (eqs. 3.5-3.7).
+
+namespace quake::wave2d {
+
+// g(t; t0): 0 for t <= 0, 1 for t >= t0, quadratic ramp between.
+double ramp_g(double t, double t0);
+
+// dg/dt: triangular slip velocity, peak 2/t0 at t = t0/2.
+double ramp_g_dot(double t, double t0);
+
+// dg/dt0 at fixed t.
+double ramp_g_dt0(double t, double t0);
+
+}  // namespace quake::wave2d

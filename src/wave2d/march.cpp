@@ -1,0 +1,81 @@
+#include "quake/wave2d/march.hpp"
+
+#include <stdexcept>
+
+namespace quake::wave2d {
+
+ShStepper::ShStepper(const ShModel& model, double dt)
+    : model_(&model), dt_(dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("ShStepper: dt > 0 required");
+  const std::size_t n = static_cast<std::size_t>(model.grid().n_nodes());
+  const auto mass = model.mass();
+  const auto damp = model.damping();
+  inv_ap_.resize(n);
+  am_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_ap_[i] = 1.0 / (mass[i] + 0.5 * dt * damp[i]);
+    am_[i] = mass[i] - 0.5 * dt * damp[i];
+  }
+  u_.assign(n, 0.0);
+  u_prev_.assign(n, 0.0);
+  u_next_.resize(n);
+  f_.resize(n);
+  ku_.resize(n);
+}
+
+void ShStepper::set_state(std::span<const double> u,
+                          std::span<const double> u_prev) {
+  if (u.empty()) {
+    std::fill(u_.begin(), u_.end(), 0.0);
+  } else {
+    u_.assign(u.begin(), u.end());
+  }
+  if (u_prev.empty()) {
+    std::fill(u_prev_.begin(), u_prev_.end(), 0.0);
+  } else {
+    u_prev_.assign(u_prev.begin(), u_prev.end());
+  }
+}
+
+void ShStepper::step(int k, const RhsFn& rhs) {
+  const std::size_t n = u_.size();
+  std::fill(f_.begin(), f_.end(), 0.0);
+  rhs(k, k * dt_, f_);
+  std::fill(ku_.begin(), ku_.end(), 0.0);
+  model_->apply_k(u_, ku_);
+  const auto mass = model_->mass();
+  const double dt2 = dt_ * dt_;
+  for (std::size_t i = 0; i < n; ++i) {
+    u_next_[i] =
+        (dt2 * (f_[i] - ku_[i]) + 2.0 * mass[i] * u_[i] - am_[i] * u_prev_[i]) *
+        inv_ap_[i];
+  }
+  std::swap(u_prev_, u_);
+  std::swap(u_, u_next_);
+}
+
+MarchResult time_march(const ShModel& model, const MarchOptions& opt,
+                       const RhsFn& rhs, std::span<const int> receiver_nodes,
+                       bool store_history) {
+  if (!(opt.dt > 0.0) || opt.nt < 1) {
+    throw std::invalid_argument("time_march: bad dt or nt");
+  }
+  ShStepper stepper(model, opt.dt);
+
+  MarchResult out;
+  if (store_history) out.history.reserve(static_cast<std::size_t>(opt.nt));
+  out.records.assign(receiver_nodes.size(), {});
+  for (auto& r : out.records) r.reserve(static_cast<std::size_t>(opt.nt));
+
+  for (int k = 0; k < opt.nt; ++k) {
+    stepper.step(k, rhs);
+    if (store_history) out.history.push_back(stepper.u());
+    for (std::size_t r = 0; r < receiver_nodes.size(); ++r) {
+      out.records[r].push_back(
+          stepper.u()[static_cast<std::size_t>(receiver_nodes[r])]);
+    }
+  }
+  return out;
+}
+
+}  // namespace quake::wave2d

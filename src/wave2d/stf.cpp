@@ -1,0 +1,29 @@
+#include "quake/wave2d/stf.hpp"
+
+namespace quake::wave2d {
+
+double ramp_g(double t, double t0) {
+  if (t <= 0.0) return 0.0;
+  if (t >= t0) return 1.0;
+  const double x = t / t0;
+  if (x < 0.5) return 2.0 * x * x;
+  return 1.0 - 2.0 * (1.0 - x) * (1.0 - x);
+}
+
+double ramp_g_dot(double t, double t0) {
+  if (t <= 0.0 || t >= t0) return 0.0;
+  const double x = t / t0;
+  const double peak = 2.0 / t0;
+  return x < 0.5 ? peak * (2.0 * x) : peak * (2.0 * (1.0 - x));
+}
+
+double ramp_g_dt0(double t, double t0) {
+  if (t <= 0.0 || t >= t0) return 0.0;
+  const double x = t / t0;
+  // x < 1/2: g = 2 t^2 / t0^2        -> dg/dt0 = -4 t^2 / t0^3
+  // x >= 1/2: g = 1 - 2 (1 - t/t0)^2 -> dg/dt0 = -4 t (t0 - t) / t0^3
+  if (x < 0.5) return -4.0 * t * t / (t0 * t0 * t0);
+  return -4.0 * t * (t0 - t) / (t0 * t0 * t0);
+}
+
+}  // namespace quake::wave2d

@@ -1,0 +1,172 @@
+// Tests for the disk-backed etree B-tree store: CRUD, ordering, persistence
+// across close/reopen, buffer-pool behavior, and bulk loads that force many
+// page splits.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "quake/octree/etree_store.hpp"
+#include "quake/octree/linear_octree.hpp"
+#include "quake/util/rng.hpp"
+
+namespace {
+
+using namespace quake::octree;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name + ".etree";
+}
+
+std::span<const std::byte> bytes_of(const double& v) {
+  return std::as_bytes(std::span<const double, 1>(&v, 1));
+}
+
+TEST(EtreeStore, PutGetSingle) {
+  EtreeStore store(temp_path("single"), sizeof(double), 16, /*create=*/true);
+  const Octant o = Octant{}.child(3).child(5);
+  const double v = 3.25;
+  store.put(o, bytes_of(v));
+  double out = 0.0;
+  ASSERT_TRUE(store.get(o, std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+  EXPECT_DOUBLE_EQ(out, 3.25);
+  EXPECT_EQ(store.count(), 1u);
+}
+
+TEST(EtreeStore, GetMissingReturnsFalse) {
+  EtreeStore store(temp_path("missing"), sizeof(double), 16, true);
+  double out;
+  EXPECT_FALSE(
+      store.get(Octant{}.child(1), std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+}
+
+TEST(EtreeStore, OverwriteDoesNotGrowCount) {
+  EtreeStore store(temp_path("overwrite"), sizeof(double), 16, true);
+  const Octant o = Octant{}.child(0);
+  store.put(o, bytes_of(1.0));
+  store.put(o, bytes_of(2.0));
+  EXPECT_EQ(store.count(), 1u);
+  double out;
+  ASSERT_TRUE(store.get(o, std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+  EXPECT_DOUBLE_EQ(out, 2.0);
+}
+
+TEST(EtreeStore, EraseRemoves) {
+  EtreeStore store(temp_path("erase"), sizeof(double), 16, true);
+  const Octant o = Octant{}.child(2);
+  store.put(o, bytes_of(1.0));
+  EXPECT_TRUE(store.erase(o));
+  EXPECT_EQ(store.count(), 0u);
+  double out;
+  EXPECT_FALSE(store.get(o, std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+  EXPECT_FALSE(store.erase(o));
+}
+
+TEST(EtreeStore, WrongValueSizeThrows) {
+  EtreeStore store(temp_path("valsize"), sizeof(double), 16, true);
+  float f = 0.0f;
+  EXPECT_THROW(
+      store.put(Octant{}, std::as_bytes(std::span<const float, 1>(&f, 1))),
+      std::invalid_argument);
+}
+
+TEST(EtreeStore, BulkLoadManySplitsAndScanInOrder) {
+  // Enough records to force leaf and internal splits (leaf holds ~200
+  // 20-byte entries per 4 KiB page).
+  const std::string path = temp_path("bulk");
+  const LinearOctree tree =
+      build_octree([](const Octant& o) { return o.level < 4; }, 4);
+  ASSERT_EQ(tree.size(), 4096u);
+  {
+    EtreeStore store(path, sizeof(double), 16, true);
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      const double v = static_cast<double>(i);
+      store.put(tree[i], bytes_of(v));
+    }
+    EXPECT_EQ(store.count(), tree.size());
+    // Scan returns records in space-filling-curve order.
+    std::size_t idx = 0;
+    store.scan([&](const Octant& o, std::span<const std::byte> val) {
+      EXPECT_EQ(o, tree[idx]);
+      double v;
+      std::memcpy(&v, val.data(), sizeof v);
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(idx));
+      ++idx;
+    });
+    EXPECT_EQ(idx, tree.size());
+    store.flush();
+  }
+  // Reopen: everything persisted.
+  {
+    EtreeStore store(path, sizeof(double), 16, /*create=*/false);
+    EXPECT_EQ(store.count(), tree.size());
+    double out;
+    ASSERT_TRUE(store.get(tree[1234],
+                          std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+    EXPECT_DOUBLE_EQ(out, 1234.0);
+  }
+}
+
+TEST(EtreeStore, RandomInsertionOrderScansSorted) {
+  const LinearOctree tree =
+      build_octree([](const Octant& o) { return o.level < 3; }, 3);
+  std::vector<Octant> shuffled(tree.leaves().begin(), tree.leaves().end());
+  quake::util::Rng rng(5);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(rng.next_u64() % i)]);
+  }
+  EtreeStore store(temp_path("random"), sizeof(double), 8, true);
+  for (const Octant& o : shuffled) store.put(o, bytes_of(1.0));
+  std::size_t idx = 0;
+  OctantLess less;
+  Octant prev{};
+  store.scan([&](const Octant& o, std::span<const std::byte>) {
+    if (idx > 0) EXPECT_TRUE(less(prev, o));
+    prev = o;
+    ++idx;
+  });
+  EXPECT_EQ(idx, tree.size());
+}
+
+TEST(EtreeStore, SmallPoolForcesEvictionsButStaysCorrect) {
+  // A 4-page pool on a multi-hundred-page tree: correctness must not depend
+  // on cache capacity.
+  EtreeStore store(temp_path("evict"), sizeof(double), 4, true);
+  const LinearOctree tree =
+      build_octree([](const Octant& o) { return o.level < 4; }, 4);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const double v = static_cast<double>(i * 7);
+    store.put(tree[i], bytes_of(v));
+  }
+  quake::util::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t k = rng.next_u64() % tree.size();
+    double out;
+    ASSERT_TRUE(store.get(tree[k],
+                          std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+    EXPECT_DOUBLE_EQ(out, static_cast<double>(k * 7));
+  }
+  const auto st = store.stats();
+  EXPECT_GT(st.page_reads, 0u);   // evictions forced re-reads
+  EXPECT_GT(st.cache_hits, 0u);
+}
+
+TEST(EtreeStore, DistinguishesLevelsAtSameAnchor) {
+  // An octant and its first child share the anchor; keys must differ.
+  EtreeStore store(temp_path("levels"), sizeof(double), 8, true);
+  const Octant parent = Octant{}.child(0);
+  const Octant child = parent.child(0);
+  store.put(parent, bytes_of(1.0));
+  store.put(child, bytes_of(2.0));
+  EXPECT_EQ(store.count(), 2u);
+  double a, b;
+  ASSERT_TRUE(store.get(parent, std::as_writable_bytes(std::span<double, 1>(&a, 1))));
+  ASSERT_TRUE(store.get(child, std::as_writable_bytes(std::span<double, 1>(&b, 1))));
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(b, 2.0);
+}
+
+}  // namespace

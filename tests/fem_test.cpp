@@ -1,0 +1,221 @@
+// Tests for the hexahedral element kernels, absorbing-boundary face
+// matrices, and the Rayleigh damping fit.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "quake/fem/abc.hpp"
+#include "quake/fem/hex_element.hpp"
+#include "quake/fem/rayleigh.hpp"
+#include "quake/util/rng.hpp"
+
+namespace {
+
+using namespace quake::fem;
+
+std::array<double, 3> corner(int i) {
+  return {static_cast<double>(i & 1), static_cast<double>((i >> 1) & 1),
+          static_cast<double>((i >> 2) & 1)};
+}
+
+TEST(HexReference, MatricesAreSymmetric) {
+  const HexReference& ref = HexReference::get();
+  for (int r = 0; r < kHexDofs; ++r) {
+    for (int c = 0; c < kHexDofs; ++c) {
+      const std::size_t rc = static_cast<std::size_t>(r * kHexDofs + c);
+      const std::size_t cr = static_cast<std::size_t>(c * kHexDofs + r);
+      EXPECT_NEAR(ref.k_lambda[rc], ref.k_lambda[cr], 1e-14);
+      EXPECT_NEAR(ref.k_mu[rc], ref.k_mu[cr], 1e-14);
+    }
+  }
+}
+
+TEST(HexReference, TranslationsInNullSpace) {
+  const HexReference& ref = HexReference::get();
+  for (int axis = 0; axis < 3; ++axis) {
+    std::array<double, kHexDofs> u{}, y{};
+    for (int i = 0; i < 8; ++i) u[static_cast<std::size_t>(3 * i + axis)] = 1.0;
+    hex_apply(ref, u.data(), 1.0, 1.0, y.data(), 0.0, nullptr);
+    for (double v : y) EXPECT_NEAR(v, 0.0, 1e-13);
+  }
+}
+
+TEST(HexReference, RigidRotationsInNullSpace) {
+  const HexReference& ref = HexReference::get();
+  // u = omega x (x - x0): linear field, zero strain.
+  const std::array<double, 3> omega = {0.3, -0.7, 1.1};
+  std::array<double, kHexDofs> u{}, y{};
+  for (int i = 0; i < 8; ++i) {
+    const auto x = corner(i);
+    u[static_cast<std::size_t>(3 * i + 0)] = omega[1] * x[2] - omega[2] * x[1];
+    u[static_cast<std::size_t>(3 * i + 1)] = omega[2] * x[0] - omega[0] * x[2];
+    u[static_cast<std::size_t>(3 * i + 2)] = omega[0] * x[1] - omega[1] * x[0];
+  }
+  hex_apply(ref, u.data(), 1.3, 2.7, y.data(), 0.0, nullptr);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(HexReference, PositiveSemiDefinite) {
+  const HexReference& ref = HexReference::get();
+  quake::util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<double, kHexDofs> u{}, y{};
+    for (double& v : u) v = rng.uniform(-1.0, 1.0);
+    hex_apply(ref, u.data(), 1.0, 1.0, y.data(), 0.0, nullptr);
+    double quad = 0.0;
+    for (int d = 0; d < kHexDofs; ++d) {
+      quad += u[static_cast<std::size_t>(d)] * y[static_cast<std::size_t>(d)];
+    }
+    EXPECT_GE(quad, -1e-12);
+  }
+}
+
+TEST(HexReference, ScalarLaplacianKnownDiagonal) {
+  // Trilinear Poisson element on the unit cube: diagonal entries are 1/3.
+  const HexReference& ref = HexReference::get();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(ref.k_scalar[static_cast<std::size_t>(i * 8 + i)], 1.0 / 3.0,
+                1e-12);
+  }
+  // Row sums vanish (constants in the null space).
+  for (int i = 0; i < 8; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 8; ++j) {
+      s += ref.k_scalar[static_cast<std::size_t>(i * 8 + j)];
+    }
+    EXPECT_NEAR(s, 0.0, 1e-13);
+  }
+}
+
+TEST(HexReference, UniaxialPatchEnergy) {
+  // u_x = x (unit uniaxial strain): energy density = (lambda/2 + mu), so
+  // u^T K u = 2 * (lambda/2 + mu) * volume = lambda + 2 mu on the unit cube.
+  const HexReference& ref = HexReference::get();
+  const double lambda = 1.7, mu = 0.9;
+  std::array<double, kHexDofs> u{}, y{};
+  for (int i = 0; i < 8; ++i) {
+    u[static_cast<std::size_t>(3 * i)] = corner(i)[0];
+  }
+  hex_apply(ref, u.data(), lambda, mu, y.data(), 0.0, nullptr);
+  double quad = 0.0;
+  for (int d = 0; d < kHexDofs; ++d) {
+    quad += u[static_cast<std::size_t>(d)] * y[static_cast<std::size_t>(d)];
+  }
+  EXPECT_NEAR(quad, lambda + 2.0 * mu, 1e-12);
+}
+
+TEST(HexApply, MatchesDiagonalExtraction) {
+  const HexReference& ref = HexReference::get();
+  std::array<double, kHexDofs> diag;
+  hex_diagonal(ref, 2.0, 3.0, diag);
+  for (int d = 0; d < kHexDofs; ++d) {
+    std::array<double, kHexDofs> u{}, y{};
+    u[static_cast<std::size_t>(d)] = 1.0;
+    hex_apply(ref, u.data(), 2.0, 3.0, y.data(), 0.0, nullptr);
+    EXPECT_NEAR(y[static_cast<std::size_t>(d)], diag[static_cast<std::size_t>(d)],
+                1e-14);
+  }
+}
+
+TEST(HexApply, DampingAccumulatorIsScaledCopy) {
+  const HexReference& ref = HexReference::get();
+  quake::util::Rng rng(8);
+  std::array<double, kHexDofs> u{}, y{}, d{};
+  for (double& v : u) v = rng.uniform(-1.0, 1.0);
+  const double beta = 0.037;
+  hex_apply(ref, u.data(), 1.1, 0.6, y.data(), beta, d.data());
+  for (int i = 0; i < kHexDofs; ++i) {
+    EXPECT_NEAR(d[static_cast<std::size_t>(i)],
+                beta * y[static_cast<std::size_t>(i)], 1e-13);
+  }
+}
+
+TEST(FaceReference, RowSumsVanish) {
+  const FaceReference& ref = FaceReference::get();
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 4; ++i) {
+      double s = 0.0;
+      for (int j = 0; j < 4; ++j) {
+        s += ref.d[static_cast<std::size_t>(t)][static_cast<std::size_t>(i * 4 + j)];
+      }
+      EXPECT_NEAR(s, 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(FaceReference, ColumnSumsAreHalf) {
+  // sum_i integral(N_i dN_j/dxi) = integral(dN_j/dxi) = +/- 1/2.
+  const FaceReference& ref = FaceReference::get();
+  for (int t = 0; t < 2; ++t) {
+    for (int j = 0; j < 4; ++j) {
+      double s = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        s += ref.d[static_cast<std::size_t>(t)][static_cast<std::size_t>(i * 4 + j)];
+      }
+      EXPECT_NEAR(std::abs(s), 0.5, 1e-13);
+    }
+  }
+}
+
+TEST(Abc, DashpotImpedances) {
+  const auto m = quake::vel::Material::from_velocities(2000.0, 1000.0, 2000.0);
+  const double h = 10.0;
+  const auto c = face_dashpot_coeffs(m, h, quake::mesh::BoundarySide::kXMax);
+  // Normal (x) component carries rho*vp, tangentials rho*vs; area h^2/4.
+  EXPECT_NEAR(c[0], 2000.0 * 2000.0 * 25.0, 1e-6);
+  EXPECT_NEAR(c[1], 2000.0 * 1000.0 * 25.0, 1e-6);
+  EXPECT_NEAR(c[2], 2000.0 * 1000.0 * 25.0, 1e-6);
+}
+
+TEST(Abc, StaceyVanishesForUniformField) {
+  // Constant displacement has zero tangential derivatives: no K^AB force.
+  const auto m = quake::vel::Material::from_velocities(2000.0, 1000.0, 2000.0);
+  double u[12], y[12] = {0.0};
+  for (int i = 0; i < 12; ++i) u[i] = (i % 3 == 0) ? 0.7 : -0.2;
+  face_stacey_apply(m, 5.0, quake::mesh::BoundarySide::kZMax, u, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-13);
+}
+
+TEST(Abc, StaceySignFlipsWithFaceOrientation) {
+  const auto m = quake::vel::Material::from_velocities(2000.0, 1000.0, 2000.0);
+  quake::util::Rng rng(4);
+  double u[12], y_min[12] = {0.0}, y_max[12] = {0.0};
+  for (double& v : u) v = rng.uniform(-1.0, 1.0);
+  face_stacey_apply(m, 5.0, quake::mesh::BoundarySide::kXMin, u, y_min);
+  face_stacey_apply(m, 5.0, quake::mesh::BoundarySide::kXMax, u, y_max);
+  for (int i = 0; i < 12; ++i) EXPECT_NEAR(y_min[i], -y_max[i], 1e-12);
+}
+
+TEST(Rayleigh, FitApproximatesTargetInBand) {
+  const double xi = 0.02;
+  const RayleighCoeffs c = fit_rayleigh(xi, 0.1, 1.0);
+  EXPECT_GE(c.alpha, 0.0);
+  EXPECT_GE(c.beta, 0.0);
+  for (double f = 0.15; f <= 0.8; f += 0.1) {
+    EXPECT_NEAR(damping_ratio_at(c, f), xi, 0.5 * xi);
+  }
+}
+
+TEST(Rayleigh, OverdampsOutsideBand) {
+  // "very low and very high frequencies are overdamped" (paper, section 2.2).
+  const RayleighCoeffs c = fit_rayleigh(0.02, 0.1, 1.0);
+  EXPECT_GT(damping_ratio_at(c, 0.001), 0.02);
+  EXPECT_GT(damping_ratio_at(c, 100.0), 0.02);
+}
+
+TEST(Rayleigh, TargetRatioSoilRule) {
+  // Softer soils dissipate more; values clamped to [0.001, 0.05].
+  EXPECT_GT(target_damping_ratio(150.0), target_damping_ratio(1500.0));
+  EXPECT_LE(target_damping_ratio(1.0), 0.05);
+  EXPECT_GE(target_damping_ratio(1e9), 0.001);
+}
+
+TEST(Rayleigh, BadBandThrows) {
+  EXPECT_THROW(fit_rayleigh(0.02, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(fit_rayleigh(-0.1, 0.1, 1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Tests for the etree transform step: element/node extraction, hanging-node
+// constraints, boundary faces, and the out-of-core pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "quake/mesh/meshgen.hpp"
+
+namespace {
+
+using namespace quake::mesh;
+using quake::octree::BalanceScope;
+using quake::octree::LinearOctree;
+using quake::octree::Octant;
+using quake::vel::HomogeneousModel;
+using quake::vel::Material;
+
+HomogeneousModel rock() {
+  return HomogeneousModel(Material::from_velocities(5000.0, 2900.0, 2600.0));
+}
+
+MeshOptions uniform_opts(int level, double size = 1000.0) {
+  MeshOptions o;
+  o.domain_size = size;
+  o.f_max = 1e-9;  // no wavelength-driven refinement
+  o.min_level = level;
+  o.max_level = level;
+  return o;
+}
+
+TEST(Transform, UniformMeshCounts) {
+  const auto model = rock();
+  for (int level = 1; level <= 3; ++level) {
+    const HexMesh mesh = generate_mesh(model, uniform_opts(level));
+    const std::size_t n = static_cast<std::size_t>(1) << level;
+    EXPECT_EQ(mesh.n_elements(), n * n * n);
+    EXPECT_EQ(mesh.n_nodes(), (n + 1) * (n + 1) * (n + 1));
+    EXPECT_EQ(mesh.n_hanging(), 0u);
+  }
+}
+
+TEST(Transform, UniformMeshBoundaryFaces) {
+  const auto model = rock();
+  const HexMesh mesh = generate_mesh(model, uniform_opts(2));
+  // 4x4x4 elements: each of the 6 cube sides exposes 16 faces.
+  EXPECT_EQ(mesh.boundary_faces.size(), 6u * 16u);
+}
+
+TEST(Transform, NodeCoordinatesSpanDomain) {
+  const auto model = rock();
+  const HexMesh mesh = generate_mesh(model, uniform_opts(2, 800.0));
+  double lo = 1e300, hi = -1e300;
+  for (const auto& c : mesh.node_coords) {
+    for (double v : c) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 800.0);
+}
+
+TEST(Transform, ElementNodesAreDistinctAndOriented) {
+  const auto model = rock();
+  const HexMesh mesh = generate_mesh(model, uniform_opts(2));
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    const auto& conn = mesh.elem_nodes[e];
+    std::set<NodeId> uniq(conn.begin(), conn.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    // Tensor ordering: node 1 is +x of node 0, node 2 is +y, node 4 is +z.
+    const auto& c0 = mesh.node_coords[static_cast<std::size_t>(conn[0])];
+    const auto& c1 = mesh.node_coords[static_cast<std::size_t>(conn[1])];
+    const auto& c2 = mesh.node_coords[static_cast<std::size_t>(conn[2])];
+    const auto& c4 = mesh.node_coords[static_cast<std::size_t>(conn[4])];
+    const double h = mesh.elem_size[e];
+    EXPECT_NEAR(c1[0] - c0[0], h, 1e-9);
+    EXPECT_NEAR(c2[1] - c0[1], h, 1e-9);
+    EXPECT_NEAR(c4[2] - c0[2], h, 1e-9);
+  }
+}
+
+// A two-level mesh: half the domain refined once. Produces hanging nodes.
+HexMesh refined_half_mesh() {
+  const auto model = rock();
+  MeshOptions opt;
+  opt.domain_size = 1000.0;
+  opt.f_max = 1e-9;
+  opt.min_level = 1;
+  opt.max_level = 2;
+  auto policy = [](const Octant& o) {
+    if (o.level < 1) return true;
+    return o.level < 2 && o.x == 0;  // refine the x-lower half
+  };
+  LinearOctree tree = quake::octree::build_octree(policy, opt.max_level);
+  tree = quake::octree::balance(tree, BalanceScope::kAll);
+  return transform(tree, model, opt);
+}
+
+TEST(Hanging, DetectedOnRefinementInterface) {
+  const HexMesh mesh = refined_half_mesh();
+  EXPECT_GT(mesh.n_hanging(), 0u);
+  EXPECT_EQ(mesh.n_independent() + mesh.n_hanging(), mesh.n_nodes());
+}
+
+TEST(Hanging, WeightsArePartitionOfUnity) {
+  const HexMesh mesh = refined_half_mesh();
+  for (const Constraint& c : mesh.constraints) {
+    double sum = 0.0;
+    for (int m = 0; m < c.n_masters; ++m) {
+      sum += c.weights[static_cast<std::size_t>(m)];
+      // Masters must be independent nodes.
+      EXPECT_EQ(mesh.node_hanging[static_cast<std::size_t>(
+                    c.masters[static_cast<std::size_t>(m)])],
+                0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Hanging, GeometricInterpolationIsExact) {
+  // The constrained node's coordinates equal the weighted master average —
+  // i.e. the constraint interpolates linear fields exactly.
+  const HexMesh mesh = refined_half_mesh();
+  for (const Constraint& c : mesh.constraints) {
+    const auto& xc = mesh.node_coords[static_cast<std::size_t>(c.node)];
+    for (int axis = 0; axis < 3; ++axis) {
+      double interp = 0.0;
+      for (int m = 0; m < c.n_masters; ++m) {
+        interp += c.weights[static_cast<std::size_t>(m)] *
+                  mesh.node_coords[static_cast<std::size_t>(
+                      c.masters[static_cast<std::size_t>(m)])]
+                                  [static_cast<std::size_t>(axis)];
+      }
+      EXPECT_NEAR(interp, xc[static_cast<std::size_t>(axis)], 1e-9);
+    }
+  }
+}
+
+TEST(Meshgen, WavelengthAdaptivityRefinesBasin) {
+  // A soft basin atop rock must produce finer elements near the surface
+  // inside the basin than at depth.
+  const quake::vel::BasinModel basin = quake::vel::BasinModel::demo(20000.0);
+  MeshOptions opt;
+  opt.domain_size = 20000.0;
+  opt.f_max = 0.05;
+  opt.n_lambda = 8.0;
+  opt.min_level = 2;
+  opt.max_level = 5;
+  const HexMesh mesh = generate_mesh(basin, opt);
+  const auto stats = compute_stats(mesh, basin, opt);
+  EXPECT_GT(stats.max_level, stats.min_level);
+  // Multiresolution saving vs a uniform mesh at the finest wavelength.
+  EXPECT_GT(stats.uniform_equivalent_points,
+            static_cast<double>(stats.n_nodes));
+}
+
+TEST(Meshgen, MeshIsBalancedByConstruction) {
+  const quake::vel::BasinModel basin = quake::vel::BasinModel::demo(20000.0);
+  MeshOptions opt;
+  opt.domain_size = 20000.0;
+  opt.f_max = 0.05;
+  opt.n_lambda = 8.0;
+  opt.min_level = 2;
+  opt.max_level = 5;
+  const LinearOctree tree = build_balanced_octree(basin, opt);
+  EXPECT_TRUE(is_balanced(tree, BalanceScope::kAll));
+  EXPECT_TRUE(tree.validate(true));
+}
+
+TEST(Meshgen, OutOfCorePipelineMatchesInCore) {
+  const quake::vel::BasinModel basin = quake::vel::BasinModel::demo(20000.0);
+  MeshOptions opt;
+  opt.domain_size = 20000.0;
+  opt.f_max = 0.04;
+  opt.n_lambda = 8.0;
+  opt.min_level = 2;
+  opt.max_level = 4;
+  const HexMesh a = generate_mesh(basin, opt);
+  const HexMesh b = generate_mesh_out_of_core(
+      basin, opt, testing::TempDir() + "/ooc_mesh.etree");
+  ASSERT_EQ(a.n_elements(), b.n_elements());
+  ASSERT_EQ(a.n_nodes(), b.n_nodes());
+  EXPECT_EQ(a.n_hanging(), b.n_hanging());
+  for (std::size_t e = 0; e < a.n_elements(); ++e) {
+    EXPECT_EQ(a.elem_nodes[e], b.elem_nodes[e]);
+    EXPECT_DOUBLE_EQ(a.elem_size[e], b.elem_size[e]);
+  }
+}
+
+TEST(Stats, HangingFractionReported) {
+  const HexMesh mesh = refined_half_mesh();
+  const auto model = rock();
+  MeshOptions opt = uniform_opts(2);
+  const MeshStats s = compute_stats(mesh, model, opt);
+  EXPECT_EQ(s.n_hanging, mesh.n_hanging());
+  EXPECT_EQ(s.n_elements, mesh.n_elements());
+}
+
+}  // namespace

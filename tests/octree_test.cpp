@@ -1,0 +1,216 @@
+// Tests for the linear-octree substrate: Morton codes, octant algebra,
+// auto-navigation construction, and the three 2-to-1 balancing algorithms.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quake/octree/linear_octree.hpp"
+#include "quake/octree/morton.hpp"
+#include "quake/octree/octant.hpp"
+#include "quake/util/rng.hpp"
+
+namespace {
+
+using namespace quake::octree;
+
+TEST(Morton, RoundTripSmall) {
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const auto p = morton_decode(morton_encode(x, y, z));
+        EXPECT_EQ(p.x, x);
+        EXPECT_EQ(p.y, y);
+        EXPECT_EQ(p.z, z);
+      }
+    }
+  }
+}
+
+TEST(Morton, RoundTripRandom21Bit) {
+  quake::util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next_u64() & 0x1fffff);
+    const auto y = static_cast<std::uint32_t>(rng.next_u64() & 0x1fffff);
+    const auto z = static_cast<std::uint32_t>(rng.next_u64() & 0x1fffff);
+    const auto p = morton_decode(morton_encode(x, y, z));
+    EXPECT_EQ(p.x, x);
+    EXPECT_EQ(p.y, y);
+    EXPECT_EQ(p.z, z);
+  }
+}
+
+TEST(Morton, BitInterleavingOrder) {
+  // x occupies bit 0, y bit 1, z bit 2.
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+}
+
+TEST(Octant, ChildParentRoundTrip) {
+  const Octant root{};
+  for (int c = 0; c < 8; ++c) {
+    const Octant ch = root.child(c);
+    EXPECT_EQ(ch.level, 1);
+    EXPECT_EQ(ch.parent(), root);
+    EXPECT_TRUE(root.contains(ch));
+    EXPECT_FALSE(ch.contains(root));
+  }
+}
+
+TEST(Octant, ChildrenAreMortonOrdered) {
+  const Octant o = Octant{}.child(3).child(5);
+  OctantLess less;
+  for (int c = 0; c + 1 < 8; ++c) {
+    EXPECT_TRUE(less(o.child(c), o.child(c + 1)));
+  }
+}
+
+TEST(Octant, NeighborInsideAndOutside) {
+  const Octant o = Octant{}.child(0);  // lower corner, level 1
+  EXPECT_FALSE(o.neighbor(-1, 0, 0).has_value());
+  const auto n = o.neighbor(1, 0, 0);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->x, o.size());
+  EXPECT_EQ(n->level, o.level);
+  // Far corner child: positive neighbor leaves the domain.
+  const Octant far = Octant{}.child(7);
+  EXPECT_FALSE(far.neighbor(1, 0, 0).has_value());
+  EXPECT_FALSE(far.neighbor(0, 1, 0).has_value());
+  EXPECT_TRUE(far.neighbor(-1, 0, 0).has_value());
+}
+
+TEST(Octant, AncestorAt) {
+  const Octant o = Octant{}.child(7).child(3).child(1);
+  EXPECT_EQ(o.ancestor_at(0), Octant{});
+  EXPECT_EQ(o.ancestor_at(1), Octant{}.child(7));
+  EXPECT_EQ(o.ancestor_at(2), Octant{}.child(7).child(3));
+  EXPECT_EQ(o.ancestor_at(3), o);
+}
+
+// Uniform refinement to a fixed level.
+LinearOctree uniform_tree(int level) {
+  return build_octree([](const Octant&) { return true; }, level);
+}
+
+TEST(Build, UniformCounts) {
+  for (int l = 0; l <= 3; ++l) {
+    const LinearOctree t = uniform_tree(l);
+    EXPECT_EQ(t.size(), static_cast<std::size_t>(1) << (3 * l));
+    EXPECT_TRUE(t.validate(/*require_cover=*/true));
+  }
+}
+
+TEST(Build, LeavesAreSorted) {
+  const LinearOctree t = uniform_tree(3);
+  OctantLess less;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    EXPECT_TRUE(less(t[i], t[i + 1]));
+  }
+}
+
+TEST(Build, FindContaining) {
+  const LinearOctree t = uniform_tree(2);
+  // The point in the middle of the first leaf.
+  const std::uint32_t s = 1u << (kMaxLevel - 2);
+  auto idx = t.find_containing(s / 2, s / 2, s / 2);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+  auto idx2 = t.find_containing(kTicks - 1, kTicks - 1, kTicks - 1);
+  ASSERT_TRUE(idx2.has_value());
+  EXPECT_EQ(*idx2, t.size() - 1);
+}
+
+// A point-refined tree: refine only octants containing the domain center.
+// The refinement chain hugs the center planes, so fine leaves abut the
+// coarse level-1 siblings directly — maximal imbalance.
+LinearOctree corner_tree(int depth) {
+  const Octant center{kTicks / 2, kTicks / 2, kTicks / 2, kMaxLevel};
+  return build_octree(
+      [center](const Octant& o) { return o.contains(center); }, depth);
+}
+
+TEST(Balance, CornerTreeUnbalancedThenBalanced) {
+  const LinearOctree t = corner_tree(6);
+  EXPECT_FALSE(is_balanced(t, BalanceScope::kFaces));
+  const LinearOctree b = balance(t, BalanceScope::kFaces);
+  EXPECT_TRUE(is_balanced(b, BalanceScope::kFaces));
+  EXPECT_TRUE(b.validate(/*require_cover=*/true));
+  EXPECT_GT(b.size(), t.size());
+}
+
+TEST(Balance, PreservesExistingLeavesOrRefines) {
+  // Balancing may only split leaves, never merge: every original leaf is
+  // either present or covered by finer leaves.
+  const LinearOctree t = corner_tree(5);
+  const LinearOctree b = balance(t, BalanceScope::kAll);
+  for (const Octant& o : t.leaves()) {
+    const auto idx = b.find_containing(o.x, o.y, o.z);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_GE(b[*idx].level, o.level);
+  }
+}
+
+TEST(Balance, AlreadyBalancedIsIdentity) {
+  const LinearOctree t = uniform_tree(3);
+  const LinearOctree b = balance(t, BalanceScope::kAll);
+  EXPECT_EQ(b.size(), t.size());
+}
+
+class BalanceScopeTest : public ::testing::TestWithParam<BalanceScope> {};
+
+TEST_P(BalanceScopeTest, AllAlgorithmsAgree) {
+  const BalanceScope scope = GetParam();
+  const LinearOctree t = corner_tree(6);
+  const LinearOctree b1 = balance(t, scope);
+  const LinearOctree b2 = balance_global_sweeps(t, scope);
+  const LinearOctree b3 = balance_local(t, scope, /*block_level=*/2);
+  ASSERT_EQ(b1.size(), b2.size());
+  ASSERT_EQ(b1.size(), b3.size());
+  for (std::size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(b1[i], b2[i]);
+    EXPECT_EQ(b1[i], b3[i]);
+  }
+  EXPECT_TRUE(is_balanced(b1, scope));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scopes, BalanceScopeTest,
+                         ::testing::Values(BalanceScope::kFaces,
+                                           BalanceScope::kFacesEdges,
+                                           BalanceScope::kAll));
+
+TEST(Balance, RandomTreesStayCoveringAndBalanced) {
+  quake::util::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random refinement: refine with probability decreasing in level.
+    auto policy = [&rng](const Octant& o) {
+      return rng.uniform() < 0.9 / (1 + o.level);
+    };
+    const LinearOctree t = build_octree(policy, 6);
+    ASSERT_TRUE(t.validate(true));
+    const LinearOctree b = balance(t, BalanceScope::kAll);
+    EXPECT_TRUE(b.validate(true));
+    EXPECT_TRUE(is_balanced(b, BalanceScope::kAll));
+    EXPECT_GE(b.size(), t.size());
+  }
+}
+
+TEST(Balance, ScopeMonotonicity) {
+  // Wider scopes can only require more refinement.
+  const LinearOctree t = corner_tree(6);
+  const auto faces = balance(t, BalanceScope::kFaces).size();
+  const auto edges = balance(t, BalanceScope::kFacesEdges).size();
+  const auto all = balance(t, BalanceScope::kAll).size();
+  EXPECT_LE(faces, edges);
+  EXPECT_LE(edges, all);
+}
+
+TEST(LevelHistogram, SumsToSize) {
+  const LinearOctree t = corner_tree(5);
+  const auto h = t.level_histogram();
+  std::size_t sum = 0;
+  for (std::size_t c : h) sum += c;
+  EXPECT_EQ(sum, t.size());
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Tests for the optimization kernels: CG, L-BFGS, Frankel two-step, Armijo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quake/opt/cg.hpp"
+#include "quake/opt/frankel.hpp"
+#include "quake/opt/lbfgs.hpp"
+#include "quake/opt/linesearch.hpp"
+#include "quake/util/rng.hpp"
+#include "quake/util/stats.hpp"
+
+namespace {
+
+using namespace quake::opt;
+
+// SPD tridiagonal test operator: A = diag(2 + i/n) with -1 off-diagonals.
+LinOp tridiag_op(std::size_t n) {
+  return [n](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = (2.5 + static_cast<double>(i) / static_cast<double>(n)) * x[i];
+      if (i > 0) v -= x[i - 1];
+      if (i + 1 < n) v -= x[i + 1];
+      y[i] += v;
+    }
+  };
+}
+
+TEST(Cg, SolvesSpdSystem) {
+  const std::size_t n = 50;
+  const LinOp a = tridiag_op(n);
+  quake::util::Rng rng(1);
+  std::vector<double> x_true(n), b(n, 0.0), x(n, 0.0);
+  for (double& v : x_true) v = rng.uniform(-1.0, 1.0);
+  a(x_true, b);
+  CgOptions opts;
+  opts.max_iterations = 200;
+  opts.rel_tolerance = 1e-10;
+  const CgResult res = conjugate_gradient(a, b, x, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(quake::util::rel_l2(x, x_true), 1e-8);
+}
+
+TEST(Cg, RespectsIterationCap) {
+  const std::size_t n = 200;
+  const LinOp a = tridiag_op(n);
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  CgOptions opts;
+  opts.max_iterations = 3;
+  opts.rel_tolerance = 1e-14;
+  const CgResult res = conjugate_gradient(a, b, x, opts);
+  EXPECT_EQ(res.iterations, 3);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LT(res.final_residual, res.initial_residual);
+}
+
+TEST(Cg, DetectsNegativeCurvature) {
+  const std::size_t n = 4;
+  const LinOp a = [](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += -x[i];  // A = -I
+  };
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  const CgResult res = conjugate_gradient(a, b, x, CgOptions{});
+  EXPECT_TRUE(res.hit_negative_curvature);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  const std::size_t n = 10;
+  const LinOp a = tridiag_op(n);
+  std::vector<double> b(n, 0.0), x(n, 0.0);
+  const CgResult res = conjugate_gradient(a, b, x, CgOptions{});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Cg, CollectorReceivesValidPairs) {
+  const std::size_t n = 30;
+  const LinOp a = tridiag_op(n);
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  int pairs = 0;
+  PairCollector collect = [&](std::span<const double> s,
+                              std::span<const double> y) {
+    // s^T y = alpha^2 p^T A p > 0 for SPD A.
+    EXPECT_GT(quake::util::dot(s, y), 0.0);
+    ++pairs;
+  };
+  CgOptions opts;
+  opts.max_iterations = 10;
+  opts.rel_tolerance = 1e-14;
+  const CgResult res = conjugate_gradient(a, b, x, opts, nullptr, &collect);
+  EXPECT_EQ(pairs, res.iterations);
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(Lbfgs, ApproximatesInverseOnQuadratic) {
+  // Feed exact (s, As) pairs; the two-loop recursion should then solve
+  // A z = v well within the spanned subspace.
+  const std::size_t n = 20;
+  const LinOp a = tridiag_op(n);
+  LbfgsOperator lbfgs(n, 20);
+  quake::util::Rng rng(3);
+  for (int p = 0; p < 20; ++p) {
+    std::vector<double> s(n), y(n, 0.0);
+    for (double& v : s) v = rng.uniform(-1.0, 1.0);
+    a(s, y);
+    lbfgs.add_pair(s, y);
+  }
+  std::vector<double> v(n), z(n, 0.0), az(n, 0.0);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  lbfgs.apply(v, z);
+  a(z, az);
+  EXPECT_LT(quake::util::rel_l2(az, v), 0.5);
+}
+
+TEST(Lbfgs, RejectsNonPositiveCurvature) {
+  LbfgsOperator lbfgs(3);
+  std::vector<double> s = {1.0, 0.0, 0.0};
+  std::vector<double> y = {-1.0, 0.0, 0.0};
+  lbfgs.add_pair(s, y);
+  EXPECT_EQ(lbfgs.n_pairs(), 0u);
+}
+
+TEST(Lbfgs, EmptyIsScaledIdentity) {
+  LbfgsOperator lbfgs(3);
+  std::vector<double> v = {1.0, -2.0, 0.5}, out(3, 0.0);
+  lbfgs.apply(v, out);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
+}
+
+TEST(Frankel, ReducesResidual) {
+  const std::size_t n = 40;
+  const LinOp a = tridiag_op(n);
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  FrankelOptions fo;
+  fo.sweeps = 25;
+  frankel_two_step(a, b, x, fo, nullptr);
+  std::vector<double> ax(n, 0.0);
+  a(x, ax);
+  EXPECT_LT(quake::util::diff_l2(ax, b), 0.5 * quake::util::norm_l2(b));
+}
+
+TEST(Frankel, SeedsLbfgsPairs) {
+  const std::size_t n = 40;
+  const LinOp a = tridiag_op(n);
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  LbfgsOperator lbfgs(n);
+  FrankelOptions fo;
+  fo.sweeps = 5;
+  frankel_two_step(a, b, x, fo, &lbfgs);
+  EXPECT_EQ(lbfgs.n_pairs(), 5u);
+}
+
+TEST(PreconditionedCg, FewerIterationsWithLbfgs) {
+  // Ill-conditioned diagonal operator; L-BFGS built from Frankel sweeps
+  // must cut the CG iteration count.
+  const std::size_t n = 120;
+  const LinOp a = [n](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += (1.0 + 500.0 * static_cast<double>(i) / static_cast<double>(n)) * x[i];
+    }
+  };
+  std::vector<double> b(n, 1.0);
+  CgOptions opts;
+  opts.max_iterations = 400;
+  opts.rel_tolerance = 1e-8;
+
+  std::vector<double> x1(n, 0.0);
+  const CgResult plain = conjugate_gradient(a, b, x1, opts);
+
+  LbfgsOperator lbfgs(n, 30);
+  std::vector<double> warm(n, 0.0);
+  FrankelOptions fo;
+  fo.sweeps = 25;
+  frankel_two_step(a, b, warm, fo, &lbfgs);
+  LinOp precond = [&](std::span<const double> v, std::span<double> out) {
+    lbfgs.apply(v, out);
+  };
+  std::vector<double> x2(n, 0.0);
+  const CgResult pre = conjugate_gradient(a, b, x2, opts, &precond);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(Armijo, AcceptsFullStepOnEasyQuadratic) {
+  // phi(a) = (a - 1)^2: from phi(0) = 1, dphi(0) = -2, alpha = 1 is optimal.
+  const auto res = armijo_backtracking(
+      [](double a) { return (a - 1.0) * (a - 1.0); }, 1.0, -2.0,
+      ArmijoOptions{});
+  EXPECT_TRUE(res.success);
+  EXPECT_DOUBLE_EQ(res.alpha, 1.0);
+}
+
+TEST(Armijo, BacktracksOnOvershoot) {
+  // Steep quartic: full step increases phi; must shrink.
+  const auto res = armijo_backtracking(
+      [](double a) { return std::pow(10.0 * a - 1.0, 4) / 10000.0 - 0.1 * a + 0.0001; },
+      0.0001, -0.104, ArmijoOptions{});
+  EXPECT_TRUE(res.success);
+  EXPECT_LT(res.alpha, 1.0);
+  EXPECT_GT(res.evaluations, 1);
+}
+
+TEST(Armijo, RejectsAscentDirection) {
+  EXPECT_THROW(armijo_backtracking([](double) { return 0.0; }, 0.0, 1.0,
+                                   ArmijoOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Tests for the SPMD substrate: communicator semantics, SFC partitioning,
+// and serial/parallel equivalence of the explicit solver.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "quake/mesh/meshgen.hpp"
+#include "quake/par/communicator.hpp"
+#include "quake/par/parallel_solver.hpp"
+#include "quake/par/partition.hpp"
+#include "quake/solver/explicit_solver.hpp"
+#include "quake/util/stats.hpp"
+
+namespace {
+
+using namespace quake;
+using namespace quake::par;
+
+TEST(Communicator, PingPong) {
+  Communicator comm(2);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      std::vector<double> msg = {1.0, 2.0, 3.0};
+      r.send(1, 7, msg);
+      const auto reply = r.recv(1, 7);
+      ASSERT_EQ(reply.size(), 1u);
+      EXPECT_DOUBLE_EQ(reply[0], 6.0);
+    } else {
+      const auto msg = r.recv(0, 7);
+      ASSERT_EQ(msg.size(), 3u);
+      std::vector<double> reply = {msg[0] + msg[1] + msg[2]};
+      r.send(0, 7, reply);
+    }
+  });
+}
+
+TEST(Communicator, MessagesArriveInOrder) {
+  Communicator comm(2);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        std::vector<double> msg = {static_cast<double>(i)};
+        r.send(1, 0, msg);
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        const auto msg = r.recv(0, 0);
+        EXPECT_DOUBLE_EQ(msg[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Communicator, AllReduce) {
+  Communicator comm(4);
+  comm.run([](Rank& r) {
+    const double s = r.allreduce_sum(static_cast<double>(r.id() + 1));
+    EXPECT_DOUBLE_EQ(s, 10.0);
+    const double m = r.allreduce_max(static_cast<double>(r.id()));
+    EXPECT_DOUBLE_EQ(m, 3.0);
+    // Second round: generation counters must reset correctly.
+    const double s2 = r.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(s2, 4.0);
+  });
+}
+
+TEST(Communicator, BarrierSynchronizes) {
+  Communicator comm(4);
+  std::atomic<int> before{0}, after{0};
+  comm.run([&](Rank& r) {
+    before.fetch_add(1);
+    r.barrier();
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+    r.barrier();
+    EXPECT_EQ(after.load(), 4);
+  });
+}
+
+TEST(Communicator, ExceptionPropagates) {
+  Communicator comm(2);
+  EXPECT_THROW(comm.run([](Rank& r) {
+    if (r.id() == 1) throw std::runtime_error("rank fault");
+    // Rank 0 must not deadlock waiting; it simply finishes.
+  }),
+               std::runtime_error);
+}
+
+mesh::HexMesh small_basin_mesh() {
+  const vel::BasinModel basin = vel::BasinModel::demo(20000.0);
+  mesh::MeshOptions opt;
+  opt.domain_size = 20000.0;
+  opt.f_max = 0.04;
+  opt.n_lambda = 8.0;
+  opt.min_level = 2;
+  opt.max_level = 4;
+  return mesh::generate_mesh(basin, opt);
+}
+
+TEST(Partition, CoversAllElementsContiguously) {
+  const auto mesh = small_basin_mesh();
+  const Partition p = partition_sfc(mesh, 4);
+  std::size_t total = 0;
+  int prev_rank = 0;
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    EXPECT_GE(p.elem_rank[e], prev_rank);  // contiguous chunks along SFC
+    prev_rank = p.elem_rank[e];
+    ++total;
+  }
+  EXPECT_EQ(total, mesh.n_elements());
+  std::size_t sum = 0;
+  for (const auto& re : p.rank_elems) sum += re.size();
+  EXPECT_EQ(sum, mesh.n_elements());
+  EXPECT_LT(p.imbalance(), 1.1);
+}
+
+TEST(Partition, NodeOwnershipValid) {
+  const auto mesh = small_basin_mesh();
+  const Partition p = partition_sfc(mesh, 4);
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    EXPECT_GE(p.node_owner[n], 0);
+    EXPECT_LT(p.node_owner[n], 4);
+  }
+}
+
+TEST(Partition, SharedNodesShrinkRelativeToVolume) {
+  // Surface-to-volume: shared fraction should be well below 1 for modest
+  // rank counts on a 3D mesh.
+  const auto mesh = small_basin_mesh();
+  const Partition p = partition_sfc(mesh, 4);
+  for (const auto& s : p.stats) {
+    EXPECT_GT(s.n_nodes, 0u);
+    EXPECT_LT(static_cast<double>(s.n_shared_nodes),
+              0.6 * static_cast<double>(s.n_nodes));
+  }
+}
+
+TEST(Partition, SingleRankHasNoSharing) {
+  const auto mesh = small_basin_mesh();
+  const Partition p = partition_sfc(mesh, 1);
+  EXPECT_EQ(p.stats[0].n_shared_nodes, 0u);
+  EXPECT_DOUBLE_EQ(p.imbalance(), 1.0);
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, MatchesSerialSolver) {
+  const int n_ranks = GetParam();
+  const auto mesh = small_basin_mesh();
+  ASSERT_GT(mesh.n_hanging(), 0u);  // exercise constraint ghosting
+
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  oo.rayleigh = true;
+  oo.damping_f_min = 0.01;
+  oo.damping_f_max = 0.05;
+  solver::SolverOptions so;
+  so.t_end = 4.0;
+  so.cfl_fraction = 0.4;
+
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const std::array<double, 3> rx = {14000.0, 9000.0, 0.0};
+
+  // Serial reference.
+  const solver::ElasticOperator op(mesh, oo);
+  solver::ExplicitSolver serial(op, so);
+  serial.add_source(&src);
+  serial.add_receiver(rx);
+  serial.run();
+
+  // Parallel run.
+  const Partition part = partition_sfc(mesh, n_ranks);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {rx};
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs);
+
+  EXPECT_EQ(pr.n_steps, serial.n_steps());
+  ASSERT_EQ(pr.u_final.size(), serial.displacement().size());
+  const double unorm = quake::util::norm_l2(serial.displacement());
+  EXPECT_LT(quake::util::diff_l2(pr.u_final, serial.displacement()),
+            1e-9 * (1.0 + unorm));
+
+  ASSERT_EQ(pr.receiver_histories.size(), 1u);
+  ASSERT_EQ(pr.receiver_histories[0].size(), serial.receivers()[0].u.size());
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < pr.receiver_histories[0].size(); ++k) {
+    for (int c = 0; c < 3; ++c) {
+      max_err = std::max(
+          max_err,
+          std::abs(pr.receiver_histories[0][k][static_cast<std::size_t>(c)] -
+                   serial.receivers()[0].u[k][static_cast<std::size_t>(c)]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelEquivalence,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(ParallelStats, CommunicationVolumeReported) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 0.5;
+  const Partition part = partition_sfc(mesh, 4);
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, {}, {});
+  std::size_t total_sent = 0;
+  for (const auto& s : pr.rank_stats) {
+    EXPECT_GT(s.n_elems, 0u);
+    EXPECT_GT(s.flops, 0u);
+    total_sent += s.doubles_sent_per_step;
+  }
+  EXPECT_GT(total_sent, 0u);
+  const double eff = modeled_efficiency(pr, MachineModel{});
+  EXPECT_GT(eff, 0.3);
+  EXPECT_LE(eff, 1.0 + 1e-9);
+}
+
+}  // namespace

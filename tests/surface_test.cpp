@@ -1,0 +1,70 @@
+// Tests for the surface raster extraction used by the snapshot figures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quake/mesh/meshgen.hpp"
+#include "quake/solver/surface.hpp"
+#include "quake/util/stats.hpp"
+
+namespace {
+
+using namespace quake;
+
+mesh::HexMesh uniform(int level, double size) {
+  mesh::MeshOptions o;
+  o.domain_size = size;
+  o.f_max = 1e-9;
+  o.min_level = level;
+  o.max_level = level;
+  const vel::HomogeneousModel m(
+      vel::Material::from_velocities(2000.0, 1000.0, 2000.0));
+  return mesh::generate_mesh(m, o);
+}
+
+TEST(SurfaceRaster, ExtractsSurfaceFieldExactlyAtNodes) {
+  const auto mesh = uniform(3, 800.0);  // 9x9 surface nodes
+  const solver::SurfaceRaster raster(mesh, 8);
+  // Field: u_x = x + 2y at the surface, 0 elsewhere.
+  std::vector<double> u(3 * mesh.n_nodes(), 0.0);
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    const auto& c = mesh.node_coords[n];
+    if (c[2] < 1.0) u[3 * n] = c[0] + 2.0 * c[1];
+  }
+  const auto img = raster.component(u, 0);
+  ASSERT_EQ(img.size(), 64u);
+  // Each pixel carries the nearest surface node's value; with 8 pixels over
+  // 8 elements the pixel centers are within half an element of a node, so
+  // values are within the field's variation over that distance.
+  for (int iy = 0; iy < 8; ++iy) {
+    for (int ix = 0; ix < 8; ++ix) {
+      const double px = (ix + 0.5) * 100.0, py = (iy + 0.5) * 100.0;
+      const double expect = px + 2.0 * py;
+      EXPECT_NEAR(img[static_cast<std::size_t>(iy) * 8 + ix], expect, 150.0);
+    }
+  }
+}
+
+TEST(SurfaceRaster, VelocityMagnitudeAndPeak) {
+  const auto mesh = uniform(2, 400.0);
+  solver::SurfaceRaster raster(mesh, 4);
+  std::vector<double> v(3 * mesh.n_nodes(), 0.0);
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    v[3 * n] = 3.0;
+    v[3 * n + 1] = 4.0;
+  }
+  const auto mag = raster.velocity_magnitude(v);
+  for (double m : mag) EXPECT_NEAR(m, 5.0, 1e-12);
+  raster.update_peak(mag);
+  std::vector<double> half(mag.size(), 1.0);
+  raster.update_peak(half);  // lower values must not reduce the peak
+  for (double p : raster.peak()) EXPECT_NEAR(p, 5.0, 1e-12);
+}
+
+TEST(SurfaceRaster, RejectsBadSize) {
+  const auto mesh = uniform(2, 400.0);
+  EXPECT_THROW(solver::SurfaceRaster(mesh, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Unit tests for quake::util — filters, statistics, RNG, IO.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "quake/util/filter.hpp"
+#include "quake/util/io.hpp"
+#include "quake/util/rng.hpp"
+#include "quake/util/stats.hpp"
+
+namespace {
+
+using namespace quake::util;
+
+std::vector<double> sine(double f, double fs, int n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        std::sin(2.0 * std::numbers::pi * f * i / fs);
+  }
+  return x;
+}
+
+TEST(Filter, PassesLowFrequency) {
+  const double fs = 100.0;
+  auto x = sine(0.5, fs, 4000);
+  auto y = lowpass_zero_phase(x, 5.0, fs);
+  // Interior samples nearly unchanged.
+  double max_err = 0.0;
+  for (int i = 500; i < 3500; ++i) {
+    max_err = std::max(max_err, std::abs(y[static_cast<std::size_t>(i)] -
+                                         x[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(max_err, 0.01);
+}
+
+TEST(Filter, AttenuatesHighFrequency) {
+  const double fs = 100.0;
+  auto x = sine(25.0, fs, 4000);
+  auto y = lowpass_zero_phase(x, 2.0, fs);
+  EXPECT_LT(norm_max(std::span<const double>(y).subspan(500, 3000)), 1e-3);
+}
+
+TEST(Filter, ZeroPhasePreservesPeakLocation) {
+  const double fs = 200.0;
+  std::vector<double> x(2000, 0.0);
+  // Gaussian pulse centered at sample 1000.
+  for (int i = 0; i < 2000; ++i) {
+    x[static_cast<std::size_t>(i)] = std::exp(-0.5 * std::pow((i - 1000) / 40.0, 2));
+  }
+  auto y = lowpass_zero_phase(x, 3.0, fs);
+  int peak = 0;
+  for (int i = 1; i < 2000; ++i) {
+    if (y[static_cast<std::size_t>(i)] > y[static_cast<std::size_t>(peak)]) peak = i;
+  }
+  EXPECT_NEAR(peak, 1000, 2);
+}
+
+TEST(Filter, RejectsBadCutoff) {
+  EXPECT_THROW(butterworth_lowpass(60.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(butterworth_lowpass(0.0, 100.0), std::invalid_argument);
+}
+
+TEST(Stats, Norms) {
+  std::vector<double> x = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm_l2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_max(x), 4.0);
+}
+
+TEST(Stats, RelL2AndCorrelation) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-15);
+  EXPECT_NEAR(rel_l2(x, x), 0.0, 1e-15);
+  std::vector<double> z = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(correlation(x, z), 0.0);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  std::vector<double> x = {1.0};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(diff_l2(x, y), std::invalid_argument);
+  EXPECT_THROW(dot(x, y), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(123);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Io, CsvRoundTripShape) {
+  const std::string path = testing::TempDir() + "/quake_test.csv";
+  std::vector<std::string> names = {"t", "u"};
+  std::vector<std::vector<double>> cols = {{0.0, 0.1}, {1.0, 2.0}};
+  write_csv(path, names, cols);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+  EXPECT_STREQ(line, "t,u\n");
+  std::fclose(f);
+}
+
+TEST(Io, CsvRejectsRagged) {
+  std::vector<std::string> names = {"a", "b"};
+  std::vector<std::vector<double>> cols = {{0.0, 0.1}, {1.0}};
+  EXPECT_THROW(write_csv("/tmp/x.csv", names, cols), std::invalid_argument);
+}
+
+TEST(Io, PgmWritesHeader) {
+  const std::string path = testing::TempDir() + "/quake_test.pgm";
+  std::vector<double> v(16, 0.5);
+  write_pgm(path, v, 4, 4, 0.0, 1.0);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_STREQ(magic, "P5");
+  std::fclose(f);
+}
+
+TEST(Io, PgmRejectsBadDims) {
+  std::vector<double> v(10, 0.0);
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", v, 4, 4, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
