@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_continuation.dir/bench_ablation_continuation.cpp.o"
+  "CMakeFiles/bench_ablation_continuation.dir/bench_ablation_continuation.cpp.o.d"
+  "bench_ablation_continuation"
+  "bench_ablation_continuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_continuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_1_etree.dir/bench_fig2_1_etree.cpp.o"
+  "CMakeFiles/bench_fig2_1_etree.dir/bench_fig2_1_etree.cpp.o.d"
+  "bench_fig2_1_etree"
+  "bench_fig2_1_etree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_1_etree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

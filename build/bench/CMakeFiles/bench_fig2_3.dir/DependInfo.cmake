@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_3.cpp" "bench/CMakeFiles/bench_fig2_3.dir/bench_fig2_3.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_3.dir/bench_fig2_3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/quake_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/vel/CMakeFiles/quake_vel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/quake_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/quake_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/quake_octree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basin_inversion.dir/basin_inversion.cpp.o"
+  "CMakeFiles/basin_inversion.dir/basin_inversion.cpp.o.d"
+  "basin_inversion"
+  "basin_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basin_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshgen_demo.dir/meshgen_demo.cpp.o"
+  "CMakeFiles/meshgen_demo.dir/meshgen_demo.cpp.o.d"
+  "meshgen_demo"
+  "meshgen_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshgen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

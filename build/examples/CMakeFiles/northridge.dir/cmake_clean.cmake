@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northridge.dir/northridge.cpp.o"
+  "CMakeFiles/northridge.dir/northridge.cpp.o.d"
+  "northridge"
+  "northridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

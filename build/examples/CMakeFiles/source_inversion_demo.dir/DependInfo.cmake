@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/source_inversion.cpp" "examples/CMakeFiles/source_inversion_demo.dir/source_inversion.cpp.o" "gcc" "examples/CMakeFiles/source_inversion_demo.dir/source_inversion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inverse/CMakeFiles/quake_inverse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave2d/CMakeFiles/quake_wave2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/quake_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

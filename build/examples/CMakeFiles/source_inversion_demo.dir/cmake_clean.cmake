@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_inversion_demo.dir/source_inversion.cpp.o"
+  "CMakeFiles/source_inversion_demo.dir/source_inversion.cpp.o.d"
+  "source_inversion_demo"
+  "source_inversion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_inversion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("octree")
+subdirs("vel")
+subdirs("mesh")
+subdirs("fem")
+subdirs("solver")
+subdirs("par")
+subdirs("opt")
+subdirs("wave2d")
+subdirs("inverse")
+subdirs("wave3d")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_fem.dir/abc.cpp.o"
+  "CMakeFiles/quake_fem.dir/abc.cpp.o.d"
+  "CMakeFiles/quake_fem.dir/hex_element.cpp.o"
+  "CMakeFiles/quake_fem.dir/hex_element.cpp.o.d"
+  "CMakeFiles/quake_fem.dir/rayleigh.cpp.o"
+  "CMakeFiles/quake_fem.dir/rayleigh.cpp.o.d"
+  "libquake_fem.a"
+  "libquake_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inverse/band.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/band.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/band.cpp.o.d"
+  "/root/repo/src/inverse/checkpoint.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/checkpoint.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/inverse/joint_inversion.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/joint_inversion.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/joint_inversion.cpp.o.d"
+  "/root/repo/src/inverse/material_inversion.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/material_inversion.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/material_inversion.cpp.o.d"
+  "/root/repo/src/inverse/material_param.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/material_param.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/material_param.cpp.o.d"
+  "/root/repo/src/inverse/problem.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/problem.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/problem.cpp.o.d"
+  "/root/repo/src/inverse/regularization.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/regularization.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/regularization.cpp.o.d"
+  "/root/repo/src/inverse/source_inversion.cpp" "src/inverse/CMakeFiles/quake_inverse.dir/source_inversion.cpp.o" "gcc" "src/inverse/CMakeFiles/quake_inverse.dir/source_inversion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wave2d/CMakeFiles/quake_wave2d.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/quake_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

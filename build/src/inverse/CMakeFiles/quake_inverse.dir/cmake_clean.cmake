@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_inverse.dir/band.cpp.o"
+  "CMakeFiles/quake_inverse.dir/band.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/checkpoint.cpp.o"
+  "CMakeFiles/quake_inverse.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/joint_inversion.cpp.o"
+  "CMakeFiles/quake_inverse.dir/joint_inversion.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/material_inversion.cpp.o"
+  "CMakeFiles/quake_inverse.dir/material_inversion.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/material_param.cpp.o"
+  "CMakeFiles/quake_inverse.dir/material_param.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/problem.cpp.o"
+  "CMakeFiles/quake_inverse.dir/problem.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/regularization.cpp.o"
+  "CMakeFiles/quake_inverse.dir/regularization.cpp.o.d"
+  "CMakeFiles/quake_inverse.dir/source_inversion.cpp.o"
+  "CMakeFiles/quake_inverse.dir/source_inversion.cpp.o.d"
+  "libquake_inverse.a"
+  "libquake_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

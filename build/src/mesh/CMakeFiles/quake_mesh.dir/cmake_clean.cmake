@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_mesh.dir/mesh_io.cpp.o"
+  "CMakeFiles/quake_mesh.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/quake_mesh.dir/meshgen.cpp.o"
+  "CMakeFiles/quake_mesh.dir/meshgen.cpp.o.d"
+  "libquake_mesh.a"
+  "libquake_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

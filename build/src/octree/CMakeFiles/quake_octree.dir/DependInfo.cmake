@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/octree/etree_store.cpp" "src/octree/CMakeFiles/quake_octree.dir/etree_store.cpp.o" "gcc" "src/octree/CMakeFiles/quake_octree.dir/etree_store.cpp.o.d"
+  "/root/repo/src/octree/linear_octree.cpp" "src/octree/CMakeFiles/quake_octree.dir/linear_octree.cpp.o" "gcc" "src/octree/CMakeFiles/quake_octree.dir/linear_octree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

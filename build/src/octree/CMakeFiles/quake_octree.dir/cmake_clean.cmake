@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_octree.dir/etree_store.cpp.o"
+  "CMakeFiles/quake_octree.dir/etree_store.cpp.o.d"
+  "CMakeFiles/quake_octree.dir/linear_octree.cpp.o"
+  "CMakeFiles/quake_octree.dir/linear_octree.cpp.o.d"
+  "libquake_octree.a"
+  "libquake_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

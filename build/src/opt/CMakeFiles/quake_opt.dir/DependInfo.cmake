@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cg.cpp" "src/opt/CMakeFiles/quake_opt.dir/cg.cpp.o" "gcc" "src/opt/CMakeFiles/quake_opt.dir/cg.cpp.o.d"
+  "/root/repo/src/opt/frankel.cpp" "src/opt/CMakeFiles/quake_opt.dir/frankel.cpp.o" "gcc" "src/opt/CMakeFiles/quake_opt.dir/frankel.cpp.o.d"
+  "/root/repo/src/opt/lbfgs.cpp" "src/opt/CMakeFiles/quake_opt.dir/lbfgs.cpp.o" "gcc" "src/opt/CMakeFiles/quake_opt.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/opt/linesearch.cpp" "src/opt/CMakeFiles/quake_opt.dir/linesearch.cpp.o" "gcc" "src/opt/CMakeFiles/quake_opt.dir/linesearch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

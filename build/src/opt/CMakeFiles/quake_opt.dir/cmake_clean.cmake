@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_opt.dir/cg.cpp.o"
+  "CMakeFiles/quake_opt.dir/cg.cpp.o.d"
+  "CMakeFiles/quake_opt.dir/frankel.cpp.o"
+  "CMakeFiles/quake_opt.dir/frankel.cpp.o.d"
+  "CMakeFiles/quake_opt.dir/lbfgs.cpp.o"
+  "CMakeFiles/quake_opt.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/quake_opt.dir/linesearch.cpp.o"
+  "CMakeFiles/quake_opt.dir/linesearch.cpp.o.d"
+  "libquake_opt.a"
+  "libquake_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

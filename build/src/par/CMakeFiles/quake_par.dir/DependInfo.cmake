@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/communicator.cpp" "src/par/CMakeFiles/quake_par.dir/communicator.cpp.o" "gcc" "src/par/CMakeFiles/quake_par.dir/communicator.cpp.o.d"
+  "/root/repo/src/par/parallel_solver.cpp" "src/par/CMakeFiles/quake_par.dir/parallel_solver.cpp.o" "gcc" "src/par/CMakeFiles/quake_par.dir/parallel_solver.cpp.o.d"
+  "/root/repo/src/par/partition.cpp" "src/par/CMakeFiles/quake_par.dir/partition.cpp.o" "gcc" "src/par/CMakeFiles/quake_par.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/quake_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/quake_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/vel/CMakeFiles/quake_vel.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/quake_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

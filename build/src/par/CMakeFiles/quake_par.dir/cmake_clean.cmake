@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_par.dir/communicator.cpp.o"
+  "CMakeFiles/quake_par.dir/communicator.cpp.o.d"
+  "CMakeFiles/quake_par.dir/parallel_solver.cpp.o"
+  "CMakeFiles/quake_par.dir/parallel_solver.cpp.o.d"
+  "CMakeFiles/quake_par.dir/partition.cpp.o"
+  "CMakeFiles/quake_par.dir/partition.cpp.o.d"
+  "libquake_par.a"
+  "libquake_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/elastic_operator.cpp" "src/solver/CMakeFiles/quake_solver.dir/elastic_operator.cpp.o" "gcc" "src/solver/CMakeFiles/quake_solver.dir/elastic_operator.cpp.o.d"
+  "/root/repo/src/solver/explicit_solver.cpp" "src/solver/CMakeFiles/quake_solver.dir/explicit_solver.cpp.o" "gcc" "src/solver/CMakeFiles/quake_solver.dir/explicit_solver.cpp.o.d"
+  "/root/repo/src/solver/sh1d.cpp" "src/solver/CMakeFiles/quake_solver.dir/sh1d.cpp.o" "gcc" "src/solver/CMakeFiles/quake_solver.dir/sh1d.cpp.o.d"
+  "/root/repo/src/solver/source.cpp" "src/solver/CMakeFiles/quake_solver.dir/source.cpp.o" "gcc" "src/solver/CMakeFiles/quake_solver.dir/source.cpp.o.d"
+  "/root/repo/src/solver/sparse_engine.cpp" "src/solver/CMakeFiles/quake_solver.dir/sparse_engine.cpp.o" "gcc" "src/solver/CMakeFiles/quake_solver.dir/sparse_engine.cpp.o.d"
+  "/root/repo/src/solver/surface.cpp" "src/solver/CMakeFiles/quake_solver.dir/surface.cpp.o" "gcc" "src/solver/CMakeFiles/quake_solver.dir/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fem/CMakeFiles/quake_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vel/CMakeFiles/quake_vel.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/quake_octree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

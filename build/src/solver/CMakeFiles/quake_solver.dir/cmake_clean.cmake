@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_solver.dir/elastic_operator.cpp.o"
+  "CMakeFiles/quake_solver.dir/elastic_operator.cpp.o.d"
+  "CMakeFiles/quake_solver.dir/explicit_solver.cpp.o"
+  "CMakeFiles/quake_solver.dir/explicit_solver.cpp.o.d"
+  "CMakeFiles/quake_solver.dir/sh1d.cpp.o"
+  "CMakeFiles/quake_solver.dir/sh1d.cpp.o.d"
+  "CMakeFiles/quake_solver.dir/source.cpp.o"
+  "CMakeFiles/quake_solver.dir/source.cpp.o.d"
+  "CMakeFiles/quake_solver.dir/sparse_engine.cpp.o"
+  "CMakeFiles/quake_solver.dir/sparse_engine.cpp.o.d"
+  "CMakeFiles/quake_solver.dir/surface.cpp.o"
+  "CMakeFiles/quake_solver.dir/surface.cpp.o.d"
+  "libquake_solver.a"
+  "libquake_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_util.dir/filter.cpp.o"
+  "CMakeFiles/quake_util.dir/filter.cpp.o.d"
+  "CMakeFiles/quake_util.dir/io.cpp.o"
+  "CMakeFiles/quake_util.dir/io.cpp.o.d"
+  "CMakeFiles/quake_util.dir/log.cpp.o"
+  "CMakeFiles/quake_util.dir/log.cpp.o.d"
+  "CMakeFiles/quake_util.dir/rng.cpp.o"
+  "CMakeFiles/quake_util.dir/rng.cpp.o.d"
+  "CMakeFiles/quake_util.dir/stats.cpp.o"
+  "CMakeFiles/quake_util.dir/stats.cpp.o.d"
+  "libquake_util.a"
+  "libquake_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vel/etree_model.cpp" "src/vel/CMakeFiles/quake_vel.dir/etree_model.cpp.o" "gcc" "src/vel/CMakeFiles/quake_vel.dir/etree_model.cpp.o.d"
+  "/root/repo/src/vel/model.cpp" "src/vel/CMakeFiles/quake_vel.dir/model.cpp.o" "gcc" "src/vel/CMakeFiles/quake_vel.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/octree/CMakeFiles/quake_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

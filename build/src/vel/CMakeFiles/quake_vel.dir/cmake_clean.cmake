@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_vel.dir/etree_model.cpp.o"
+  "CMakeFiles/quake_vel.dir/etree_model.cpp.o.d"
+  "CMakeFiles/quake_vel.dir/model.cpp.o"
+  "CMakeFiles/quake_vel.dir/model.cpp.o.d"
+  "libquake_vel.a"
+  "libquake_vel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_vel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

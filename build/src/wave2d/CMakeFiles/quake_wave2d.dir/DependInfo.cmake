@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wave2d/fault.cpp" "src/wave2d/CMakeFiles/quake_wave2d.dir/fault.cpp.o" "gcc" "src/wave2d/CMakeFiles/quake_wave2d.dir/fault.cpp.o.d"
+  "/root/repo/src/wave2d/march.cpp" "src/wave2d/CMakeFiles/quake_wave2d.dir/march.cpp.o" "gcc" "src/wave2d/CMakeFiles/quake_wave2d.dir/march.cpp.o.d"
+  "/root/repo/src/wave2d/sh_model.cpp" "src/wave2d/CMakeFiles/quake_wave2d.dir/sh_model.cpp.o" "gcc" "src/wave2d/CMakeFiles/quake_wave2d.dir/sh_model.cpp.o.d"
+  "/root/repo/src/wave2d/stf.cpp" "src/wave2d/CMakeFiles/quake_wave2d.dir/stf.cpp.o" "gcc" "src/wave2d/CMakeFiles/quake_wave2d.dir/stf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

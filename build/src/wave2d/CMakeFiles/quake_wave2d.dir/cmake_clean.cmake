@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_wave2d.dir/fault.cpp.o"
+  "CMakeFiles/quake_wave2d.dir/fault.cpp.o.d"
+  "CMakeFiles/quake_wave2d.dir/march.cpp.o"
+  "CMakeFiles/quake_wave2d.dir/march.cpp.o.d"
+  "CMakeFiles/quake_wave2d.dir/sh_model.cpp.o"
+  "CMakeFiles/quake_wave2d.dir/sh_model.cpp.o.d"
+  "CMakeFiles/quake_wave2d.dir/stf.cpp.o"
+  "CMakeFiles/quake_wave2d.dir/stf.cpp.o.d"
+  "libquake_wave2d.a"
+  "libquake_wave2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_wave2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/wave2d/CMakeFiles/quake_wave2d.dir/stf.cpp.o: \
+ /root/repo/src/wave2d/stf.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/wave2d/include/quake/wave2d/stf.hpp

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wave3d/inversion3d.cpp" "src/wave3d/CMakeFiles/quake_wave3d.dir/inversion3d.cpp.o" "gcc" "src/wave3d/CMakeFiles/quake_wave3d.dir/inversion3d.cpp.o.d"
+  "/root/repo/src/wave3d/scalar_model.cpp" "src/wave3d/CMakeFiles/quake_wave3d.dir/scalar_model.cpp.o" "gcc" "src/wave3d/CMakeFiles/quake_wave3d.dir/scalar_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fem/CMakeFiles/quake_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/quake_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quake_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/vel/CMakeFiles/quake_vel.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/quake_octree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_wave3d.dir/inversion3d.cpp.o"
+  "CMakeFiles/quake_wave3d.dir/inversion3d.cpp.o.d"
+  "CMakeFiles/quake_wave3d.dir/scalar_model.cpp.o"
+  "CMakeFiles/quake_wave3d.dir/scalar_model.cpp.o.d"
+  "libquake_wave3d.a"
+  "libquake_wave3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_wave3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

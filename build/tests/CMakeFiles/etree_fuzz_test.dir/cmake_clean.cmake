@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etree_fuzz_test.dir/etree_fuzz_test.cpp.o"
+  "CMakeFiles/etree_fuzz_test.dir/etree_fuzz_test.cpp.o.d"
+  "etree_fuzz_test"
+  "etree_fuzz_test.pdb"
+  "etree_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etree_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etree_store_test.dir/etree_store_test.cpp.o"
+  "CMakeFiles/etree_store_test.dir/etree_store_test.cpp.o.d"
+  "etree_store_test"
+  "etree_store_test.pdb"
+  "etree_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etree_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vel_test.dir/vel_test.cpp.o"
+  "CMakeFiles/vel_test.dir/vel_test.cpp.o.d"
+  "vel_test"
+  "vel_test.pdb"
+  "vel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave2d_test.dir/wave2d_test.cpp.o"
+  "CMakeFiles/wave2d_test.dir/wave2d_test.cpp.o.d"
+  "wave2d_test"
+  "wave2d_test.pdb"
+  "wave2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave3d_test.dir/wave3d_test.cpp.o"
+  "CMakeFiles/wave3d_test.dir/wave3d_test.cpp.o.d"
+  "wave3d_test"
+  "wave3d_test.pdb"
+  "wave3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

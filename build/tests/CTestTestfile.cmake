@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/octree_test[1]_include.cmake")
+include("/root/repo/build/tests/etree_store_test[1]_include.cmake")
+include("/root/repo/build/tests/vel_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/par_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/wave2d_test[1]_include.cmake")
+include("/root/repo/build/tests/inverse_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wave3d_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_io_test[1]_include.cmake")
+include("/root/repo/build/tests/etree_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/surface_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
