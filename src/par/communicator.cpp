@@ -1,13 +1,58 @@
 #include "quake/par/communicator.hpp"
 
+#include <chrono>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
 namespace quake::par {
+namespace {
+
+std::string failure_report(
+    const std::vector<std::pair<int, std::string>>& failures) {
+  std::string report = std::to_string(failures.size()) + " rank(s) failed:";
+  for (const auto& [rank, what] : failures) {
+    report += " [rank " + std::to_string(rank) + ": " + what + "]";
+  }
+  return report;
+}
+
+std::vector<int> failed_ids(
+    const std::vector<std::pair<int, std::string>>& failures) {
+  std::vector<int> ids;
+  ids.reserve(failures.size());
+  for (const auto& [rank, what] : failures) ids.push_back(rank);
+  return ids;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Communicator::Communicator(int n_ranks) : n_ranks_(n_ranks) {
   if (n_ranks < 1) throw std::invalid_argument("Communicator: n_ranks >= 1");
+  blocked_.resize(static_cast<std::size_t>(n_ranks));
+}
+
+void Communicator::install_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  has_plan_ = true;
+  kill_fired_.assign(plan_.kills.size(), 0);
+  msg_fired_.assign(plan_.msg_faults.size(), 0);
+}
+
+void Communicator::clear_fault_plan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_plan_ = false;
+  kill_fired_.clear();
+  msg_fired_.clear();
 }
 
 void Rank::send(int dest, int tag, std::span<const double> data) {
@@ -15,55 +60,272 @@ void Rank::send(int dest, int tag, std::span<const double> data) {
   comm_->post(id_, dest, tag, std::vector<double>(data.begin(), data.end()));
 }
 
-std::vector<double> Rank::recv(int src, int tag) {
-  return comm_->take(src, id_, tag);
+std::vector<double> Rank::recv(int src, int tag, double timeout_sec) {
+  return comm_->take(src, id_, tag, timeout_sec);
 }
 
-void Rank::barrier() { comm_->barrier_wait(); }
+void Rank::barrier(double timeout_sec) {
+  comm_->barrier_wait(id_, timeout_sec);
+}
 
-double Rank::allreduce_sum(double v) { return comm_->reduce(v, false); }
-double Rank::allreduce_max(double v) { return comm_->reduce(v, true); }
+double Rank::allreduce_sum(double v) {
+  return comm_->reduce(id_, v, Communicator::ReduceMode::kSum);
+}
+double Rank::allreduce_max(double v) {
+  return comm_->reduce(id_, v, Communicator::ReduceMode::kMax);
+}
+double Rank::allreduce_min(double v) {
+  return comm_->reduce(id_, v, Communicator::ReduceMode::kMin);
+}
 
-void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
+void Rank::fault_point(int step) { comm_->fault_point(id_, step); }
+
+void Communicator::fault_point(int rank, int step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_plan_) return;
+  for (std::size_t i = 0; i < plan_.kills.size(); ++i) {
+    if (kill_fired_[i] != 0) continue;
+    if (plan_.kills[i].rank != rank || plan_.kills[i].step != step) continue;
+    kill_fired_[i] = 1;
+    throw InjectedFaultError("injected fault: kill rank " +
+                             std::to_string(rank) + " at step " +
+                             std::to_string(step));
+  }
+}
+
+void Communicator::throw_if_down_locked() {
+  if (deadlocked_) throw DeadlockError(deadlock_report_);
+  if (poisoned_) {
+    throw RankFailedError("communicator poisoned: " +
+                              failure_report(failures_),
+                          failed_ids(failures_));
+  }
+}
+
+void Communicator::poison(int rank, const std::string& what) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    boxes_[{src, dst, tag}].messages.push(std::move(msg));
+    failures_.emplace_back(rank, what);
+    poisoned_ = true;
   }
   cv_.notify_all();
 }
 
-std::vector<double> Communicator::take(int src, int dst, int tag) {
+void Communicator::block_locked(int rank, Blocked b) {
+  blocked_[static_cast<std::size_t>(rank)] = b;
+  ++n_blocked_;
+  check_deadlock_locked();
+}
+
+void Communicator::unblock_locked(int rank) {
+  blocked_[static_cast<std::size_t>(rank)].kind = Blocked::Kind::kNone;
+  --n_blocked_;
+}
+
+void Communicator::rank_done(int rank) {
+  (void)rank;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --n_live_;
+    check_deadlock_locked();
+  }
+  cv_.notify_all();
+}
+
+// Deadlock iff every live rank is blocked and none of their waits can be
+// satisfied by current state. Only live ranks can change that state, and
+// all of them are blocked, so the condition is stable once observed (the
+// check runs whenever a rank blocks or exits, under the lock).
+void Communicator::check_deadlock_locked() {
+  if (deadlocked_ || poisoned_) return;
+  if (n_live_ == 0 || n_blocked_ != n_live_) return;
+  for (int r = 0; r < n_ranks_; ++r) {
+    const Blocked& b = blocked_[static_cast<std::size_t>(r)];
+    switch (b.kind) {
+      case Blocked::Kind::kNone:
+        break;  // finished rank
+      case Blocked::Kind::kRecv: {
+        const auto it = boxes_.find({b.src, r, b.tag});
+        if (it != boxes_.end() && !it->second.messages.empty()) return;
+        break;
+      }
+      case Blocked::Kind::kBarrier:
+        if (barrier_gen_ != b.gen) return;  // release pending, will wake
+        break;
+      case Blocked::Kind::kReduce:
+        if (reduce_gen_ != b.gen) return;
+        break;
+    }
+  }
+  // A fault-delayed message still in flight counts as progress: flush it
+  // instead of declaring deadlock.
+  if (!delayed_.empty()) {
+    for (auto& [key, msg] : delayed_) {
+      boxes_[key].messages.push(std::move(msg));
+    }
+    delayed_.clear();
+    cv_.notify_all();
+    check_deadlock_locked();  // flushed edges may still satisfy no waiter
+    return;
+  }
+  deadlock_report_ = "deadlock detected, all live ranks blocked:";
+  for (int r = 0; r < n_ranks_; ++r) {
+    const Blocked& b = blocked_[static_cast<std::size_t>(r)];
+    switch (b.kind) {
+      case Blocked::Kind::kNone:
+        break;
+      case Blocked::Kind::kRecv:
+        deadlock_report_ += " [rank " + std::to_string(r) + ": recv(src=" +
+                            std::to_string(b.src) +
+                            ", tag=" + std::to_string(b.tag) + ")]";
+        break;
+      case Blocked::Kind::kBarrier:
+        deadlock_report_ += " [rank " + std::to_string(r) + ": barrier]";
+        break;
+      case Blocked::Kind::kReduce:
+        deadlock_report_ += " [rank " + std::to_string(r) + ": allreduce]";
+        break;
+    }
+  }
+  deadlocked_ = true;
+  cv_.notify_all();
+}
+
+void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    throw_if_down_locked();
+    const auto key = std::tuple<int, int, int>{src, dst, tag};
+    const int occurrence = edge_sends_[key]++;
+    FaultPlan::MsgAction action = FaultPlan::MsgAction::kDrop;
+    bool faulted = false;
+    std::uint64_t fault_seed = 0;
+    if (has_plan_) {
+      for (std::size_t i = 0; i < plan_.msg_faults.size(); ++i) {
+        const auto& f = plan_.msg_faults[i];
+        if (msg_fired_[i] != 0 || f.src != src || f.dst != dst ||
+            f.tag != tag || f.occurrence != occurrence) {
+          continue;
+        }
+        msg_fired_[i] = 1;
+        faulted = true;
+        action = f.action;
+        fault_seed = plan_.seed ^ splitmix64(i + 1);
+        break;
+      }
+    }
+    auto deliver = [&](std::vector<double> m) {
+      boxes_[key].messages.push(std::move(m));
+      // A previously delayed message on this edge rides after this one.
+      auto d = delayed_.find(key);
+      if (d != delayed_.end()) {
+        boxes_[key].messages.push(std::move(d->second));
+        delayed_.erase(d);
+      }
+    };
+    if (!faulted) {
+      deliver(std::move(msg));
+    } else {
+      switch (action) {
+        case FaultPlan::MsgAction::kDrop:
+          break;
+        case FaultPlan::MsgAction::kDuplicate:
+          deliver(msg);
+          deliver(std::move(msg));
+          break;
+        case FaultPlan::MsgAction::kCorrupt:
+          if (!msg.empty()) {
+            const std::size_t idx = static_cast<std::size_t>(
+                splitmix64(fault_seed) % msg.size());
+            std::uint64_t bits;
+            std::memcpy(&bits, &msg[idx], sizeof(bits));
+            bits ^= 1ULL << 51;  // flip a high mantissa bit
+            std::memcpy(&msg[idx], &bits, sizeof(bits));
+          }
+          deliver(std::move(msg));
+          break;
+        case FaultPlan::MsgAction::kDelay:
+          // Hold until the edge's next message (reordering); flushed by the
+          // deadlock checker if the system would otherwise stall.
+          delayed_[key] = std::move(msg);
+          break;
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<double> Communicator::take(int src, int dst, int tag,
+                                       double timeout_sec) {
   std::unique_lock<std::mutex> lock(mu_);
-  auto key = std::tuple<int, int, int>{src, dst, tag};
-  cv_.wait(lock, [&] {
+  throw_if_down_locked();
+  const auto key = std::tuple<int, int, int>{src, dst, tag};
+  const auto ready = [&] {
+    if (poisoned_ || deadlocked_) return true;
     auto it = boxes_.find(key);
     return it != boxes_.end() && !it->second.messages.empty();
-  });
+  };
+  if (!ready()) {
+    block_locked(dst, {Blocked::Kind::kRecv, src, tag, 0});
+    const double t = effective_timeout(timeout_sec);
+    if (t <= 0.0) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_for(lock, std::chrono::duration<double>(t), ready)) {
+      unblock_locked(dst);
+      throw TimeoutError("recv timeout on rank " + std::to_string(dst) +
+                         ": recv(src=" + std::to_string(src) +
+                         ", tag=" + std::to_string(tag) + ") after " +
+                         std::to_string(t) + " s");
+    }
+    unblock_locked(dst);
+  }
+  throw_if_down_locked();
   auto& q = boxes_[key].messages;
   std::vector<double> msg = std::move(q.front());
   q.pop();
   return msg;
 }
 
-void Communicator::barrier_wait() {
+void Communicator::barrier_wait(int rank, double timeout_sec) {
   std::unique_lock<std::mutex> lock(mu_);
+  throw_if_down_locked();
   const std::size_t gen = barrier_gen_;
   if (++barrier_count_ == n_ranks_) {
     barrier_count_ = 0;
     ++barrier_gen_;
     cv_.notify_all();
-  } else {
-    cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+    return;
   }
+  const auto released = [&] {
+    return poisoned_ || deadlocked_ || barrier_gen_ != gen;
+  };
+  block_locked(rank, {Blocked::Kind::kBarrier, 0, 0, gen});
+  const double t = effective_timeout(timeout_sec);
+  if (t <= 0.0) {
+    cv_.wait(lock, released);
+  } else if (!cv_.wait_for(lock, std::chrono::duration<double>(t), released)) {
+    unblock_locked(rank);
+    // Withdraw from the barrier so a later retry is not double-counted.
+    if (barrier_gen_ == gen) --barrier_count_;
+    throw TimeoutError("barrier timeout on rank " + std::to_string(rank) +
+                       " after " + std::to_string(t) + " s");
+  }
+  unblock_locked(rank);
+  throw_if_down_locked();
 }
 
-double Communicator::reduce(double v, bool max_mode) {
+double Communicator::reduce(int rank, double v, ReduceMode mode) {
   std::unique_lock<std::mutex> lock(mu_);
+  throw_if_down_locked();
   const std::size_t gen = reduce_gen_;
   if (reduce_count_ == 0) {
     reduce_acc_ = v;
   } else {
-    reduce_acc_ = max_mode ? std::max(reduce_acc_, v) : reduce_acc_ + v;
+    switch (mode) {
+      case ReduceMode::kSum: reduce_acc_ += v; break;
+      case ReduceMode::kMax: reduce_acc_ = std::max(reduce_acc_, v); break;
+      case ReduceMode::kMin: reduce_acc_ = std::min(reduce_acc_, v); break;
+    }
   }
   if (++reduce_count_ == n_ranks_) {
     reduce_result_ = reduce_acc_;
@@ -72,32 +334,73 @@ double Communicator::reduce(double v, bool max_mode) {
     cv_.notify_all();
     return reduce_result_;
   }
-  cv_.wait(lock, [&] { return reduce_gen_ != gen; });
+  block_locked(rank, {Blocked::Kind::kReduce, 0, 0, gen});
+  cv_.wait(lock, [&] {
+    return poisoned_ || deadlocked_ || reduce_gen_ != gen;
+  });
+  unblock_locked(rank);
+  throw_if_down_locked();
   return reduce_result_;
 }
 
 void Communicator::run(const std::function<void(Rank&)>& fn) {
+  {
+    // Reset any state left over from a previous (possibly failed) run so
+    // the communicator is reusable by supervised retry loops. Fault-plan
+    // fired-state is deliberately kept: one-shot faults stay consumed.
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = false;
+    failures_.clear();
+    deadlocked_ = false;
+    deadlock_report_.clear();
+    boxes_.clear();
+    edge_sends_.clear();
+    delayed_.clear();
+    barrier_count_ = 0;
+    reduce_count_ = 0;
+    n_blocked_ = 0;
+    n_live_ = n_ranks_;
+    blocked_.assign(static_cast<std::size_t>(n_ranks_), {});
+  }
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks_));
   threads.reserve(static_cast<std::size_t>(n_ranks_));
   std::vector<Rank> ranks;
   ranks.reserve(static_cast<std::size_t>(n_ranks_));
   for (int r = 0; r < n_ranks_; ++r) {
     ranks.push_back(Rank(this, r, n_ranks_));
   }
+  std::exception_ptr deadlock_error;
+  std::mutex deadlock_mu;
   for (int r = 0; r < n_ranks_; ++r) {
     threads.emplace_back([&, r] {
       try {
         fn(ranks[static_cast<std::size_t>(r)]);
+      } catch (const DeadlockError&) {
+        std::lock_guard<std::mutex> lock(deadlock_mu);
+        if (!deadlock_error) deadlock_error = std::current_exception();
+      } catch (const RankFailedError& e) {
+        // Poison-wakeup casualty of a peer failure: not a root cause, do
+        // not re-report. A RankFailedError thrown by user code before any
+        // poisoning is a genuine failure and is recorded.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!poisoned_) {
+          failures_.emplace_back(r, e.what());
+          poisoned_ = true;
+          cv_.notify_all();
+        }
+      } catch (const std::exception& e) {
+        poison(r, e.what());
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        poison(r, "unknown exception");
       }
+      rank_done(r);
     });
   }
   for (auto& t : threads) t.join();
   boxes_.clear();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  if (deadlock_error) std::rethrow_exception(deadlock_error);
+  if (!failures_.empty()) {
+    throw RankFailedError(failure_report(failures_), failed_ids(failures_));
   }
 }
 

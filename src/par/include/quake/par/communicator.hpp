@@ -5,19 +5,110 @@
 // passing programming model of the paper's MPI code, runnable on one
 // machine. The partitioned data structures and the communication pattern
 // are identical to a distributed run; only the transport is shared memory.
+//
+// Fault tolerance (see DESIGN.md "Fault tolerance & checkpointing"):
+//  * Poisoning — when any rank's function throws, every peer blocked in
+//    recv/barrier/allreduce wakes and throws RankFailedError instead of
+//    hanging forever; run() aggregates all root-cause errors into one
+//    report.
+//  * Deadlock detection — when every live rank is blocked and no pending
+//    message can satisfy any of them, all waiters throw DeadlockError
+//    naming each rank's blocked operation (src, tag), so mismatched
+//    exchanges are diagnosable rather than eternal.
+//  * Deadlines — recv/barrier accept a timeout; expiry throws TimeoutError.
+//  * Deterministic fault injection — a seeded FaultPlan installed on the
+//    Communicator kills ranks at planned steps and drops / duplicates /
+//    corrupts / delays planned messages, so recovery machinery is testable
+//    in CI. Each fault fires once, surviving across run() retries.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <queue>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace quake::par {
 
 class Communicator;
+
+// Base class for all substrate-level failures.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown (a) out of blocking calls on surviving ranks once a peer has
+// failed, and (b) by Communicator::run() as the aggregated report of every
+// root-cause rank failure.
+class RankFailedError : public CommError {
+ public:
+  RankFailedError(const std::string& what, std::vector<int> failed_ranks)
+      : CommError(what), failed_(std::move(failed_ranks)) {}
+  // Ranks whose function threw (root causes, not poison-wakeup casualties).
+  [[nodiscard]] const std::vector<int>& failed_ranks() const {
+    return failed_;
+  }
+
+ private:
+  std::vector<int> failed_;
+};
+
+// All live ranks blocked with no satisfiable wait: what() lists each rank's
+// blocked operation, e.g. "rank 0: recv(src=1, tag=3)".
+class DeadlockError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+// A recv/barrier deadline expired before the operation completed.
+class TimeoutError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+// Thrown on a rank killed by an installed FaultPlan.
+class InjectedFaultError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+// Deterministic, seeded fault schedule. Every fault fires exactly once per
+// install (state survives across run() calls, so a supervised retry does
+// not re-hit the same fault).
+struct FaultPlan {
+  std::uint64_t seed = 1;  // drives the corrupted-value perturbation
+
+  // Throw InjectedFaultError on `rank` when it reaches Rank::fault_point(step).
+  struct Kill {
+    int rank = 0;
+    int step = 0;
+  };
+  std::vector<Kill> kills;
+
+  enum class MsgAction {
+    kDrop,       // message never delivered
+    kDuplicate,  // delivered twice
+    kCorrupt,    // one element bit-flipped (seeded choice)
+    kDelay,      // delivered after the edge's next message (reordering);
+                 // flushed if the system would otherwise deadlock
+  };
+  // Applies `action` to the `occurrence`-th send (0-based) on edge
+  // (src, dst, tag).
+  struct MsgFault {
+    int src = 0;
+    int dst = 0;
+    int tag = 0;
+    int occurrence = 0;
+    MsgAction action = MsgAction::kDrop;
+  };
+  std::vector<MsgFault> msg_faults;
+};
 
 // Per-rank handle passed to the SPMD function. Methods may be called
 // concurrently from different ranks' threads.
@@ -27,13 +118,20 @@ class Rank {
   [[nodiscard]] int size() const { return size_; }
 
   // Blocking tagged point-to-point. Messages between a (src, dst, tag)
-  // triple are delivered in order.
+  // triple are delivered in order. `timeout_sec` overrides the
+  // communicator-wide deadline for this call (0 = use the default;
+  // default 0 = wait forever, subject to deadlock detection).
   void send(int dest, int tag, std::span<const double> data);
-  std::vector<double> recv(int src, int tag);
+  std::vector<double> recv(int src, int tag, double timeout_sec = 0.0);
 
-  void barrier();
+  void barrier(double timeout_sec = 0.0);
   double allreduce_sum(double v);
   double allreduce_max(double v);
+  double allreduce_min(double v);
+
+  // Deterministic fault hook: long-running solvers call this once per time
+  // step so an installed FaultPlan can kill this rank at a planned step.
+  void fault_point(int step);
 
   // Total doubles sent by this rank (communication-volume accounting).
   [[nodiscard]] std::size_t doubles_sent() const { return sent_; }
@@ -53,27 +151,88 @@ class Communicator {
   explicit Communicator(int n_ranks);
 
   // Runs `fn` once per rank, each on its own thread; returns when all
-  // complete. Exceptions thrown by any rank are rethrown (first one wins).
+  // complete. If any rank throws, every blocked peer is woken (poisoned
+  // communicator) and run() throws RankFailedError aggregating all
+  // root-cause errors; a detected deadlock rethrows as DeadlockError.
+  // A Communicator is reusable after a failed run.
   void run(const std::function<void(Rank&)>& fn);
 
   [[nodiscard]] int size() const { return n_ranks_; }
 
+  // Default deadline for blocking operations, in seconds (0 = none).
+  void set_timeout(double seconds) { default_timeout_sec_ = seconds; }
+
+  // Installs (replacing any previous) a deterministic fault plan; resets
+  // its fired-state.
+  void install_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+
  private:
   friend class Rank;
+
+  enum class ReduceMode { kSum, kMax, kMin };
 
   struct Mailbox {
     std::queue<std::vector<double>> messages;
   };
 
+  // What a rank is currently blocked on (for deadlock diagnosis).
+  struct Blocked {
+    enum class Kind { kNone, kRecv, kBarrier, kReduce };
+    Kind kind = Kind::kNone;
+    int src = 0;
+    int tag = 0;
+    std::size_t gen = 0;  // barrier/reduce generation at block time
+  };
+
   void post(int src, int dst, int tag, std::vector<double> msg);
-  std::vector<double> take(int src, int dst, int tag);
-  void barrier_wait();
-  double reduce(double v, bool max_mode);
+  std::vector<double> take(int src, int dst, int tag, double timeout_sec);
+  void barrier_wait(int rank, double timeout_sec);
+  double reduce(int rank, double v, ReduceMode mode);
+  void fault_point(int rank, int step);
+
+  // Marks `rank` as failed with `what` and wakes all blocked peers.
+  // Requires mu_ NOT held.
+  void poison(int rank, const std::string& what);
+  // Throws DeadlockError / RankFailedError if the run is down (mu_ held).
+  void throw_if_down_locked();
+  // Registers/deregisters a blocked wait and re-evaluates the all-ranks-
+  // blocked condition (mu_ held).
+  void block_locked(int rank, Blocked b);
+  void unblock_locked(int rank);
+  void check_deadlock_locked();
+  void rank_done(int rank);  // live-count bookkeeping on fn exit
+
+  // Effective timeout: per-call override, else communicator default.
+  [[nodiscard]] double effective_timeout(double timeout_sec) const {
+    return timeout_sec > 0.0 ? timeout_sec : default_timeout_sec_;
+  }
 
   int n_ranks_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::tuple<int, int, int>, Mailbox> boxes_;
+
+  // Poison / deadlock state: set on failure, reset by the next run().
+  bool poisoned_ = false;
+  std::vector<std::pair<int, std::string>> failures_;  // (rank, what)
+  bool deadlocked_ = false;
+  std::string deadlock_report_;
+
+  // Blocked-rank table for deadlock detection.
+  std::vector<Blocked> blocked_;
+  int n_blocked_ = 0;
+  int n_live_ = 0;
+
+  double default_timeout_sec_ = 0.0;
+
+  // Fault-injection state (persists across run() calls).
+  bool has_plan_ = false;
+  FaultPlan plan_;
+  std::vector<std::uint8_t> kill_fired_;
+  std::vector<std::uint8_t> msg_fired_;
+  std::map<std::tuple<int, int, int>, int> edge_sends_;  // per-edge counter
+  std::map<std::tuple<int, int, int>, std::vector<double>> delayed_;
 
   // Dissemination-free simple barrier / reduction state.
   int barrier_count_ = 0;

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <numeric>
+#include <string>
+#include <thread>
 
 #include "quake/mesh/meshgen.hpp"
 #include "quake/par/communicator.hpp"
@@ -87,6 +92,255 @@ TEST(Communicator, ExceptionPropagates) {
     // Rank 0 must not deadlock waiting; it simply finishes.
   }),
                std::runtime_error);
+}
+
+// Regression: before communicator poisoning, a throwing rank left every
+// peer blocked inside recv/barrier forever and run() never returned.
+TEST(Communicator, PeerFailureWakesBlockedRecv) {
+  Communicator comm(3);
+  try {
+    comm.run([](Rank& r) {
+      if (r.id() == 2) throw std::runtime_error("rank 2 died");
+      if (r.id() == 0) r.recv(2, 0);  // would hang: rank 2 never sends
+      if (r.id() == 1) r.barrier();   // would hang: never completed
+    });
+    FAIL() << "run() must throw after a rank failure";
+  } catch (const RankFailedError& e) {
+    ASSERT_EQ(e.failed_ranks().size(), 1u);
+    EXPECT_EQ(e.failed_ranks()[0], 2);
+    EXPECT_NE(std::string(e.what()).find("rank 2 died"), std::string::npos);
+  }
+}
+
+TEST(Communicator, RunAggregatesAllRankErrors) {
+  Communicator comm(4);
+  try {
+    comm.run([](Rank& r) {
+      if (r.id() == 1) throw std::runtime_error("fault A");
+      if (r.id() == 3) throw std::runtime_error("fault B");
+    });
+    FAIL() << "run() must throw";
+  } catch (const RankFailedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fault A"), std::string::npos);
+    EXPECT_NE(what.find("fault B"), std::string::npos);
+    ASSERT_EQ(e.failed_ranks().size(), 2u);
+  }
+}
+
+TEST(Communicator, DeadlockDetectedOnMismatchedTags) {
+  // Classic mismatched exchange: each rank waits on a tag the other never
+  // sends. Must throw DeadlockError naming both blocked operations, not
+  // hang forever.
+  Communicator comm(2);
+  try {
+    comm.run([](Rank& r) {
+      if (r.id() == 0) {
+        r.recv(1, /*tag=*/1);
+      } else {
+        r.recv(0, /*tag=*/2);
+      }
+    });
+    FAIL() << "run() must diagnose the deadlock";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0: recv(src=1, tag=1)"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 1: recv(src=0, tag=2)"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Communicator, DeadlockDetectedWhenPeerExitsBeforeBarrier) {
+  Communicator comm(2);
+  try {
+    comm.run([](Rank& r) {
+      if (r.id() == 0) r.barrier();  // rank 1 returns without reaching it
+    });
+    FAIL() << "run() must diagnose the deadlock";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0: barrier"),
+              std::string::npos);
+  }
+}
+
+TEST(Communicator, DeadlockNotDeclaredWhileMessagePending) {
+  // A message posted just before the sender finishes satisfies the blocked
+  // receiver: no deadlock, clean completion.
+  Communicator comm(2);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> msg = {1.0};
+      r.send(1, 0, msg);
+    } else {
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 1.0);
+    }
+  });
+}
+
+TEST(Communicator, RecvTimeoutThrows) {
+  Communicator comm(2);
+  std::atomic<bool> timed_out{false};
+  comm.run([&](Rank& r) {
+    if (r.id() == 0) {
+      try {
+        r.recv(1, 0, /*timeout_sec=*/0.02);
+        FAIL() << "recv must time out";
+      } catch (const TimeoutError& e) {
+        timed_out.store(true);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("src=1"), std::string::npos);
+        EXPECT_NE(what.find("tag=0"), std::string::npos);
+      }
+      r.recv(1, 0);  // now wait for the real (late) message
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      const std::vector<double> msg = {2.0};
+      r.send(0, 0, msg);
+    }
+  });
+  EXPECT_TRUE(timed_out.load());
+}
+
+TEST(Communicator, ReusableAfterFailedRun) {
+  Communicator comm(2);
+  EXPECT_THROW(comm.run([](Rank& r) {
+    if (r.id() == 1) throw std::runtime_error("boom");
+    r.recv(1, 0);
+  }),
+               RankFailedError);
+  // The same communicator must support a clean run afterwards.
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> msg = {4.0};
+      r.send(1, 0, msg);
+    } else {
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 4.0);
+    }
+    r.barrier();
+    EXPECT_DOUBLE_EQ(r.allreduce_sum(1.0), 2.0);
+  });
+}
+
+TEST(FaultInjection, KillRankAtStepThrowsAggregatedError) {
+  Communicator comm(3);
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*step=*/5});
+  comm.install_fault_plan(plan);
+  try {
+    comm.run([](Rank& r) {
+      for (int k = 0; k < 10; ++k) {
+        r.fault_point(k);
+        r.barrier();
+      }
+    });
+    FAIL() << "injected kill must surface";
+  } catch (const RankFailedError& e) {
+    ASSERT_EQ(e.failed_ranks().size(), 1u);
+    EXPECT_EQ(e.failed_ranks()[0], 1);
+    EXPECT_NE(std::string(e.what()).find("injected fault"),
+              std::string::npos);
+  }
+  // One-shot: a retry on the same communicator passes the kill step.
+  comm.run([](Rank& r) {
+    for (int k = 0; k < 10; ++k) {
+      r.fault_point(k);
+      r.barrier();
+    }
+  });
+}
+
+TEST(FaultInjection, DroppedMessageDiagnosedAsDeadlock) {
+  Communicator comm(2);
+  FaultPlan plan;
+  plan.msg_faults.push_back(
+      {/*src=*/0, /*dst=*/1, /*tag=*/0, /*occurrence=*/0,
+       FaultPlan::MsgAction::kDrop});
+  comm.install_fault_plan(plan);
+  EXPECT_THROW(comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> msg = {1.0};
+      r.send(1, 0, msg);
+    } else {
+      r.recv(0, 0);  // the message was dropped; sender has finished
+    }
+  }),
+               DeadlockError);
+}
+
+TEST(FaultInjection, DuplicatedMessageArrivesTwice) {
+  Communicator comm(2);
+  FaultPlan plan;
+  plan.msg_faults.push_back(
+      {0, 1, 0, 0, FaultPlan::MsgAction::kDuplicate});
+  comm.install_fault_plan(plan);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> msg = {7.0};
+      r.send(1, 0, msg);
+    } else {
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 7.0);
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 7.0);  // the duplicate
+    }
+  });
+}
+
+TEST(FaultInjection, CorruptedMessageDiffersFromSent) {
+  Communicator comm(2);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.msg_faults.push_back({0, 1, 0, 0, FaultPlan::MsgAction::kCorrupt});
+  comm.install_fault_plan(plan);
+  comm.run([](Rank& r) {
+    const std::vector<double> original = {1.0, 2.0, 3.0, 4.0};
+    if (r.id() == 0) {
+      r.send(1, 0, original);
+    } else {
+      const auto got = r.recv(0, 0);
+      ASSERT_EQ(got.size(), original.size());
+      int n_diff = 0;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i] != original[i]) ++n_diff;
+      }
+      EXPECT_EQ(n_diff, 1);  // exactly one element bit-flipped
+    }
+  });
+}
+
+TEST(FaultInjection, DelayedMessageReordersEdge) {
+  Communicator comm(2);
+  FaultPlan plan;
+  plan.msg_faults.push_back({0, 1, 0, 0, FaultPlan::MsgAction::kDelay});
+  comm.install_fault_plan(plan);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> a = {1.0}, b = {2.0};
+      r.send(1, 0, a);
+      r.send(1, 0, b);
+    } else {
+      // First send was held back until the second: order inverted.
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 2.0);
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 1.0);
+    }
+  });
+}
+
+TEST(FaultInjection, DelayedMessageFlushedInsteadOfDeadlock) {
+  // The delayed message is the only one on its edge; when the receiver
+  // blocks and nothing else can make progress, the deadlock checker must
+  // flush it rather than declare a (false) deadlock.
+  Communicator comm(2);
+  FaultPlan plan;
+  plan.msg_faults.push_back({0, 1, 0, 0, FaultPlan::MsgAction::kDelay});
+  comm.install_fault_plan(plan);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> msg = {3.0};
+      r.send(1, 0, msg);
+    } else {
+      EXPECT_DOUBLE_EQ(r.recv(0, 0)[0], 3.0);
+    }
+  });
 }
 
 mesh::HexMesh small_basin_mesh() {
