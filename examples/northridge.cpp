@@ -112,12 +112,19 @@ int main(int argc, char** argv) {
                   solver.elapsed_seconds() * 1e-6,
               snap_id);
 
-  // Parallel cross-check.
+  // Parallel cross-check, with checkpoint/restart enabled: each rank writes
+  // a CRC-verified snapshot every ~10% of the run, and a failed attempt is
+  // retried from the newest snapshot all ranks agree on (see DESIGN.md,
+  // "Fault tolerance & checkpointing"). Snapshots are removed on success.
   const par::Partition part = par::partition_sfc(mesh, n_ranks);
   const solver::SourceModel* sources[] = {&source};
   const std::array<double, 3> rxs[] = {{0.7 * extent, 0.55 * extent, 0.0}};
+  par::FaultToleranceOptions ft;
+  ft.checkpoint_dir = out_dir;
+  ft.checkpoint_every = std::max(1, solver.n_steps() / 10);
+  ft.max_retries = 2;
   const par::ParallelResult pr =
-      par::run_parallel(mesh, part, oopt, sopt, sources, rxs);
+      par::run_parallel(mesh, part, oopt, sopt, sources, rxs, ft);
   double max_err = 0.0;
   for (std::size_t k = 0; k < pr.receiver_histories[0].size(); ++k) {
     for (int c = 0; c < 3; ++c) {

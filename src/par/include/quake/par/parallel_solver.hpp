@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "quake/mesh/hex_mesh.hpp"
@@ -23,6 +24,8 @@
 #include "quake/solver/source.hpp"
 
 namespace quake::par {
+
+struct FaultPlan;  // communicator.hpp
 
 struct ParallelResult {
   std::vector<double> u_final;  // gathered full-length displacement
@@ -44,12 +47,39 @@ struct ParallelResult {
   std::vector<std::vector<std::array<double, 3>>> receiver_histories;
 };
 
+// Fault-tolerance policy for run_parallel (see DESIGN.md "Fault tolerance
+// & checkpointing"). With a checkpoint directory set, each rank writes a
+// CRC32-verified snapshot of its state (u, u_prev, dku_prev, step counter,
+// owned receiver histories) every `checkpoint_every` steps, and a failed
+// run is rewound to the last snapshot on which all ranks agree and resumed
+// — bit-identically to an uninterrupted run. Failures are retried up to
+// `max_retries` times with exponential backoff before the aggregated
+// RankFailedError surfaces; detected deadlocks are never retried (they are
+// deterministic program errors).
+struct FaultToleranceOptions {
+  std::string checkpoint_dir;         // empty = checkpointing off
+  int checkpoint_every = 0;           // steps between snapshots (0 = off)
+  int max_retries = 0;                // supervised restarts on rank failure
+  double backoff_base_seconds = 0.0;  // sleep base, doubled per retry
+  double timeout_seconds = 0.0;       // per blocking comm op (0 = infinite)
+  const FaultPlan* fault_plan = nullptr;  // injected faults (testing)
+};
+
 // Runs the partitioned simulation with `part.n_ranks` in-process ranks.
 ParallelResult run_parallel(
     const mesh::HexMesh& mesh, const Partition& part,
     const solver::OperatorOptions& op_opt, const solver::SolverOptions& so,
     std::span<const solver::SourceModel* const> sources,
     std::span<const std::array<double, 3>> receiver_positions);
+
+// As above, with fault tolerance: supervised retry on rank failure,
+// checkpoint/restart, comm deadlines, and deterministic fault injection.
+ParallelResult run_parallel(
+    const mesh::HexMesh& mesh, const Partition& part,
+    const solver::OperatorOptions& op_opt, const solver::SolverOptions& so,
+    std::span<const solver::SourceModel* const> sources,
+    std::span<const std::array<double, 3>> receiver_positions,
+    const FaultToleranceOptions& ft);
 
 // Analytic machine model used to translate measured per-rank work and
 // communication volumes into the parallel-efficiency column of Table 2.1

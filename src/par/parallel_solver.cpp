@@ -1,13 +1,18 @@
 #include "quake/par/parallel_solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "quake/fem/hex_element.hpp"
 #include "quake/par/communicator.hpp"
+#include "quake/util/checkpoint.hpp"
 #include "quake/util/timer.hpp"
 
 namespace quake::par {
@@ -63,6 +68,28 @@ class RankForceSink final : public solver::ForceSink {
   std::vector<double>* f_;
 };
 
+std::string ckpt_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".ckpt";
+}
+
+// A snapshot is usable by this rank iff its step is inside the run and its
+// state arrays match this rank's dof count and owned receiver set.
+bool snapshot_usable(const util::Snapshot& s, std::size_t nd, int n_steps,
+                     const std::vector<std::pair<int, int>>& receivers) {
+  if (s.step < 1 || s.step >= n_steps) return false;
+  if (s.field("u").size() != nd || s.field("u_prev").size() != nd ||
+      s.field("dku_prev").size() != nd) {
+    return false;
+  }
+  for (const auto& [ri, ln] : receivers) {
+    if (s.field("recv" + std::to_string(ri)).size() !=
+        3 * static_cast<std::size_t>(s.step)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 ParallelResult run_parallel(
@@ -70,6 +97,16 @@ ParallelResult run_parallel(
     const solver::OperatorOptions& op_opt, const solver::SolverOptions& so,
     std::span<const solver::SourceModel* const> sources,
     std::span<const std::array<double, 3>> receiver_positions) {
+  return run_parallel(mesh, part, op_opt, so, sources, receiver_positions,
+                      FaultToleranceOptions{});
+}
+
+ParallelResult run_parallel(
+    const mesh::HexMesh& mesh, const Partition& part,
+    const solver::OperatorOptions& op_opt, const solver::SolverOptions& so,
+    std::span<const solver::SourceModel* const> sources,
+    std::span<const std::array<double, 3>> receiver_positions,
+    const FaultToleranceOptions& ft) {
   const int R = part.n_ranks;
   const solver::ElasticOperator op(mesh, op_opt);
   const double dt = so.dt > 0.0 ? so.dt : op.stable_dt(so.cfl_fraction);
@@ -222,8 +259,14 @@ ParallelResult run_parallel(
   const auto elem_damping = op.element_damping();
 
   // ---- SPMD execution ------------------------------------------------------
+  const bool ckpt_on = !ft.checkpoint_dir.empty();
+  if (ckpt_on) std::filesystem::create_directories(ft.checkpoint_dir);
+
   Communicator comm(R);
-  comm.run([&](Rank& rank) {
+  if (ft.fault_plan != nullptr) comm.install_fault_plan(*ft.fault_plan);
+  if (ft.timeout_seconds > 0.0) comm.set_timeout(ft.timeout_seconds);
+
+  const auto spmd_body = [&](Rank& rank) {
     const std::size_t r = static_cast<std::size_t>(rank.id());
     RankLocal& L = locals[r];
     const std::size_t nd = 3 * L.nodes.size();
@@ -235,6 +278,63 @@ ParallelResult run_parallel(
     util::StopWatch compute_watch, exchange_watch;
     std::uint64_t flops = 0;
     std::size_t sent_per_step = 0;
+
+    // ---- checkpoint restore: agree on a common restart step --------------
+    // Each rank proposes the newest usable snapshot among its current and
+    // previous checkpoint files; the collective restart step is the minimum
+    // proposal, and a second round confirms every rank can serve it (from
+    // either file). Any disagreement falls back to a from-scratch start —
+    // always correct, at worst wasteful.
+    int k0 = 0;
+    if (ckpt_on) {
+      const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
+      util::Snapshot cand[2];
+      bool have[2] = {false, false};
+      have[0] = util::load_snapshot(path, &cand[0]) &&
+                snapshot_usable(cand[0], nd, n_steps, L.receivers);
+      have[1] = util::load_snapshot(path + ".prev", &cand[1]) &&
+                snapshot_usable(cand[1], nd, n_steps, L.receivers);
+      if (have[0] && have[1] && cand[1].step > cand[0].step) {
+        std::swap(cand[0], cand[1]);
+      }
+      const double proposal =
+          have[0] ? static_cast<double>(cand[0].step)
+                  : (have[1] ? static_cast<double>(cand[1].step) : -1.0);
+      const double agreed = rank.allreduce_min(proposal);
+      const util::Snapshot* chosen = nullptr;
+      for (int c = 0; c < 2; ++c) {
+        if (have[c] && static_cast<double>(cand[c].step) == agreed) {
+          chosen = &cand[c];
+          break;
+        }
+      }
+      const double all_can =
+          rank.allreduce_min(agreed >= 1.0 && chosen != nullptr ? 1.0 : 0.0);
+      if (all_can == 1.0) {
+        k0 = static_cast<int>(chosen->step);
+        const auto su = chosen->field("u");
+        const auto sp = chosen->field("u_prev");
+        const auto sd = chosen->field("dku_prev");
+        std::copy(su.begin(), su.end(), u.begin());
+        std::copy(sp.begin(), sp.end(), u_prev.begin());
+        std::copy(sd.begin(), sd.end(), dku_prev.begin());
+        for (const auto& [ri, ln] : L.receivers) {
+          const auto flat = chosen->field("recv" + std::to_string(ri));
+          auto& hist = result.receiver_histories[static_cast<std::size_t>(ri)];
+          hist.assign(static_cast<std::size_t>(k0), {});
+          for (std::size_t s = 0; s < hist.size(); ++s) {
+            hist[s] = {flat[3 * s], flat[3 * s + 1], flat[3 * s + 2]};
+          }
+        }
+      }
+    }
+    if (k0 == 0) {
+      // Fresh (or retried-from-scratch) start: drop any partial histories a
+      // failed attempt appended to this rank's owned receivers.
+      for (const auto& [ri, ln] : L.receivers) {
+        result.receiver_histories[static_cast<std::size_t>(ri)].clear();
+      }
+    }
 
     auto expand = [&](std::vector<double>& x) {
       for (const LocalConstraint& c : L.cons) {
@@ -267,7 +367,8 @@ ParallelResult run_parallel(
       }
     };
 
-    for (int k = 0; k < n_steps; ++k) {
+    for (int k = k0; k < n_steps; ++k) {
+      rank.fault_point(k);
       compute_watch.start();
       const double t_k = k * dt;
       std::fill(f.begin(), f.end(), 0.0);
@@ -365,7 +466,7 @@ ParallelResult run_parallel(
         }
         rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
       }
-      if (k == 0) {
+      if (k == k0) {
         sent_per_step = 0;
         for (const auto& buf : sendbuf) sent_per_step += buf.size();
       }
@@ -455,6 +556,30 @@ ParallelResult run_parallel(
             {u[base], u[base + 1], u[base + 2]});
       }
       compute_watch.stop();
+
+      // ---- periodic snapshot, barrier-bracketed so the per-rank files of
+      // a checkpoint generation form a consistent cut ----
+      if (ckpt_on && ft.checkpoint_every > 0 &&
+          (k + 1) % ft.checkpoint_every == 0 && k + 1 < n_steps) {
+        rank.barrier();
+        const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
+        std::rename(path.c_str(), (path + ".prev").c_str());  // keep one old
+        util::Snapshot snap;
+        snap.step = k + 1;
+        snap.add("u", u);
+        snap.add("u_prev", u_prev);
+        snap.add("dku_prev", dku_prev);
+        for (const auto& [ri, ln] : L.receivers) {
+          const auto& hist =
+              result.receiver_histories[static_cast<std::size_t>(ri)];
+          std::vector<double> flat;
+          flat.reserve(3 * hist.size());
+          for (const auto& s : hist) flat.insert(flat.end(), s.begin(), s.end());
+          snap.add("recv" + std::to_string(ri), std::move(flat));
+        }
+        util::save_snapshot(path, snap);
+        rank.barrier();
+      }
     }
 
     // Gather: each rank writes its owned nodes (owners are unique).
@@ -474,7 +599,36 @@ ParallelResult run_parallel(
     st.flops = flops;
     st.compute_seconds = compute_watch.total_seconds();
     st.exchange_seconds = exchange_watch.total_seconds();
-  });
+  };
+
+  // ---- supervised execution: rewind to the last checkpoint and retry on
+  // rank failure, with exponential backoff; deadlocks are deterministic
+  // program errors and surface immediately ----
+  int attempt = 0;
+  for (;;) {
+    try {
+      comm.run(spmd_body);
+      break;
+    } catch (const DeadlockError&) {
+      throw;
+    } catch (const RankFailedError&) {
+      if (attempt >= ft.max_retries) throw;
+      if (ft.backoff_base_seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            ft.backoff_base_seconds * std::ldexp(1.0, attempt)));
+      }
+      ++attempt;
+    }
+  }
+  if (ckpt_on) {
+    // The run completed; its snapshots are obsolete (and would otherwise
+    // short-circuit an unrelated future run pointed at the same directory).
+    for (int rr = 0; rr < R; ++rr) {
+      const std::string path = ckpt_path(ft.checkpoint_dir, rr);
+      std::remove(path.c_str());
+      std::remove((path + ".prev").c_str());
+    }
+  }
 
   return result;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "quake/util/checkpoint.hpp"
+
 namespace quake::solver {
 
 ExplicitSolver::ExplicitSolver(const ElasticOperator& op,
@@ -126,10 +128,58 @@ void ExplicitSolver::step(int k) {
   flops_.add(op_->flops_per_apply() + nd * 14ull);
 }
 
+int ExplicitSolver::restore_checkpoint() {
+  util::Snapshot snap;
+  if (!util::load_snapshot(checkpoint_path_, &snap)) return 0;
+  const std::size_t nd = op_->n_dofs();
+  const auto u = snap.field("u");
+  const auto u_prev = snap.field("u_prev");
+  const auto dku_prev = snap.field("dku_prev");
+  if (snap.step <= 0 || snap.step > n_steps_ || u.size() != nd ||
+      u_prev.size() != nd || dku_prev.size() != nd) {
+    return 0;  // snapshot from an incompatible configuration
+  }
+  const std::size_t k0 = static_cast<std::size_t>(snap.step);
+  std::vector<std::span<const double>> rec(receivers_.size());
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    rec[i] = snap.field("recv" + std::to_string(i));
+    if (rec[i].size() != 3 * k0) return 0;
+  }
+  std::copy(u.begin(), u.end(), u_.begin());
+  std::copy(u_prev.begin(), u_prev.end(), u_prev_.begin());
+  std::copy(dku_prev.begin(), dku_prev.end(), dku_prev_.begin());
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    receivers_[i].u.assign(k0, {});
+    for (std::size_t s = 0; s < k0; ++s) {
+      receivers_[i].u[s] = {rec[i][3 * s], rec[i][3 * s + 1],
+                            rec[i][3 * s + 2]};
+    }
+  }
+  return static_cast<int>(snap.step);
+}
+
+void ExplicitSolver::write_checkpoint(int step) const {
+  util::Snapshot snap;
+  snap.step = step;
+  snap.add("u", u_);
+  snap.add("u_prev", u_prev_);
+  snap.add("dku_prev", dku_prev_);
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    std::vector<double> flat;
+    flat.reserve(3 * receivers_[i].u.size());
+    for (const auto& s : receivers_[i].u) {
+      flat.insert(flat.end(), s.begin(), s.end());
+    }
+    snap.add("recv" + std::to_string(i), std::move(flat));
+  }
+  util::save_snapshot(checkpoint_path_, snap);
+}
+
 void ExplicitSolver::run(const SnapshotFn& snapshot, int snapshot_every) {
   util::Timer timer;
   std::vector<double> v(snapshot ? op_->n_dofs() : 0);
-  for (int k = 0; k < n_steps_; ++k) {
+  const int k0 = checkpoint_path_.empty() ? 0 : restore_checkpoint();
+  for (int k = k0; k < n_steps_; ++k) {
     step(k);
     for (Receiver& r : receivers_) {
       const std::size_t base = 3 * static_cast<std::size_t>(r.node);
@@ -140,6 +190,10 @@ void ExplicitSolver::run(const SnapshotFn& snapshot, int snapshot_every) {
         v[d] = (u_[d] - u_prev_[d]) / dt_;
       }
       snapshot(k + 1, (k + 1) * dt_, u_, v);
+    }
+    if (checkpoint_every_ > 0 && !checkpoint_path_.empty() &&
+        (k + 1) % checkpoint_every_ == 0 && k + 1 < n_steps_) {
+      write_checkpoint(k + 1);
     }
   }
   elapsed_ = timer.seconds();

@@ -1,0 +1,154 @@
+#include "quake/util/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace quake::util {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50'4B'43'51;  // "QCKP" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Little-endian append of a trivially copyable value / raw buffer.
+template <typename T>
+void put(std::vector<unsigned char>& buf, const T& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+void put_bytes(std::vector<unsigned char>& buf, const void* data,
+               std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+// Bounds-checked little-endian reads from a loaded file image.
+template <typename T>
+bool get(std::span<const unsigned char> buf, std::size_t& off, T* v) {
+  if (off + sizeof(T) > buf.size()) return false;
+  std::memcpy(v, buf.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const unsigned char> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::span<const double> Snapshot::field(std::string_view name) const {
+  for (const auto& [n, data] : fields) {
+    if (n == name) return data;
+  }
+  return {};
+}
+
+void save_snapshot(const std::string& path, const Snapshot& snap) {
+  std::vector<unsigned char> buf;
+  put(buf, kMagic);
+  put(buf, kVersion);
+  put(buf, snap.step);
+  put(buf, static_cast<std::uint32_t>(snap.fields.size()));
+  for (const auto& [name, data] : snap.fields) {
+    put(buf, static_cast<std::uint32_t>(name.size()));
+    put_bytes(buf, name.data(), name.size());
+    put(buf, static_cast<std::uint64_t>(data.size()));
+    put_bytes(buf, data.data(), data.size() * sizeof(double));
+  }
+  put(buf, crc32(buf));
+
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw std::runtime_error("save_snapshot: cannot open " + tmp);
+    if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size() ||
+        std::ferror(f.get()) != 0) {
+      throw std::runtime_error("save_snapshot: short write to " + tmp);
+    }
+    std::FILE* raw = f.release();
+    if (std::fclose(raw) != 0) {
+      throw std::runtime_error("save_snapshot: close failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_snapshot: rename to " + path + " failed");
+  }
+}
+
+bool load_snapshot(const std::string& path, Snapshot* out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::vector<unsigned char> buf;
+  unsigned char chunk[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof(chunk), f.get());
+    buf.insert(buf.end(), chunk, chunk + n);
+    if (n < sizeof(chunk)) break;
+  }
+  if (std::ferror(f.get()) != 0) return false;
+
+  if (buf.size() < sizeof(std::uint32_t)) return false;
+  const std::size_t payload = buf.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + payload, sizeof(stored_crc));
+  if (crc32({buf.data(), payload}) != stored_crc) return false;
+
+  std::size_t off = 0;
+  std::uint32_t magic = 0, version = 0, n_fields = 0;
+  Snapshot snap;
+  if (!get({buf.data(), payload}, off, &magic) || magic != kMagic) {
+    return false;
+  }
+  if (!get({buf.data(), payload}, off, &version) || version != kVersion) {
+    return false;
+  }
+  if (!get({buf.data(), payload}, off, &snap.step)) return false;
+  if (!get({buf.data(), payload}, off, &n_fields)) return false;
+  for (std::uint32_t i = 0; i < n_fields; ++i) {
+    std::uint32_t name_len = 0;
+    if (!get({buf.data(), payload}, off, &name_len)) return false;
+    if (off + name_len > payload) return false;
+    std::string name(reinterpret_cast<const char*>(buf.data() + off),
+                     name_len);
+    off += name_len;
+    std::uint64_t count = 0;
+    if (!get({buf.data(), payload}, off, &count)) return false;
+    if (off + count * sizeof(double) > payload) return false;
+    std::vector<double> data(static_cast<std::size_t>(count));
+    std::memcpy(data.data(), buf.data() + off, count * sizeof(double));
+    off += static_cast<std::size_t>(count) * sizeof(double);
+    snap.add(std::move(name), std::move(data));
+  }
+  *out = std::move(snap);
+  return true;
+}
+
+}  // namespace quake::util

@@ -1,0 +1,44 @@
+#pragma once
+
+// CRC32-verified binary snapshots for checkpoint/restart of long-running
+// solvers (see DESIGN.md "Fault tolerance & checkpointing"). A Snapshot is
+// a step counter plus named double arrays ("u", "u_prev", receiver
+// histories, ...). Files are written atomically (temp file + rename) with a
+// trailing CRC32 of the whole payload, so a crash mid-write never yields a
+// snapshot that loads: load_snapshot treats missing, truncated, or
+// corrupted files as "no checkpoint" and returns false.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace quake::util {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` is the
+// running value for streaming use; pass the previous return value.
+std::uint32_t crc32(std::span<const unsigned char> data,
+                    std::uint32_t seed = 0);
+
+struct Snapshot {
+  std::int64_t step = 0;
+  std::vector<std::pair<std::string, std::vector<double>>> fields;
+
+  void add(std::string name, std::vector<double> data) {
+    fields.emplace_back(std::move(name), std::move(data));
+  }
+  // Empty span if the field is absent.
+  [[nodiscard]] std::span<const double> field(std::string_view name) const;
+};
+
+// Writes `snap` to `path` via `path + ".tmp"` and rename; throws
+// std::runtime_error on any I/O failure (open, short write, close).
+void save_snapshot(const std::string& path, const Snapshot& snap);
+
+// Loads a snapshot; returns false (leaving *out* untouched) if the file is
+// missing, truncated, has a wrong magic/version, or fails CRC verification.
+bool load_snapshot(const std::string& path, Snapshot* out);
+
+}  // namespace quake::util

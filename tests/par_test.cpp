@@ -455,6 +455,111 @@ TEST_P(ParallelEquivalence, MatchesSerialSolver) {
 INSTANTIATE_TEST_SUITE_P(Ranks, ParallelEquivalence,
                          ::testing::Values(1, 2, 4, 7));
 
+// End-to-end acceptance: a run whose rank 2 is killed mid-flight recovers
+// from the last checkpoint and produces results bit-identical to the
+// fault-free run.
+TEST(ParallelCheckpoint, KillAndRestartBitIdenticalToFaultFreeRun) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  oo.rayleigh = true;
+  oo.damping_f_min = 0.01;
+  oo.damping_f_max = 0.05;
+  solver::SolverOptions so;
+  so.t_end = 2.0;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const std::array<double, 3> rx = {14000.0, 9000.0, 0.0};
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {rx};
+  const Partition part = partition_sfc(mesh, 4);
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  ASSERT_GT(ref.n_steps, 8);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_ckpt_kill_test";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/2, /*step=*/2 * ref.n_steps / 3});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = std::max(1, ref.n_steps / 5);
+  ft.max_retries = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  EXPECT_EQ(pr.n_steps, ref.n_steps);
+  ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.receiver_histories[0].data(),
+                        ref.receiver_histories[0].data(),
+                        ref.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+  // Per-rank flop counters cover only the final (successful) attempt; a
+  // genuine checkpoint resume re-runs strictly fewer steps than the whole
+  // simulation, so this fails if the retry silently restarted from scratch.
+  EXPECT_LT(pr.rank_stats[0].flops, ref.rank_stats[0].flops);
+  std::filesystem::remove_all(dir);
+}
+
+// Without a checkpoint directory, a supervised retry restarts from scratch
+// (receiver histories from the failed attempt must not leak into the
+// result).
+TEST(ParallelCheckpoint, RetryWithoutCheckpointsRestartsFromScratch) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 1.0;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const std::array<double, 3> rx = {14000.0, 9000.0, 0.0};
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {rx};
+  const Partition part = partition_sfc(mesh, 3);
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*step=*/ref.n_steps / 2});
+  FaultToleranceOptions ft;
+  ft.max_retries = 1;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+}
+
+// Retries exhausted: the aggregated error surfaces.
+TEST(ParallelCheckpoint, ExhaustedRetriesSurfaceAggregatedError) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 0.5;
+  const Partition part = partition_sfc(mesh, 2);
+
+  FaultPlan plan;
+  plan.kills.push_back({0, 1});
+  plan.kills.push_back({0, 1});  // second kill defeats the single retry
+  FaultToleranceOptions ft;
+  ft.max_retries = 1;
+  ft.fault_plan = &plan;
+  try {
+    run_parallel(mesh, part, oo, so, {}, {}, ft);
+    FAIL() << "must throw after retries are exhausted";
+  } catch (const RankFailedError& e) {
+    ASSERT_EQ(e.failed_ranks().size(), 1u);
+    EXPECT_EQ(e.failed_ranks()[0], 0);
+  }
+}
+
 TEST(ParallelStats, CommunicationVolumeReported) {
   const auto mesh = small_basin_mesh();
   solver::OperatorOptions oo;

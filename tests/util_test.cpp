@@ -4,8 +4,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <numbers>
 
+#include "quake/util/checkpoint.hpp"
 #include "quake/util/filter.hpp"
 #include "quake/util/io.hpp"
 #include "quake/util/rng.hpp"
@@ -148,6 +150,70 @@ TEST(Io, PgmRejectsBadDims) {
   std::vector<double> v(10, 0.0);
   EXPECT_THROW(write_pgm("/tmp/x.pgm", v, 4, 4, 0.0, 1.0),
                std::invalid_argument);
+}
+
+TEST(Crc32, KnownAnswer) {
+  // IEEE 802.3 check value for the ASCII string "123456789".
+  const unsigned char msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32({msg, sizeof(msg)}), 0xCBF43926u);
+  // Streaming in two chunks matches one-shot.
+  const std::uint32_t part = crc32({msg, 4});
+  EXPECT_EQ(crc32({msg + 4, 5}, part), 0xCBF43926u);
+  EXPECT_EQ(crc32({msg, 0u}), 0u);
+}
+
+TEST(Checkpoint, SnapshotRoundTrip) {
+  const std::string path = testing::TempDir() + "/quake_snap_test.ckpt";
+  Snapshot snap;
+  snap.step = 1234;
+  snap.add("u", {1.0, -2.5, 3.25});
+  snap.add("hist", {});
+  snap.add("v", {0.125});
+  save_snapshot(path, snap);
+
+  Snapshot loaded;
+  ASSERT_TRUE(load_snapshot(path, &loaded));
+  EXPECT_EQ(loaded.step, 1234);
+  ASSERT_EQ(loaded.fields.size(), 3u);
+  const auto u = loaded.field("u");
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[0], 1.0);
+  EXPECT_EQ(u[1], -2.5);
+  EXPECT_EQ(u[2], 3.25);
+  EXPECT_EQ(loaded.field("hist").size(), 0u);
+  EXPECT_EQ(loaded.field("v").size(), 1u);
+  EXPECT_EQ(loaded.field("absent").size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptionAndTruncationRejected) {
+  const std::string path = testing::TempDir() + "/quake_snap_bad.ckpt";
+  Snapshot snap;
+  snap.step = 7;
+  snap.add("u", {1.0, 2.0, 3.0, 4.0});
+  save_snapshot(path, snap);
+
+  // Flip one payload byte: CRC must reject.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 24, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  Snapshot out;
+  EXPECT_FALSE(load_snapshot(path, &out));
+
+  // Truncation must reject too.
+  save_snapshot(path, snap);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(load_snapshot(path, &out));
+
+  // Missing file: plain false, no throw.
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_snapshot(path, &out));
 }
 
 }  // namespace
