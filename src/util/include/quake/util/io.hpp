@@ -16,7 +16,8 @@ void write_csv(const std::string& path, std::span<const std::string> names,
                std::span<const std::vector<double>> columns);
 
 // Writes an 8-bit PGM image. `values` is row-major, `width * height` long,
-// linearly mapped from [lo, hi] to [0, 255] (clamped).
+// linearly mapped from [lo, hi] to [0, 255] (clamped). Throws
+// std::runtime_error on I/O failure (open, short write, close).
 void write_pgm(const std::string& path, std::span<const double> values,
                int width, int height, double lo, double hi);
 

@@ -21,6 +21,19 @@ FilePtr open_or_throw(const std::string& path, const char* mode) {
   return f;
 }
 
+// Surfaces buffered-write failures (disk full, I/O error) that fprintf /
+// fwrite can defer until flush time: checks the stream error flag, then
+// closes and checks fclose itself (which flushes). Without this a writer
+// can silently truncate its output.
+void close_or_throw(FilePtr f, const std::string& path) {
+  const bool had_error = std::ferror(f.get()) != 0;
+  std::FILE* raw = f.release();
+  const bool close_failed = std::fclose(raw) != 0;
+  if (had_error || close_failed) {
+    throw std::runtime_error("write failed for " + path);
+  }
+}
+
 }  // namespace
 
 void write_csv(const std::string& path, std::span<const std::string> names,
@@ -36,15 +49,20 @@ void write_csv(const std::string& path, std::span<const std::string> names,
   }
   FilePtr f = open_or_throw(path, "w");
   for (std::size_t j = 0; j < names.size(); ++j) {
-    std::fprintf(f.get(), "%s%s", names[j].c_str(),
-                 j + 1 < names.size() ? "," : "\n");
+    if (std::fprintf(f.get(), "%s%s", names[j].c_str(),
+                     j + 1 < names.size() ? "," : "\n") < 0) {
+      throw std::runtime_error("write failed for " + path);
+    }
   }
   for (std::size_t i = 0; i < rows; ++i) {
     for (std::size_t j = 0; j < columns.size(); ++j) {
-      std::fprintf(f.get(), "%.9g%s", columns[j][i],
-                   j + 1 < columns.size() ? "," : "\n");
+      if (std::fprintf(f.get(), "%.9g%s", columns[j][i],
+                       j + 1 < columns.size() ? "," : "\n") < 0) {
+        throw std::runtime_error("write failed for " + path);
+      }
     }
   }
+  close_or_throw(std::move(f), path);
 }
 
 void write_pgm(const std::string& path, std::span<const double> values,
@@ -54,7 +72,9 @@ void write_pgm(const std::string& path, std::span<const double> values,
     throw std::invalid_argument("write_pgm: bad dimensions");
   }
   FilePtr f = open_or_throw(path, "wb");
-  std::fprintf(f.get(), "P5\n%d %d\n255\n", width, height);
+  if (std::fprintf(f.get(), "P5\n%d %d\n255\n", width, height) < 0) {
+    throw std::runtime_error("write failed for " + path);
+  }
   const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
   std::vector<unsigned char> row(static_cast<std::size_t>(width));
   for (int y = 0; y < height; ++y) {
@@ -63,8 +83,11 @@ void write_pgm(const std::string& path, std::span<const double> values,
       row[static_cast<std::size_t>(x)] =
           static_cast<unsigned char>(std::clamp(v, 0.0, 255.0));
     }
-    std::fwrite(row.data(), 1, row.size(), f.get());
+    if (std::fwrite(row.data(), 1, row.size(), f.get()) != row.size()) {
+      throw std::runtime_error("write failed for " + path);
+    }
   }
+  close_or_throw(std::move(f), path);
 }
 
 }  // namespace quake::util

@@ -152,6 +152,18 @@ TEST(Io, PgmRejectsBadDims) {
                std::invalid_argument);
 }
 
+TEST(Io, WritersSurfaceDiskFullAsError) {
+  // /dev/full accepts the open but fails every flushed write — the classic
+  // silent-truncation trap the writers must surface as an exception.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  const std::vector<std::string> names = {"a"};
+  const std::vector<std::vector<double>> cols = {{1.0, 2.0, 3.0}};
+  EXPECT_THROW(write_csv("/dev/full", names, cols), std::runtime_error);
+  std::vector<double> v(64 * 64, 0.5);
+  EXPECT_THROW(write_pgm("/dev/full", v, 64, 64, 0.0, 1.0),
+               std::runtime_error);
+}
+
 TEST(Crc32, KnownAnswer) {
   // IEEE 802.3 check value for the ASCII string "123456789".
   const unsigned char msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
