@@ -9,12 +9,25 @@
 // and the parallel efficiency of an AlphaServer-class machine model
 // evaluated on the measured per-rank work and communication — alongside
 // the measured aggregate Mflop/s of the actual run.
+//
+// Besides the human-readable table, the bench emits a machine-readable
+// "quake.bench/1" report (see docs/OBSERVABILITY.md): one row per table
+// line with the experiment parameters, the headline metrics, and the
+// min/mean/max-across-ranks telemetry summary gathered by quake::obs.
+//
+//   bench_table2_1 [--quick] [--json PATH] [--csv PATH]
+//
+// --quick shrinks the ladder for CI; the default JSON path is
+// BENCH_table2_1.json in the working directory.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "quake/mesh/meshgen.hpp"
+#include "quake/obs/obs.hpp"
+#include "quake/obs/sink.hpp"
 #include "quake/par/parallel_solver.hpp"
 #include "quake/par/partition.hpp"
 #include "quake/solver/source.hpp"
@@ -33,17 +46,41 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_table2_1.json";
+  std::string csv_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--csv") == 0 && a + 1 < argc) {
+      csv_path = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--csv PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  obs::set_enabled(true);
+  obs::MetricsSink sink("table2_1");
+
   const double extent = 25600.0;
   const vel::BasinModel model = vel::BasinModel::demo(extent);
 
   // Resolution ladder mirroring LA10S..LA1H: frequency doubles down the
   // table, the largest model is reused for the biggest rank counts.
-  const std::vector<Row> rows = {
-      {1, "BAS10S", 0.05, 5},  {2, "BAS5S", 0.10, 6},
-      {4, "BAS4S", 0.125, 6},  {8, "BAS3S", 0.167, 6},
-      {12, "BAS2S", 0.25, 7},  {16, "BAS2S", 0.25, 7},
-  };
+  const std::vector<Row> rows =
+      quick ? std::vector<Row>{{1, "BAS10S", 0.05, 5},
+                               {2, "BAS5S", 0.10, 6},
+                               {4, "BAS4S", 0.125, 6}}
+            : std::vector<Row>{{1, "BAS10S", 0.05, 5}, {2, "BAS5S", 0.10, 6},
+                               {4, "BAS4S", 0.125, 6}, {8, "BAS3S", 0.167, 6},
+                               {12, "BAS2S", 0.25, 7}, {16, "BAS2S", 0.25, 7}};
+  const double t_end = quick ? 0.2 : 0.6;
 
   std::printf("Table 2.1 analogue: forward-solver scalability "
               "(machine model: 500 Mflop/s per PE, 200 MB/s links, 5 us)\n");
@@ -74,7 +111,7 @@ int main() {
 
     solver::OperatorOptions oopt;
     solver::SolverOptions sopt;
-    sopt.t_end = 0.6;
+    sopt.t_end = t_end;
     sopt.cfl_fraction = 0.4;
 
     const par::Partition part = par::partition_sfc(mesh, row.ranks);
@@ -96,21 +133,50 @@ int main() {
     }
     const double meas_mflops =
         compute > 0.0 ? static_cast<double>(flops) / compute * 1e-6 : 0.0;
-    double eff = par::modeled_efficiency(pr, par::MachineModel{});
-    if (base_eff < 0.0) base_eff = eff;
-    eff /= base_eff;  // normalize so the 1-PE row is 1.00, as in the paper
+    const double eff_raw = par::modeled_efficiency(pr, par::MachineModel{});
+    if (base_eff < 0.0) base_eff = eff_raw;
+    // Normalize so the 1-PE row is 1.00, as in the paper.
+    const double eff = eff_raw / base_eff;
+    const double shared_frac = total_rank_nodes > 0
+                                   ? static_cast<double>(shared_nodes) /
+                                         static_cast<double>(total_rank_nodes)
+                                   : 0.0;
+    const double kb_per_step =
+        static_cast<double>(shared_doubles) * 8.0 / 1024.0;
 
     std::printf("%5d %8s %10zu %10zu %9.3f %8.1f%% %10.1f %11.0f %10.3f\n",
                 row.ranks, row.model.c_str(), mesh.n_nodes(),
                 mesh.n_nodes() / static_cast<std::size_t>(row.ranks),
-                part.imbalance(),
-                100.0 * static_cast<double>(shared_nodes) /
-                    static_cast<double>(total_rank_nodes),
-                static_cast<double>(shared_doubles) * 8.0 / 1024.0,
+                part.imbalance(), 100.0 * shared_frac, kb_per_step,
                 meas_mflops, eff);
+
+    obs::Json& jrow = sink.new_row();
+    jrow.set("params", obs::Json::object()
+                           .set("ranks", row.ranks)
+                           .set("model", row.model)
+                           .set("f_max", row.f_max)
+                           .set("max_level", row.max_level)
+                           .set("t_end", t_end));
+    jrow.set("metrics",
+             obs::Json::object()
+                 .set("grid_points", mesh.n_nodes())
+                 .set("points_per_rank",
+                      mesh.n_nodes() / static_cast<std::size_t>(row.ranks))
+                 .set("n_steps", pr.n_steps)
+                 .set("imbalance", part.imbalance())
+                 .set("shared_node_fraction", shared_frac)
+                 .set("kb_per_step", kb_per_step)
+                 .set("measured_mflops", meas_mflops)
+                 .set("modeled_efficiency", eff_raw)
+                 .set("modeled_efficiency_normalized", eff));
+    jrow.set("ranks", obs::to_json(pr.obs_summary));
   }
   std::printf("\n(paper: efficiency 1.00 -> 0.80 from 1 to 3000 PEs; the "
               "model-efficiency column should decay mildly with rank count "
               "as the shared-surface fraction grows)\n");
+
+  sink.write_json(json_path);
+  if (!csv_path.empty()) sink.write_csv(csv_path);
+  std::printf("report: %s\n", json_path.c_str());
   return 0;
 }

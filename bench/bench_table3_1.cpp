@@ -6,16 +6,70 @@
 // Newton step is essentially mesh-independent. We reproduce the experiment
 // at laptop scale on the 2D antiplane problem (see DESIGN.md): same wave
 // grid and data for every row, inversion grid ladder, identical tolerances.
+//
+// Besides the printed tables, the bench emits a "quake.bench/1" report
+// (see docs/OBSERVABILITY.md). Each row carries the per-outer-iteration
+// convergence series recorded by the Gauss-Newton driver (gn/misfit,
+// gn/grad_norm, gn/cg_iters, gn/ls_evals) plus the per-phase scope times,
+// wrapped as a 1-rank merged report so the row shape matches table 2.1.
+//
+//   bench_table3_1 [--quick] [--json PATH] [--csv PATH]
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "quake/inverse/material_inversion.hpp"
+#include "quake/obs/obs.hpp"
+#include "quake/obs/sink.hpp"
 #include "quake/vel/model.hpp"
 #include "quake/wave3d/inversion3d.hpp"
 
-int main() {
+namespace {
+
+// Wraps one thread's registry as a 1-rank merged report and appends a row
+// (params/metrics filled by the caller afterwards).
+quake::obs::Json series_json(const quake::obs::Registry& reg) {
+  quake::obs::Json s = quake::obs::Json::object();
+  for (const auto& [name, values] : reg.series) {
+    quake::obs::Json arr = quake::obs::Json::array();
+    for (double v : values) arr.push_back(v);
+    s.set(name, std::move(arr));
+  }
+  return s;
+}
+
+quake::obs::Json one_rank_summary(const quake::obs::Registry& reg) {
+  const quake::obs::RankReport rr{0, reg};
+  return quake::obs::to_json(quake::obs::merge_reports({&rr, 1}));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace quake;
+
+  bool quick = false;
+  std::string json_path = "BENCH_table3_1.json";
+  std::string csv_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--csv") == 0 && a + 1 < argc) {
+      csv_path = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--csv PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  obs::set_enabled(true);
+  obs::MetricsSink sink("table3_1");
+
   const double rho = 2200.0;
   const wave2d::ShGrid grid{48, 28, 625.0};
 
@@ -57,14 +111,16 @@ int main() {
               "nonlinear iter", "total linear iter", "avg linear/newton",
               "|g|/|g0|");
 
-  const std::vector<std::pair<int, int>> ladder = {
-      {2, 1}, {3, 2}, {6, 4}, {12, 7}, {24, 14}, {48, 28}};
+  const std::vector<std::pair<int, int>> ladder =
+      quick ? std::vector<std::pair<int, int>>{{2, 1}, {3, 2}, {6, 4}}
+            : std::vector<std::pair<int, int>>{
+                  {2, 1}, {3, 2}, {6, 4}, {12, 7}, {24, 14}, {48, 28}};
   for (const auto& [gx, gz] : ladder) {
     inverse::MaterialInversionOptions mo;
     mo.stages = {{gx, gz}};  // single stage: one row per parameter count
-    mo.max_newton = 15;      // fixed Newton budget per row; the reported
-                             // gradient reduction shows all rows converge
-                             // at the same rate regardless of size
+    mo.max_newton = quick ? 6 : 15;
+    // Fixed Newton budget per row; the reported gradient reduction shows
+    // all rows converge at the same rate regardless of size.
     mo.cg = {60, 0.5};       // Newton-CG forcing term
     mo.beta_tv = 1e-14;
     mo.tv_eps = 5e7;
@@ -72,7 +128,12 @@ int main() {
     mo.initial_mu = rho * 1800.0 * 1800.0;
     mo.grad_tol = 1e-12;     // run the full budget
     mo.frankel_sweeps = 2;   // L-BFGS preconditioner seeded per the paper
-    const auto res = inverse::invert_material(prob, mo, mu_true);
+
+    obs::Registry reg;
+    inverse::MaterialInversionResult res = [&] {
+      const obs::ScopedRegistry install(reg);
+      return inverse::invert_material(prob, mo, mu_true);
+    }();
     const auto& s = res.stages[0];
     std::printf("%7d (%2dx%-2d) %14d %16d %18.1f %14.1e\n",
                 static_cast<int>(s.n_params), gx, gz, s.newton_iters,
@@ -81,6 +142,26 @@ int main() {
                     ? static_cast<double>(s.cg_iters) / s.newton_iters
                     : 0.0,
                 s.grad_reduction);
+
+    obs::Json& jrow = sink.new_row();
+    jrow.set("params", obs::Json::object()
+                           .set("problem", "sh2d")
+                           .set("gx", gx)
+                           .set("gz", gz)
+                           .set("n_params", s.n_params)
+                           .set("max_newton", mo.max_newton));
+    jrow.set("metrics",
+             obs::Json::object()
+                 .set("newton_iters", s.newton_iters)
+                 .set("cg_iters", s.cg_iters)
+                 .set("avg_cg_per_newton",
+                      s.newton_iters > 0
+                          ? static_cast<double>(s.cg_iters) / s.newton_iters
+                          : 0.0)
+                 .set("grad_reduction", s.grad_reduction)
+                 .set("model_error", s.model_error));
+    jrow.set("ranks", one_rank_summary(reg));
+    jrow.set("series", series_json(reg));
   }
   std::printf("\n(paper: 17..25 nonlinear and ~20 avg linear iterations, "
               "essentially independent of the parameter count)\n");
@@ -112,11 +193,11 @@ int main() {
           1.6e9 * (1.0 - 0.2 * std::exp(-8.0 * (dx * dx + dy * dy + dz * dz)));
     }
     {
-      const ScalarModel3d truth(s.grid, std::vector<double>(mu_t), rho);
-      s.dt = truth.stable_dt(0.4);
-      s.nt = 170;
+      const ScalarModel3d truth3(s.grid, std::vector<double>(mu_t), rho);
+      s.dt = truth3.stable_dt(0.4);
+      s.nt = quick ? 100 : 170;
       const ScalarInversion3d gen(s);
-      s.observations = gen.forward(truth, false).march.records;
+      s.observations = gen.forward(truth3, false).march.records;
     }
     const ScalarInversion3d prob3(s);
 
@@ -126,20 +207,28 @@ int main() {
     std::printf("%14s %14s %16s %18s %14s\n", "material grid",
                 "nonlinear iter", "total linear iter", "avg linear/newton",
                 "|g|/|g0|");
-    const int ladder3[][3] = {{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {6, 6, 6},
-                              {12, 12, 12}};
+    const std::vector<std::array<int, 3>> ladder3 =
+        quick ? std::vector<std::array<int, 3>>{{1, 1, 1}, {2, 2, 2},
+                                                {3, 3, 3}}
+              : std::vector<std::array<int, 3>>{
+                    {1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {6, 6, 6}, {12, 12, 12}};
     for (const auto& g3 : ladder3) {
       Inversion3dOptions o;
       o.gx = g3[0];
       o.gy = g3[1];
       o.gz = g3[2];
-      o.max_newton = 10;
+      o.max_newton = quick ? 4 : 10;
       o.cg = {40, 0.1};
       o.mu_min = 1e8;
       o.initial_mu = 1.6e9;
       o.beta_h1_rel = 0.03;
       o.grad_tol = 1e-12;
-      const auto rep = invert_material3d(prob3, o, mu_t);
+
+      obs::Registry reg;
+      const Inversion3dReport rep = [&] {
+        const obs::ScopedRegistry install(reg);
+        return invert_material3d(prob3, o, mu_t);
+      }();
       std::printf("%7d (%2d^3 ) %14d %16d %18.1f %14.1e\n",
                   static_cast<int>(rep.n_params), g3[0], rep.newton_iters,
                   rep.cg_iters,
@@ -147,9 +236,35 @@ int main() {
                       ? static_cast<double>(rep.cg_iters) / rep.newton_iters
                       : 0.0,
                   rep.grad_reduction);
+
+      obs::Json& jrow = sink.new_row();
+      jrow.set("params", obs::Json::object()
+                             .set("problem", "scalar3d")
+                             .set("gx", g3[0])
+                             .set("gy", g3[1])
+                             .set("gz", g3[2])
+                             .set("n_params", rep.n_params)
+                             .set("max_newton", o.max_newton));
+      jrow.set("metrics",
+               obs::Json::object()
+                   .set("newton_iters", rep.newton_iters)
+                   .set("cg_iters", rep.cg_iters)
+                   .set("avg_cg_per_newton",
+                        rep.newton_iters > 0
+                            ? static_cast<double>(rep.cg_iters) /
+                                  rep.newton_iters
+                            : 0.0)
+                   .set("grad_reduction", rep.grad_reduction)
+                   .set("model_error", rep.model_error));
+      jrow.set("ranks", one_rank_summary(reg));
+      jrow.set("series", series_json(reg));
     }
     std::printf("(iteration counts flatten once the grid resolves the "
                 "anomaly — the paper's mesh-independence)\n");
   }
+
+  sink.write_json(json_path);
+  if (!csv_path.empty()) sink.write_csv(csv_path);
+  std::printf("report: %s\n", json_path.c_str());
   return 0;
 }

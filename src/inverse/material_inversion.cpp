@@ -7,6 +7,7 @@
 
 #include "quake/inverse/band.hpp"
 #include "quake/inverse/regularization.hpp"
+#include "quake/obs/obs.hpp"
 #include "quake/opt/frankel.hpp"
 #include "quake/opt/lbfgs.hpp"
 #include "quake/opt/linesearch.hpp"
@@ -83,10 +84,15 @@ MaterialInversionResult invert_material(const InversionProblem& prob,
 
     double g0_norm = -1.0;
     for (int newton = 0; newton < opt.max_newton; ++newton) {
+      QUAKE_OBS_SCOPE("gn/newton");
+      obs::counter_add("gn/newton_total", 1);
       mg->apply(m, mu);
       const wave2d::ShModel model(setup.grid, std::vector<double>(mu),
                                   setup.rho);
-      const auto fwd = prob.forward(model, setup.source, /*history=*/true);
+      const auto fwd = [&] {
+        QUAKE_OBS_SCOPE("forward");
+        return prob.forward(model, setup.source, /*history=*/true);
+      }();
       const double jd = data_misfit(fwd);
       double j = jd + tv.value(m);
       if (use_barrier) j += barrier.value(m);
@@ -94,17 +100,23 @@ MaterialInversionResult invert_material(const InversionProblem& prob,
       report.misfit_final = jd;
 
       // Gradient (band-limited misfit drives the adjoint with B^T B r).
-      const History nu = prob.adjoint(
-          model, rf ? rf->apply_symmetric(fwd.residuals) : fwd.residuals);
-      std::fill(ge.begin(), ge.end(), 0.0);
-      prob.assemble_material_gradient(model, setup.source, fwd.march.history,
-                                      nu, ge);
+      {
+        QUAKE_OBS_SCOPE("adjoint");
+        const History nu = prob.adjoint(
+            model, rf ? rf->apply_symmetric(fwd.residuals) : fwd.residuals);
+        std::fill(ge.begin(), ge.end(), 0.0);
+        prob.assemble_material_gradient(model, setup.source, fwd.march.history,
+                                        nu, ge);
+      }
       std::fill(g.begin(), g.end(), 0.0);
       mg->apply_transpose(ge, g);
       tv.add_gradient(m, g);
       if (use_barrier) barrier.add_gradient(m, g);
 
       const double gnorm = util::norm_l2(g);
+      // Per-outer-iteration convergence trace (Table 3.1 columns).
+      obs::series_append("gn/misfit", jd);
+      obs::series_append("gn/grad_norm", gnorm);
       if (g0_norm < 0.0) g0_norm = gnorm;
       report.grad_reduction = g0_norm > 0.0 ? gnorm / g0_norm : 1.0;
       QUAKE_LOG_DEBUG("stage %dx%d newton %d: J=%.6e misfit=%.6e |g|=%.3e", gx,
@@ -117,6 +129,7 @@ MaterialInversionResult invert_material(const InversionProblem& prob,
       // Gauss-Newton Hessian-vector product in material-grid space
       // (J^T W J with W = B^T B when band-limited).
       opt::LinOp hvp = [&](std::span<const double> v, std::span<double> hv) {
+        QUAKE_OBS_SCOPE("hessvec");
         std::vector<double> dmu(ne), he(ne, 0.0);
         mg->apply(v, dmu);
         if (rf == nullptr) {
@@ -157,9 +170,15 @@ MaterialInversionResult invert_material(const InversionProblem& prob,
       std::vector<double> b(np);
       for (std::size_t i = 0; i < np; ++i) b[i] = -g[i];
       std::fill(d.begin(), d.end(), 0.0);
-      const opt::CgResult cgres = opt::conjugate_gradient(
-          hvp, b, d, opt.cg, opt.precondition ? &precond : nullptr, &collect);
+      const opt::CgResult cgres = [&] {
+        QUAKE_OBS_SCOPE("cg");
+        return opt::conjugate_gradient(
+            hvp, b, d, opt.cg, opt.precondition ? &precond : nullptr,
+            &collect);
+      }();
       report.cg_iters += cgres.iterations;
+      obs::series_append("gn/cg_iters", static_cast<double>(cgres.iterations));
+      obs::counter_add("gn/cg_total", cgres.iterations);
       const double dnorm = util::norm_l2(d);
       if (dnorm == 0.0) break;
 
@@ -184,9 +203,13 @@ MaterialInversionResult invert_material(const InversionProblem& prob,
       };
 
       opt::ArmijoOptions ao;
-      const auto ls = opt::armijo_backtracking(
-          [&](double alpha) { return objective(projected(alpha)); }, j, dphi0,
-          ao);
+      const auto ls = [&] {
+        QUAKE_OBS_SCOPE("linesearch");
+        return opt::armijo_backtracking(
+            [&](double alpha) { return objective(projected(alpha)); }, j,
+            dphi0, ao);
+      }();
+      obs::series_append("gn/ls_evals", static_cast<double>(ls.evaluations));
       ++report.newton_iters;
       std::swap(lbfgs_prev, lbfgs_next);
       if (!ls.success) break;

@@ -1,0 +1,85 @@
+#include "quake/obs/obs.hpp"
+
+namespace quake::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Thread-local recording state. The path buffer keeps its capacity across
+// scopes, so steady-state scope entry performs no allocation.
+thread_local Registry* tls_registry = nullptr;
+thread_local std::string tls_path;
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry& default_registry() noexcept {
+  static Registry reg;
+  return reg;
+}
+
+Registry& current() noexcept {
+  return tls_registry != nullptr ? *tls_registry : default_registry();
+}
+
+void Registry::clear() {
+  scopes.clear();
+  counters.clear();
+  gauges.clear();
+  series.clear();
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [k, s] : other.scopes) {
+    auto& dst = scopes[k];
+    dst.calls += s.calls;
+    dst.seconds += s.seconds;
+  }
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) gauges[k] = v;
+  for (const auto& [k, v] : other.series) {
+    auto& dst = series[k];
+    dst.insert(dst.end(), v.begin(), v.end());
+  }
+}
+
+ScopedRegistry::ScopedRegistry(Registry& r) noexcept : prev_(tls_registry) {
+  tls_registry = &r;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_registry = prev_; }
+
+namespace detail {
+
+void scope_enter(const char* name, std::size_t* prev_len) {
+  *prev_len = tls_path.size();
+  if (!tls_path.empty()) tls_path += '/';
+  tls_path += name;
+}
+
+void scope_exit(std::size_t prev_len, double seconds) {
+  ScopeStats& s = current().scopes[tls_path];
+  ++s.calls;
+  s.seconds += seconds;
+  tls_path.resize(prev_len);
+}
+
+void counter_add_slow(const char* name, std::int64_t v) {
+  current().counters[name] += v;
+}
+
+void gauge_set_slow(const char* name, double v) { current().gauges[name] = v; }
+
+void series_append_slow(const char* name, double v) {
+  current().series[name].push_back(v);
+}
+
+}  // namespace detail
+
+}  // namespace quake::obs

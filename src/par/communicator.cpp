@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "quake/obs/obs.hpp"
+
 namespace quake::par {
 namespace {
 
@@ -57,11 +59,18 @@ void Communicator::clear_fault_plan() {
 
 void Rank::send(int dest, int tag, std::span<const double> data) {
   sent_ += data.size();
+  obs::counter_add("comm/msgs_sent", 1);
+  obs::counter_add("comm/bytes_sent",
+                   static_cast<std::int64_t>(8 * data.size()));
   comm_->post(id_, dest, tag, std::vector<double>(data.begin(), data.end()));
 }
 
 std::vector<double> Rank::recv(int src, int tag, double timeout_sec) {
-  return comm_->take(src, id_, tag, timeout_sec);
+  std::vector<double> msg = comm_->take(src, id_, tag, timeout_sec);
+  obs::counter_add("comm/msgs_recv", 1);
+  obs::counter_add("comm/bytes_recv",
+                   static_cast<std::int64_t>(8 * msg.size()));
+  return msg;
 }
 
 void Rank::barrier(double timeout_sec) {
@@ -87,6 +96,9 @@ void Communicator::fault_point(int rank, int step) {
     if (kill_fired_[i] != 0) continue;
     if (plan_.kills[i].rank != rank || plan_.kills[i].step != step) continue;
     kill_fired_[i] = 1;
+    // fault_point runs on the victim's own thread, so the event lands in
+    // the victim rank's registry.
+    obs::counter_add("comm/fault_kills", 1);
     throw InjectedFaultError("injected fault: kill rank " +
                              std::to_string(rank) + " at step " +
                              std::to_string(step));
@@ -226,14 +238,19 @@ void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
     if (!faulted) {
       deliver(std::move(msg));
     } else {
+      // post() runs on the sender's thread: message-fault events are
+      // charged to the rank whose send was tampered with.
       switch (action) {
         case FaultPlan::MsgAction::kDrop:
+          obs::counter_add("comm/fault_drops", 1);
           break;
         case FaultPlan::MsgAction::kDuplicate:
+          obs::counter_add("comm/fault_dups", 1);
           deliver(msg);
           deliver(std::move(msg));
           break;
         case FaultPlan::MsgAction::kCorrupt:
+          obs::counter_add("comm/fault_corruptions", 1);
           if (!msg.empty()) {
             const std::size_t idx = static_cast<std::size_t>(
                 splitmix64(fault_seed) % msg.size());
@@ -247,6 +264,7 @@ void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
         case FaultPlan::MsgAction::kDelay:
           // Hold until the edge's next message (reordering); flushed by the
           // deadlock checker if the system would otherwise stall.
+          obs::counter_add("comm/fault_delays", 1);
           delayed_[key] = std::move(msg);
           break;
       }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "quake/mesh/hex_mesh.hpp"
+#include "quake/obs/report.hpp"
 #include "quake/par/partition.hpp"
 #include "quake/solver/elastic_operator.hpp"
 #include "quake/solver/explicit_solver.hpp"
@@ -42,6 +43,14 @@ struct ParallelResult {
     double exchange_seconds = 0.0;
   };
   std::vector<RankStats> rank_stats;
+
+  // Telemetry (populated only when quake::obs is enabled): the per-rank
+  // metric registries, gathered to rank 0 through the communicator exactly
+  // as an MPI code would, plus their min/mean/max-across-ranks merge.
+  // Supervised retries accumulate into the same per-rank registries, so a
+  // recovered run's report includes the work of its failed attempts.
+  std::vector<obs::RankReport> obs_reports;
+  obs::MergedReport obs_summary;
 
   // One history per requested receiver (displacement per step).
   std::vector<std::vector<std::array<double, 3>>> receiver_histories;

@@ -11,6 +11,8 @@
 #include <unordered_map>
 
 #include "quake/fem/hex_element.hpp"
+#include "quake/obs/obs.hpp"
+#include "quake/obs/report.hpp"
 #include "quake/par/communicator.hpp"
 #include "quake/util/checkpoint.hpp"
 #include "quake/util/timer.hpp"
@@ -71,6 +73,11 @@ class RankForceSink final : public solver::ForceSink {
 std::string ckpt_path(const std::string& dir, int rank) {
   return dir + "/rank" + std::to_string(rank) + ".ckpt";
 }
+
+// Communicator tag reserved for the end-of-run telemetry gather (the ghost
+// exchange uses tag 0; receiving on a distinct tag keeps the two streams
+// from interleaving).
+constexpr int kObsGatherTag = 9;
 
 // A snapshot is usable by this rank iff its step is inside the run and its
 // state arrays match this rank's dof count and owned receiver set.
@@ -266,8 +273,16 @@ ParallelResult run_parallel(
   if (ft.fault_plan != nullptr) comm.install_fault_plan(*ft.fault_plan);
   if (ft.timeout_seconds > 0.0) comm.set_timeout(ft.timeout_seconds);
 
+  // Per-rank telemetry registries, declared outside the supervised-retry
+  // loop so a retried run accumulates into the same registries (the report
+  // of a recovered run then shows the cost of recovery, not just the final
+  // successful attempt).
+  std::vector<obs::Registry> rank_regs(static_cast<std::size_t>(R));
+
   const auto spmd_body = [&](Rank& rank) {
     const std::size_t r = static_cast<std::size_t>(rank.id());
+    const obs::ScopedRegistry obs_install(rank_regs[r]);
+    obs::counter_add("ft/attempts", 1);
     RankLocal& L = locals[r];
     const std::size_t nd = 3 * L.nodes.size();
     std::vector<double> u(nd, 0.0), u_prev(nd, 0.0), u_next(nd, 0.0);
@@ -328,7 +343,10 @@ ParallelResult run_parallel(
         }
       }
     }
-    if (k0 == 0) {
+    if (k0 > 0) {
+      obs::counter_add("ckpt/restores", 1);
+      obs::counter_add("ckpt/restored_steps", k0);
+    } else {
       // Fresh (or retried-from-scratch) start: drop any partial histories a
       // failed attempt appended to this rank's owned receivers.
       for (const auto& [ri, ln] : L.receivers) {
@@ -368,7 +386,10 @@ ParallelResult run_parallel(
     };
 
     for (int k = k0; k < n_steps; ++k) {
+      QUAKE_OBS_SCOPE("step");
       rank.fault_point(k);
+      {
+      QUAKE_OBS_SCOPE("compute");  // sources + element kernel + ABC
       compute_watch.start();
       const double t_k = k * dt;
       std::fill(f.begin(), f.end(), 0.0);
@@ -443,11 +464,18 @@ ParallelResult run_parallel(
       // summing and projecting) — this keeps ghost sets surface-sized.
       accumulate(ku);
       if (rayleigh) accumulate(dku);
+      obs::counter_add("par/elements_processed",
+                       static_cast<std::int64_t>(L.elems.size()));
       compute_watch.stop();
+      }
 
       // ---- shared-node exchange: pack own partials, send, sum in rank
       // order (own partial inserted at this rank's position) ----
+      {
+      QUAKE_OBS_SCOPE("exchange");
       exchange_watch.start();
+      {
+      QUAKE_OBS_SCOPE("send");
       for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
         auto& buf = sendbuf[nb];
         const auto& sh = L.neighbors[nb].shared;
@@ -466,6 +494,7 @@ ParallelResult run_parallel(
         }
         rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
       }
+      }
       if (k == k0) {
         sent_per_step = 0;
         for (const auto& buf : sendbuf) sent_per_step += buf.size();
@@ -482,6 +511,7 @@ ParallelResult run_parallel(
       // partial (recovered from the send buffers, which still hold it) is
       // inserted at this rank's position in the order.
       {
+        QUAKE_OBS_SCOPE("recv");
         for (int s = 0; s < R; ++s) {
           if (s == rank.id()) {
             // Own partials: recover from send buffers, first occurrence.
@@ -529,7 +559,10 @@ ParallelResult run_parallel(
         }
       }
       exchange_watch.stop();
+      }
 
+      {
+      QUAKE_OBS_SCOPE("compute");  // diagonalized lumped update (eq. 2.4)
       compute_watch.start();
       const double dt2 = dt * dt;
       const double hdt = 0.5 * dt;
@@ -556,11 +589,13 @@ ParallelResult run_parallel(
             {u[base], u[base + 1], u[base + 2]});
       }
       compute_watch.stop();
+      }
 
       // ---- periodic snapshot, barrier-bracketed so the per-rank files of
       // a checkpoint generation form a consistent cut ----
       if (ckpt_on && ft.checkpoint_every > 0 &&
           (k + 1) % ft.checkpoint_every == 0 && k + 1 < n_steps) {
+        QUAKE_OBS_SCOPE("checkpoint");
         rank.barrier();
         const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
         std::rename(path.c_str(), (path + ".prev").c_str());  // keep one old
@@ -569,15 +604,20 @@ ParallelResult run_parallel(
         snap.add("u", u);
         snap.add("u_prev", u_prev);
         snap.add("dku_prev", dku_prev);
+        std::size_t ckpt_doubles = u.size() + u_prev.size() + dku_prev.size();
         for (const auto& [ri, ln] : L.receivers) {
           const auto& hist =
               result.receiver_histories[static_cast<std::size_t>(ri)];
           std::vector<double> flat;
           flat.reserve(3 * hist.size());
           for (const auto& s : hist) flat.insert(flat.end(), s.begin(), s.end());
+          ckpt_doubles += flat.size();
           snap.add("recv" + std::to_string(ri), std::move(flat));
         }
         util::save_snapshot(path, snap);
+        obs::counter_add("ckpt/writes", 1);
+        obs::counter_add("ckpt/bytes_written",
+                         static_cast<std::int64_t>(8 * ckpt_doubles));
         rank.barrier();
       }
     }
@@ -599,6 +639,35 @@ ParallelResult run_parallel(
     st.flops = flops;
     st.compute_seconds = compute_watch.total_seconds();
     st.exchange_seconds = exchange_watch.total_seconds();
+
+    // Partition-shape gauges; their across-rank min/mean/max in the merged
+    // report is the load-imbalance view of Table 2.1.
+    obs::gauge_set("par/n_elems", static_cast<double>(L.elems.size()));
+    obs::gauge_set("par/n_local_nodes", static_cast<double>(L.nodes.size()));
+    obs::gauge_set("par/n_neighbors", static_cast<double>(L.neighbors.size()));
+    obs::gauge_set("par/doubles_sent_per_step",
+                   static_cast<double>(sent_per_step));
+    obs::gauge_set("par/compute_seconds", compute_watch.total_seconds());
+    obs::gauge_set("par/exchange_seconds", exchange_watch.total_seconds());
+
+    // ---- telemetry gather: ship every registry to rank 0 and merge ------
+    // Registries are snapshotted/encoded BEFORE the gather messages move,
+    // so the reports describe the solve, not the gather itself.
+    if (obs::enabled()) {
+      if (rank.id() == 0) {
+        std::vector<obs::RankReport> reports;
+        reports.reserve(static_cast<std::size_t>(R));
+        reports.push_back(obs::RankReport{0, rank_regs[0]});
+        for (int s = 1; s < R; ++s) {
+          reports.push_back(obs::decode_report(rank.recv(s, kObsGatherTag)));
+        }
+        result.obs_summary = obs::merge_reports(reports);
+        result.obs_reports = std::move(reports);
+      } else {
+        rank.send(0, kObsGatherTag,
+                  obs::encode_report(obs::RankReport{rank.id(), rank_regs[r]}));
+      }
+    }
   };
 
   // ---- supervised execution: rewind to the last checkpoint and retry on

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "quake/fem/hex_element.hpp"
+#include "quake/obs/obs.hpp"
 
 namespace quake::solver {
 
@@ -94,6 +95,15 @@ void ElasticOperator::apply_stiffness(std::span<const double> u,
   const fem::HexReference& ref = fem::HexReference::get();
   const bool damp = opt_.rayleigh && !y_damp.empty();
 
+  // One scope per apply (not per element) keeps the instrumented-but-
+  // disabled overhead to a single atomic load per matvec.
+  QUAKE_OBS_SCOPE("op/stiffness");
+  obs::counter_add("op/elements_processed",
+                   static_cast<std::int64_t>(mesh.n_elements()));
+  if (damp) {
+    obs::counter_add("op/damped_applies", 1);
+  }
+
   double ue[fem::kHexDofs], ye[fem::kHexDofs], de[fem::kHexDofs];
   for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
     const auto& conn = mesh.elem_nodes[e];
@@ -123,6 +133,9 @@ void ElasticOperator::apply_stiffness(std::span<const double> u,
   }
 
   if (opt_.abc == fem::AbcType::kStacey) {
+    QUAKE_OBS_SCOPE("abc");  // nests: op/stiffness/abc
+    obs::counter_add("op/abc_faces_processed",
+                     static_cast<std::int64_t>(mesh.boundary_faces.size()));
     double uf[12], yf[12];
     for (const mesh::BoundaryFace& bf : mesh.boundary_faces) {
       if (!opt_.absorbing_sides[static_cast<std::size_t>(bf.side)]) continue;

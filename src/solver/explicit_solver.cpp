@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "quake/obs/obs.hpp"
 #include "quake/util/checkpoint.hpp"
 
 namespace quake::solver {
@@ -74,6 +75,7 @@ void ExplicitSolver::set_initial_conditions(std::span<const double> u0,
 }
 
 void ExplicitSolver::step(int k) {
+  QUAKE_OBS_SCOPE("step");
   const std::size_t nd = op_->n_dofs();
   const double t_k = k * dt_;
   const auto mass = op_->lumped_mass();
@@ -82,18 +84,24 @@ void ExplicitSolver::step(int k) {
   const auto cab = op_->cab_diag();
   const bool rayleigh = op_->options().rayleigh;
 
-  // Source at t_k, projected.
-  std::fill(f_.begin(), f_.end(), 0.0);
-  for (const SourceModel* s : sources_) s->add_forces(t_k, f_);
-  op_->accumulate_constraints(f_);
+  {
+    // Source at t_k, projected.
+    QUAKE_OBS_SCOPE("source");
+    std::fill(f_.begin(), f_.end(), 0.0);
+    for (const SourceModel* s : sources_) s->add_forces(t_k, f_);
+    op_->accumulate_constraints(f_);
+  }
 
-  // Stiffness and Rayleigh-stiffness products at u^k, projected.
+  // Stiffness and Rayleigh-stiffness products at u^k, projected. The
+  // element kernel itself reports under step/op/stiffness (see
+  // ElasticOperator::apply_stiffness).
   std::fill(ku_.begin(), ku_.end(), 0.0);
   if (rayleigh) std::fill(dku_.begin(), dku_.end(), 0.0);
   op_->apply_stiffness(u_, ku_, rayleigh ? std::span<double>(dku_) : std::span<double>());
   op_->accumulate_constraints(ku_);
   if (rayleigh) op_->accumulate_constraints(dku_);
 
+  QUAKE_OBS_SCOPE("update");  // diagonalized lumped update (eq. 2.4)
   const double dt2 = dt_ * dt_;
   const double hdt = 0.5 * dt_;
   for (std::size_t d = 0; d < nd; ++d) {
@@ -159,26 +167,37 @@ int ExplicitSolver::restore_checkpoint() {
 }
 
 void ExplicitSolver::write_checkpoint(int step) const {
+  QUAKE_OBS_SCOPE("checkpoint/write");
   util::Snapshot snap;
   snap.step = step;
   snap.add("u", u_);
   snap.add("u_prev", u_prev_);
   snap.add("dku_prev", dku_prev_);
+  std::size_t doubles = u_.size() + u_prev_.size() + dku_prev_.size();
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
     std::vector<double> flat;
     flat.reserve(3 * receivers_[i].u.size());
     for (const auto& s : receivers_[i].u) {
       flat.insert(flat.end(), s.begin(), s.end());
     }
+    doubles += flat.size();
     snap.add("recv" + std::to_string(i), std::move(flat));
   }
   util::save_snapshot(checkpoint_path_, snap);
+  obs::counter_add("ckpt/writes", 1);
+  obs::counter_add("ckpt/bytes_written",
+                   static_cast<std::int64_t>(8 * doubles));
 }
 
 void ExplicitSolver::run(const SnapshotFn& snapshot, int snapshot_every) {
+  QUAKE_OBS_SCOPE("solver/run");
   util::Timer timer;
   std::vector<double> v(snapshot ? op_->n_dofs() : 0);
   const int k0 = checkpoint_path_.empty() ? 0 : restore_checkpoint();
+  if (k0 > 0) {
+    obs::counter_add("ckpt/restores", 1);
+    obs::counter_add("ckpt/restored_steps", k0);
+  }
   for (int k = k0; k < n_steps_; ++k) {
     step(k);
     for (Receiver& r : receivers_) {

@@ -6,6 +6,7 @@
 
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace quake::util {
@@ -20,5 +21,14 @@ void write_csv(const std::string& path, std::span<const std::string> names,
 // std::runtime_error on I/O failure (open, short write, close).
 void write_pgm(const std::string& path, std::span<const double> values,
                int width, int height, double lo, double hi);
+
+// Writes `content` verbatim with the same hardening as the writers above
+// (open, short-write, and deferred-flush errors all throw). Used by the
+// quake::obs metrics sink for its JSON/CSV reports.
+void write_text_file(const std::string& path, std::string_view content);
+
+// Reads a whole file into a string; throws std::runtime_error on open or
+// read failure. Counterpart of write_text_file (tools/check_bench_schema).
+[[nodiscard]] std::string read_text_file(const std::string& path);
 
 }  // namespace quake::util

@@ -24,17 +24,31 @@ class Timer {
 };
 
 // Accumulates time across start/stop intervals (e.g. compute vs exchange
-// phases of the explicit solver loop).
+// phases of the explicit solver loop). stop() accumulates only when a
+// start() is pending: an unmatched stop() is a no-op rather than adding
+// whatever time happened to elapse since construction or the last interval.
 class StopWatch {
  public:
-  void start() { timer_.reset(); }
-  void stop() { total_ += timer_.seconds(); }
+  void start() {
+    timer_.reset();
+    running_ = true;
+  }
+  void stop() {
+    if (!running_) return;
+    total_ += timer_.seconds();
+    running_ = false;
+  }
+  [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] double total_seconds() const { return total_; }
-  void clear() { total_ = 0.0; }
+  void clear() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   Timer timer_;
   double total_ = 0.0;
+  bool running_ = false;
 };
 
 }  // namespace quake::util

@@ -90,4 +90,29 @@ void write_pgm(const std::string& path, std::span<const double> values,
   close_or_throw(std::move(f), path);
 }
 
+void write_text_file(const std::string& path, std::string_view content) {
+  FilePtr f = open_or_throw(path, "wb");
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), f.get()) !=
+          content.size()) {
+    throw std::runtime_error("write failed for " + path);
+  }
+  close_or_throw(std::move(f), path);
+}
+
+std::string read_text_file(const std::string& path) {
+  FilePtr f = open_or_throw(path, "rb");
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f.get());
+    out.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  if (std::ferror(f.get()) != 0) {
+    throw std::runtime_error("read failed for " + path);
+  }
+  return out;
+}
+
 }  // namespace quake::util

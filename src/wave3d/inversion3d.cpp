@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "quake/obs/obs.hpp"
 #include "quake/opt/lbfgs.hpp"
 #include "quake/opt/linesearch.hpp"
 #include "quake/util/log.hpp"
@@ -278,15 +279,24 @@ Inversion3dReport invert_material3d(const ScalarInversion3d& prob,
 
   double g0 = -1.0;
   for (int newton = 0; newton < opt.max_newton; ++newton) {
+    QUAKE_OBS_SCOPE("gn/newton");
+    obs::counter_add("gn/newton_total", 1);
     mg.apply(m, mu);
     const ScalarModel3d model(setup.grid, std::vector<double>(mu), setup.rho);
-    const auto fwd = prob.forward(model, /*history=*/true);
+    const auto fwd = [&] {
+      QUAKE_OBS_SCOPE("forward");
+      return prob.forward(model, /*history=*/true);
+    }();
     if (newton == 0) report.misfit_initial = fwd.misfit;
     report.misfit_final = fwd.misfit;
+    obs::series_append("gn/misfit", fwd.misfit);
 
-    const auto nu = prob.adjoint(model, fwd.residuals);
-    std::fill(ge.begin(), ge.end(), 0.0);
-    prob.assemble_gradient(model, fwd.march.history, nu, ge);
+    {
+      QUAKE_OBS_SCOPE("adjoint");
+      const auto nu = prob.adjoint(model, fwd.residuals);
+      std::fill(ge.begin(), ge.end(), 0.0);
+      prob.assemble_gradient(model, fwd.march.history, nu, ge);
+    }
     std::fill(g.begin(), g.end(), 0.0);
     mg.apply_transpose(ge, g);
     if (opt.beta_h1_rel > 0.0 && newton == 0) {
@@ -309,6 +319,7 @@ Inversion3dReport invert_material3d(const ScalarInversion3d& prob,
     }
 
     const double gnorm = util::norm_l2(g);
+    obs::series_append("gn/grad_norm", gnorm);
     if (g0 < 0.0) g0 = gnorm;
     report.grad_reduction = g0 > 0.0 ? gnorm / g0 : 1.0;
     QUAKE_LOG_DEBUG("inv3d newton %d: misfit=%.4e |g|=%.3e", newton,
@@ -316,6 +327,7 @@ Inversion3dReport invert_material3d(const ScalarInversion3d& prob,
     if (gnorm <= opt.grad_tol * g0) break;
 
     opt::LinOp hvp = [&](std::span<const double> v, std::span<double> hv) {
+      QUAKE_OBS_SCOPE("hessvec");
       std::vector<double> dmu(ne), he(ne, 0.0);
       mg.apply(v, dmu);
       prob.gauss_newton(model, fwd.march.history, dmu, he);
@@ -339,9 +351,13 @@ Inversion3dReport invert_material3d(const ScalarInversion3d& prob,
                                      std::span<const double> y) {
       lbfgs_next.add_pair(s, y);
     };
-    const auto cg = opt::conjugate_gradient(hvp, b, d, opt.cg, &precond,
-                                            &collect);
+    const auto cg = [&] {
+      QUAKE_OBS_SCOPE("cg");
+      return opt::conjugate_gradient(hvp, b, d, opt.cg, &precond, &collect);
+    }();
     report.cg_iters += cg.iterations;
+    obs::series_append("gn/cg_iters", static_cast<double>(cg.iterations));
+    obs::counter_add("gn/cg_total", cg.iterations);
     if (util::norm_l2(d) == 0.0) break;
 
     double dphi0 = util::dot(g, d);
@@ -357,9 +373,13 @@ Inversion3dReport invert_material3d(const ScalarInversion3d& prob,
       return trial;
     };
     const double j0 = fwd.misfit + h1_value(m);
-    const auto ls = opt::armijo_backtracking(
-        [&](double a) { return objective(projected(a)); }, j0, dphi0,
-        opt::ArmijoOptions{});
+    const auto ls = [&] {
+      QUAKE_OBS_SCOPE("linesearch");
+      return opt::armijo_backtracking(
+          [&](double a) { return objective(projected(a)); }, j0, dphi0,
+          opt::ArmijoOptions{});
+    }();
+    obs::series_append("gn/ls_evals", static_cast<double>(ls.evaluations));
     ++report.newton_iters;
     std::swap(lbfgs_prev, lbfgs_next);
     QUAKE_LOG_DEBUG("inv3d   cg=%d (res %.2e->%.2e%s) |d|=%.3e dphi0=%.3e alpha=%.3e",

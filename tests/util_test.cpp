@@ -12,6 +12,7 @@
 #include "quake/util/io.hpp"
 #include "quake/util/rng.hpp"
 #include "quake/util/stats.hpp"
+#include "quake/util/timer.hpp"
 
 namespace {
 
@@ -161,6 +162,56 @@ TEST(Io, WritersSurfaceDiskFullAsError) {
   EXPECT_THROW(write_csv("/dev/full", names, cols), std::runtime_error);
   std::vector<double> v(64 * 64, 0.5);
   EXPECT_THROW(write_pgm("/dev/full", v, 64, 64, 0.0, 1.0),
+               std::runtime_error);
+}
+
+TEST(StopWatch, UnmatchedStopIsNoOp) {
+  // Regression: stop() without a pending start() used to add whatever time
+  // happened to elapse since construction (garbage into the total).
+  StopWatch w;
+  w.stop();
+  EXPECT_DOUBLE_EQ(w.total_seconds(), 0.0);
+  EXPECT_FALSE(w.running());
+}
+
+TEST(StopWatch, DoubleStopAddsNothing) {
+  StopWatch w;
+  w.start();
+  EXPECT_TRUE(w.running());
+  w.stop();
+  const double t = w.total_seconds();
+  EXPECT_GE(t, 0.0);
+  w.stop();  // second stop with no start in between: no-op
+  EXPECT_DOUBLE_EQ(w.total_seconds(), t);
+}
+
+TEST(StopWatch, ClearResetsRunningState) {
+  StopWatch w;
+  w.start();
+  w.clear();
+  EXPECT_FALSE(w.running());
+  w.stop();  // must still be a no-op after clear()
+  EXPECT_DOUBLE_EQ(w.total_seconds(), 0.0);
+}
+
+TEST(StopWatch, AccumulatesAcrossIntervals) {
+  StopWatch w;
+  w.start();
+  w.stop();
+  const double t1 = w.total_seconds();
+  w.start();
+  w.stop();
+  EXPECT_GE(w.total_seconds(), t1);
+}
+
+TEST(Io, TextFileRoundTrip) {
+  const std::string path = "/tmp/quake_util_text_test.txt";
+  const std::string content = "line1\nline2 \xE2\x82\xAC\n";
+  write_text_file(path, content);
+  EXPECT_EQ(read_text_file(path), content);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_text_file(path), std::runtime_error);
+  EXPECT_THROW(write_text_file("/nonexistent-dir/x.txt", "y"),
                std::runtime_error);
 }
 

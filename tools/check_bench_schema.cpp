@@ -1,0 +1,205 @@
+// check_bench_schema — validates a "quake.bench/1" report produced by
+// MetricsSink (see docs/OBSERVABILITY.md for the schema). Used by CI to
+// catch silently malformed bench output:
+//
+//   check_bench_schema FILE [--require PATH]...
+//
+// Checks the envelope (schema tag, bench name, non-empty rows), the shape
+// of every row (params/metrics objects; optional "ranks" merged-report with
+// ordered min <= mean <= max summaries; optional "series" of numeric
+// arrays), and that every --require dotted path (e.g. "ranks" or
+// "series.gn/cg_iters" — metric names use '/', so '.' is a safe separator)
+// is present in every row. Exits 0 on success, 1 with a diagnostic on the
+// first violation.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "quake/obs/json.hpp"
+#include "quake/util/io.hpp"
+
+namespace {
+
+using quake::obs::Json;
+
+std::string g_context;
+
+bool fail(const std::string& what) {
+  std::fprintf(stderr, "check_bench_schema: %s: %s\n", g_context.c_str(),
+               what.c_str());
+  return false;
+}
+
+bool is_number(const Json* j) {
+  return j != nullptr && j->type() == Json::Type::kNumber;
+}
+
+bool check_summary(const Json& s, const std::string& name) {
+  if (!s.is_object()) return fail(name + ": summary is not an object");
+  const Json* mn = s.find("min");
+  const Json* me = s.find("mean");
+  const Json* mx = s.find("max");
+  const Json* su = s.find("sum");
+  if (!is_number(mn) || !is_number(me) || !is_number(mx) || !is_number(su)) {
+    return fail(name + ": summary needs numeric min/mean/max/sum");
+  }
+  if (!(mn->as_number() <= me->as_number() &&
+        me->as_number() <= mx->as_number())) {
+    return fail(name + ": summary violates min <= mean <= max");
+  }
+  return true;
+}
+
+bool check_ranks(const Json& ranks) {
+  if (!ranks.is_object()) return fail("\"ranks\" is not an object");
+  if (!is_number(ranks.find("n_ranks"))) {
+    return fail("\"ranks\" needs numeric n_ranks");
+  }
+  const Json* scopes = ranks.find("scopes");
+  if (scopes == nullptr || !scopes->is_object()) {
+    return fail("\"ranks\" needs a scopes object");
+  }
+  for (const auto& [path, sc] : scopes->members()) {
+    if (!sc.is_object() || !is_number(sc.find("calls")) ||
+        sc.find("seconds") == nullptr) {
+      return fail("scope \"" + path + "\" needs calls and seconds");
+    }
+    if (!check_summary(*sc.find("seconds"), "scope \"" + path + "\"")) {
+      return false;
+    }
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    const Json* obj = ranks.find(section);
+    if (obj == nullptr || !obj->is_object()) {
+      return fail(std::string("\"ranks\" needs a ") + section + " object");
+    }
+    for (const auto& [name, s] : obj->members()) {
+      if (!check_summary(s, std::string(section) + " \"" + name + "\"")) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool check_series(const Json& series) {
+  if (!series.is_object()) return fail("\"series\" is not an object");
+  for (const auto& [name, arr] : series.members()) {
+    if (!arr.is_array()) {
+      return fail("series \"" + name + "\" is not an array");
+    }
+    for (const Json& v : arr.items()) {
+      if (v.type() != Json::Type::kNumber) {
+        return fail("series \"" + name + "\" has a non-numeric sample");
+      }
+    }
+  }
+  return true;
+}
+
+// Navigates a dotted path ("series.gn/cg_iters") through one row.
+bool has_path(const Json& row, const std::string& path) {
+  const Json* cur = &row;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key = path.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (!cur->is_object()) return false;
+    cur = cur->find(key);
+    if (cur == nullptr) return false;
+    if (dot == std::string::npos) return true;
+    start = dot + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::vector<std::string> required;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--require") == 0 && a + 1 < argc) {
+      required.emplace_back(argv[++a]);
+    } else if (file.empty() && argv[a][0] != '-') {
+      file = argv[a];
+    } else {
+      std::fprintf(stderr, "usage: %s FILE [--require PATH]...\n", argv[0]);
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "usage: %s FILE [--require PATH]...\n", argv[0]);
+    return 2;
+  }
+
+  g_context = file;
+  std::string text;
+  try {
+    text = quake::util::read_text_file(file);
+  } catch (const std::exception& e) {
+    fail(e.what());
+    return 1;
+  }
+
+  Json root;
+  std::string err;
+  if (!Json::parse(text, &root, &err)) {
+    fail("JSON parse error: " + err);
+    return 1;
+  }
+  if (!root.is_object()) {
+    fail("top level is not an object");
+    return 1;
+  }
+  const Json* schema = root.find("schema");
+  if (schema == nullptr || schema->type() != Json::Type::kString ||
+      schema->as_string() != "quake.bench/1") {
+    fail("missing or unknown schema tag (want \"quake.bench/1\")");
+    return 1;
+  }
+  const Json* bench = root.find("bench");
+  if (bench == nullptr || bench->type() != Json::Type::kString ||
+      bench->as_string().empty()) {
+    fail("missing bench name");
+    return 1;
+  }
+  const Json* rows = root.find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->items().empty()) {
+    fail("rows missing or empty");
+    return 1;
+  }
+
+  std::size_t i = 0;
+  for (const Json& row : rows->items()) {
+    g_context = file + " row " + std::to_string(i++);
+    if (!row.is_object()) {
+      fail("row is not an object");
+      return 1;
+    }
+    for (const char* section : {"params", "metrics"}) {
+      const Json* obj = row.find(section);
+      if (obj == nullptr || !obj->is_object()) {
+        fail(std::string("missing ") + section + " object");
+        return 1;
+      }
+    }
+    const Json* ranks = row.find("ranks");
+    if (ranks != nullptr && !check_ranks(*ranks)) return 1;
+    const Json* series = row.find("series");
+    if (series != nullptr && !check_series(*series)) return 1;
+    for (const std::string& path : required) {
+      if (!has_path(row, path)) {
+        fail("required path \"" + path + "\" missing");
+        return 1;
+      }
+    }
+  }
+
+  std::printf("%s: OK (%s, %zu rows)\n", file.c_str(),
+              bench->as_string().c_str(), rows->items().size());
+  return 0;
+}
