@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
 
   std::printf("Table 2.1 analogue: forward-solver scalability "
               "(machine model: 500 Mflop/s per PE, 200 MB/s links, 5 us)\n");
-  std::printf("%5s %8s %10s %10s %9s %9s %10s %11s %10s\n", "PEs", "model",
-              "grid pts", "pts/PE", "imbal", "shared%", "kB/step",
-              "meas Mf/s", "model eff");
+  std::printf("%5s %8s %10s %10s %9s %9s %10s %9s %11s %10s\n", "PEs",
+              "model", "grid pts", "pts/PE", "imbal", "shared%", "kB/step",
+              "overlap", "meas Mf/s", "model eff");
 
   double base_eff = -1.0;
   for (const Row& row : rows) {
@@ -121,12 +121,14 @@ int main(int argc, char** argv) {
 
     std::uint64_t flops = 0;
     std::size_t shared_doubles = 0, shared_nodes = 0, total_rank_nodes = 0;
-    double compute = 0.0;
+    double compute = 0.0, overlap = 0.0;
     for (const auto& s : pr.rank_stats) {
       flops += s.flops;
       shared_doubles += s.doubles_sent_per_step;
       compute = std::max(compute, s.compute_seconds + s.exchange_seconds);
+      overlap += s.overlap_fraction;
     }
+    overlap /= static_cast<double>(pr.rank_stats.size());
     for (const auto& s : part.stats) {
       shared_nodes += s.n_shared_nodes;
       total_rank_nodes += s.n_nodes;
@@ -144,11 +146,12 @@ int main(int argc, char** argv) {
     const double kb_per_step =
         static_cast<double>(shared_doubles) * 8.0 / 1024.0;
 
-    std::printf("%5d %8s %10zu %10zu %9.3f %8.1f%% %10.1f %11.0f %10.3f\n",
-                row.ranks, row.model.c_str(), mesh.n_nodes(),
-                mesh.n_nodes() / static_cast<std::size_t>(row.ranks),
-                part.imbalance(), 100.0 * shared_frac, kb_per_step,
-                meas_mflops, eff);
+    std::printf(
+        "%5d %8s %10zu %10zu %9.3f %8.1f%% %10.1f %8.1f%% %11.0f %10.3f\n",
+        row.ranks, row.model.c_str(), mesh.n_nodes(),
+        mesh.n_nodes() / static_cast<std::size_t>(row.ranks),
+        part.imbalance(), 100.0 * shared_frac, kb_per_step, 100.0 * overlap,
+        meas_mflops, eff);
 
     obs::Json& jrow = sink.new_row();
     jrow.set("params", obs::Json::object()
@@ -166,6 +169,7 @@ int main(int argc, char** argv) {
                  .set("imbalance", part.imbalance())
                  .set("shared_node_fraction", shared_frac)
                  .set("kb_per_step", kb_per_step)
+                 .set("overlap_fraction", overlap)
                  .set("measured_mflops", meas_mflops)
                  .set("modeled_efficiency", eff_raw)
                  .set("modeled_efficiency_normalized", eff));

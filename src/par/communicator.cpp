@@ -1,5 +1,6 @@
 #include "quake/par/communicator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -62,7 +63,15 @@ void Rank::send(int dest, int tag, std::span<const double> data) {
   obs::counter_add("comm/msgs_sent", 1);
   obs::counter_add("comm/bytes_sent",
                    static_cast<std::int64_t>(8 * data.size()));
-  comm_->post(id_, dest, tag, std::vector<double>(data.begin(), data.end()));
+  // Recycled storage is filled before the post takes the lock, so a large
+  // copy never serializes the other ranks' communication.
+  std::vector<double> msg;
+  if (!pool_.empty()) {
+    msg = std::move(pool_.back());
+    pool_.pop_back();
+  }
+  msg.assign(data.begin(), data.end());
+  comm_->post(id_, dest, tag, std::move(msg));
 }
 
 std::vector<double> Rank::recv(int src, int tag, double timeout_sec) {
@@ -71,6 +80,14 @@ std::vector<double> Rank::recv(int src, int tag, double timeout_sec) {
   obs::counter_add("comm/bytes_recv",
                    static_cast<std::int64_t>(8 * msg.size()));
   return msg;
+}
+
+void Rank::recv_into(int src, int tag, std::span<double> out,
+                     double timeout_sec) {
+  pool_.push_back(comm_->take_into(src, id_, tag, out, timeout_sec));
+  obs::counter_add("comm/msgs_recv", 1);
+  obs::counter_add("comm/bytes_recv",
+                   static_cast<std::int64_t>(8 * out.size()));
 }
 
 void Rank::barrier(double timeout_sec) {
@@ -90,8 +107,10 @@ double Rank::allreduce_min(double v) {
 void Rank::fault_point(int step) { comm_->fault_point(id_, step); }
 
 void Communicator::fault_point(int rank, int step) {
+  // Solvers call this (at least) once per rank per step: skip the global
+  // mutex entirely on the common no-plan path.
+  if (!has_plan_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (!has_plan_) return;
   for (std::size_t i = 0; i < plan_.kills.size(); ++i) {
     if (kill_fired_[i] != 0) continue;
     if (plan_.kills[i].rank != rank || plan_.kills[i].step != step) continue;
@@ -273,9 +292,9 @@ void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
   cv_.notify_all();
 }
 
-std::vector<double> Communicator::take(int src, int dst, int tag,
-                                       double timeout_sec) {
-  std::unique_lock<std::mutex> lock(mu_);
+void Communicator::wait_for_message(std::unique_lock<std::mutex>& lock,
+                                    int src, int dst, int tag,
+                                    double timeout_sec) {
   throw_if_down_locked();
   const auto key = std::tuple<int, int, int>{src, dst, tag};
   const auto ready = [&] {
@@ -298,10 +317,38 @@ std::vector<double> Communicator::take(int src, int dst, int tag,
     unblock_locked(dst);
   }
   throw_if_down_locked();
-  auto& q = boxes_[key].messages;
+}
+
+std::vector<double> Communicator::take(int src, int dst, int tag,
+                                       double timeout_sec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  wait_for_message(lock, src, dst, tag, timeout_sec);
+  auto& q = boxes_[std::tuple<int, int, int>{src, dst, tag}].messages;
   std::vector<double> msg = std::move(q.front());
   q.pop();
   return msg;
+}
+
+std::vector<double> Communicator::take_into(int src, int dst, int tag,
+                                            std::span<double> out,
+                                            double timeout_sec) {
+  std::vector<double> msg;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    wait_for_message(lock, src, dst, tag, timeout_sec);
+    auto& q = boxes_[std::tuple<int, int, int>{src, dst, tag}].messages;
+    msg = std::move(q.front());
+    q.pop();
+  }
+  if (msg.size() != out.size()) {
+    throw CommError("recv_into size mismatch on rank " + std::to_string(dst) +
+                    ": recv(src=" + std::to_string(src) +
+                    ", tag=" + std::to_string(tag) + ") got " +
+                    std::to_string(msg.size()) + " doubles, caller buffer " +
+                    std::to_string(out.size()));
+  }
+  std::copy(msg.begin(), msg.end(), out.begin());
+  return msg;  // spent storage, for the caller's pool
 }
 
 void Communicator::barrier_wait(int rank, double timeout_sec) {

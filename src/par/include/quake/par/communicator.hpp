@@ -21,6 +21,7 @@
 //    corrupts / delays planned messages, so recovery machinery is testable
 //    in CI. Each fault fires once, surviving across run() retries.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -85,6 +86,11 @@ struct FaultPlan {
   std::uint64_t seed = 1;  // drives the corrupted-value perturbation
 
   // Throw InjectedFaultError on `rank` when it reaches Rank::fault_point(step).
+  // Matching is exact, so solvers can expose extra phase-specific fault
+  // points under step encodings that cannot collide with real step numbers:
+  // run_parallel calls fault_point(k) at the top of step k and
+  // fault_point(-(k + 1)) between posting and draining the ghost exchange,
+  // so a Kill with step = -(k + 1) dies mid-exchange at step k.
   struct Kill {
     int rank = 0;
     int step = 0;
@@ -124,6 +130,17 @@ class Rank {
   void send(int dest, int tag, std::span<const double> data);
   std::vector<double> recv(int src, int tag, double timeout_sec = 0.0);
 
+  // Blocking receive into a caller-owned buffer: the message must be
+  // exactly `out.size()` doubles (CommError otherwise — a size mismatch on
+  // a preplanned exchange is a program error, not a recoverable condition).
+  // Drained message storage lands in this rank's buffer pool and the next
+  // send draws from it — both without touching the communicator lock — so
+  // once every edge has warmed up, a symmetric exchange (every rank
+  // receives as many messages per step as it sends) runs with zero heap
+  // allocation in steady state.
+  void recv_into(int src, int tag, std::span<double> out,
+                 double timeout_sec = 0.0);
+
   void barrier(double timeout_sec = 0.0);
   double allreduce_sum(double v);
   double allreduce_max(double v);
@@ -144,6 +161,10 @@ class Rank {
   int id_;
   int size_;
   std::size_t sent_ = 0;
+  // Rank-local message-storage pool: refilled by recv_into, drawn by send,
+  // no locking (only this rank's thread touches it). Storage migrates
+  // between ranks' pools with the messages that carry it.
+  std::vector<std::vector<double>> pool_;
 };
 
 class Communicator {
@@ -187,6 +208,15 @@ class Communicator {
 
   void post(int src, int dst, int tag, std::vector<double> msg);
   std::vector<double> take(int src, int dst, int tag, double timeout_sec);
+  // Copies the next message into `out` and returns its spent storage for
+  // the caller to recycle (Rank::recv_into feeds it to the rank's pool).
+  std::vector<double> take_into(int src, int dst, int tag,
+                                std::span<double> out, double timeout_sec);
+  // Waits until a message on (src, dst, tag) is available (or the run is
+  // down / the deadline expires). Shared blocking logic of take/take_into;
+  // requires `lock` held, returns with it held.
+  void wait_for_message(std::unique_lock<std::mutex>& lock, int src, int dst,
+                        int tag, double timeout_sec);
   void barrier_wait(int rank, double timeout_sec);
   double reduce(int rank, double v, ReduceMode mode);
   void fault_point(int rank, int step);
@@ -226,8 +256,11 @@ class Communicator {
 
   double default_timeout_sec_ = 0.0;
 
-  // Fault-injection state (persists across run() calls).
-  bool has_plan_ = false;
+  // Fault-injection state (persists across run() calls). has_plan_ is
+  // atomic so the per-step fault_point hook can bail without touching the
+  // contended global mutex when no plan is installed — install/clear happen
+  // between runs, never concurrently with rank threads.
+  std::atomic<bool> has_plan_{false};
   FaultPlan plan_;
   std::vector<std::uint8_t> kill_fired_;
   std::vector<std::uint8_t> msg_fired_;

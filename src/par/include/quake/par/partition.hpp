@@ -18,7 +18,12 @@ namespace quake::par {
 struct Partition {
   int n_ranks = 1;
   std::vector<int> elem_rank;               // element -> rank
-  std::vector<int> node_owner;              // node -> owning rank
+  // node -> owning rank; always a valid rank in [0, n_ranks). Nodes touched
+  // by no element ("orphans", possible in hand-built or filtered meshes)
+  // are clamped to rank 0 and counted in n_orphan_nodes — they carry no
+  // coupled dofs, but a sentinel owner would poison downstream indexing.
+  std::vector<int> node_owner;
+  std::size_t n_orphan_nodes = 0;
   std::vector<std::vector<mesh::ElemId>> rank_elems;
 
   // Per-rank statistics used by the scaling bench.

@@ -50,6 +50,26 @@ struct RankLocal {
   std::vector<Neighbor> neighbors;                 // ascending rank
   std::vector<int> all_shared;                     // union of neighbor lists
   std::vector<std::pair<int, int>> receivers;      // (global index, local node)
+
+  // Communication-hiding split (see the step loop): an element/face/
+  // constraint is "boundary" iff it can contribute to a shared-node partial
+  // — directly, or through the hanging-node fold into a shared master. The
+  // boundary pieces are computed before the exchange is posted; everything
+  // interior runs while the messages are in flight. Each list preserves the
+  // original relative order, so per-rank partials stay bit-identical to an
+  // unsplit sweep.
+  std::vector<int> boundary_elems, interior_elems;  // indices into `elems`
+  std::vector<Face> boundary_faces, interior_faces;
+  std::vector<LocalConstraint> cons_boundary, cons_interior;
+
+  // Persistent exchange storage: send/recv buffers per neighbor and the
+  // first-occurrence map for re-inserting this rank's own partials, all
+  // sized at setup so the step loop performs no heap allocation.
+  std::vector<std::vector<double>> sendbuf, recvbuf;
+  std::vector<std::vector<int>> own_first;  // per neighbor: first-occurrence
+                                            // indices into its shared list
+  std::vector<int> nb_of_rank;              // rank -> neighbor index or -1
+  std::size_t doubles_per_step = 0;         // exchange volume, setup-derived
 };
 
 // ForceSink that keeps only this rank's nodes.
@@ -246,6 +266,70 @@ ParallelResult run_parallel(
               [](const Neighbor& a, const Neighbor& b) { return a.rank < b.rank; });
   }
 
+  // Boundary/interior split and persistent exchange buffers. A node can
+  // contribute to a shared-node partial iff it is shared itself, or it is a
+  // hanging node with a contributing master (masters are never hanging —
+  // constraint chains are resolved at mesh build — so one pass suffices).
+  const std::size_t pack = rayleigh ? 2u : 1u;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+    RankLocal& L = locals[r];
+    std::vector<std::uint8_t> affects(L.nodes.size(), 0);
+    for (int li : L.all_shared) affects[static_cast<std::size_t>(li)] = 1;
+    for (const LocalConstraint& c : L.cons) {
+      if (affects[static_cast<std::size_t>(c.node)] != 0) continue;
+      for (int m = 0; m < c.n; ++m) {
+        if (affects[static_cast<std::size_t>(
+                c.masters[static_cast<std::size_t>(m)])] != 0) {
+          affects[static_cast<std::size_t>(c.node)] = 1;
+          break;
+        }
+      }
+    }
+    std::vector<std::uint8_t> elem_boundary(L.elems.size(), 0);
+    for (std::size_t le = 0; le < L.elems.size(); ++le) {
+      for (int i = 0; i < 8; ++i) {
+        if (affects[static_cast<std::size_t>(
+                L.conn[le][static_cast<std::size_t>(i)])] != 0) {
+          elem_boundary[le] = 1;
+          break;
+        }
+      }
+      (elem_boundary[le] != 0 ? L.boundary_elems : L.interior_elems)
+          .push_back(static_cast<int>(le));
+    }
+    for (const RankLocal::Face& face : L.faces) {
+      (elem_boundary[static_cast<std::size_t>(face.elem)] != 0
+           ? L.boundary_faces
+           : L.interior_faces)
+          .push_back(face);
+    }
+    for (const LocalConstraint& c : L.cons) {
+      (affects[static_cast<std::size_t>(c.node)] != 0 ? L.cons_boundary
+                                                      : L.cons_interior)
+          .push_back(c);
+    }
+
+    L.sendbuf.resize(L.neighbors.size());
+    L.recvbuf.resize(L.neighbors.size());
+    L.own_first.resize(L.neighbors.size());
+    L.nb_of_rank.assign(static_cast<std::size_t>(R), -1);
+    std::vector<std::uint8_t> seen(L.nodes.size(), 0);
+    for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+      const auto& sh = L.neighbors[nb].shared;
+      L.sendbuf[nb].resize(pack * 3 * sh.size());
+      L.recvbuf[nb].resize(pack * 3 * sh.size());
+      L.nb_of_rank[static_cast<std::size_t>(L.neighbors[nb].rank)] =
+          static_cast<int>(nb);
+      L.doubles_per_step += pack * 3 * sh.size();
+      for (std::size_t i = 0; i < sh.size(); ++i) {
+        const std::size_t li = static_cast<std::size_t>(sh[i]);
+        if (seen[li] != 0) continue;
+        seen[li] = 1;
+        L.own_first[nb].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
   // Receivers assigned to the owner of the nearest node.
   ParallelResult result;
   result.dt = dt;
@@ -255,7 +339,16 @@ ParallelResult run_parallel(
     const mesh::NodeId n = solver::nearest_node(mesh, receiver_positions[ri]);
     const int owner = part.node_owner[static_cast<std::size_t>(n)];
     RankLocal& L = locals[static_cast<std::size_t>(owner)];
-    L.receivers.emplace_back(static_cast<int>(ri), L.local_of.at(n));
+    const auto it = L.local_of.find(n);
+    if (it == L.local_of.end()) {
+      // Only reachable when the nearest node is an orphan (touched by no
+      // element): it belongs to no rank's local set and has no dynamics.
+      throw std::invalid_argument(
+          "run_parallel: receiver " + std::to_string(ri) +
+          " snaps to node " + std::to_string(n) +
+          ", which no element touches (orphan node)");
+    }
+    L.receivers.emplace_back(static_cast<int>(ri), it->second);
     result.receiver_histories[ri].reserve(static_cast<std::size_t>(n_steps));
   }
 
@@ -287,12 +380,16 @@ ParallelResult run_parallel(
     const std::size_t nd = 3 * L.nodes.size();
     std::vector<double> u(nd, 0.0), u_prev(nd, 0.0), u_next(nd, 0.0);
     std::vector<double> f(nd, 0.0), ku(nd, 0.0), dku(nd, 0.0), dku_prev(nd, 0.0);
-    const std::size_t pack = rayleigh ? 2u : 1u;
-    std::vector<std::vector<double>> sendbuf(L.neighbors.size());
 
-    util::StopWatch compute_watch, exchange_watch;
+    // compute: all element/face/update work; exchange: post + drain;
+    // overlap: the interior-compute window with messages in flight; drain:
+    // the exposed (blocked) tail of the exchange.
+    util::StopWatch compute_watch, exchange_watch, overlap_watch, drain_watch;
     std::uint64_t flops = 0;
-    std::size_t sent_per_step = 0;
+    // Seed the comm counters so every rank's registry (and hence every
+    // merged report row, including 1-rank runs) carries them explicitly.
+    obs::counter_add("comm/msgs_sent", 0);
+    obs::counter_add("comm/bytes_sent", 0);
 
     // ---- checkpoint restore: agree on a common restart step --------------
     // Each rank proposes the newest usable snapshot among its current and
@@ -369,8 +466,9 @@ ParallelResult run_parallel(
         }
       }
     };
-    auto accumulate = [&](std::vector<double>& x) {
-      for (const LocalConstraint& c : L.cons) {
+    auto accumulate = [&](std::vector<double>& x,
+                          const std::vector<LocalConstraint>& cons) {
+      for (const LocalConstraint& c : cons) {
         for (int comp = 0; comp < 3; ++comp) {
           const std::size_t hd = 3 * static_cast<std::size_t>(c.node) +
                                  static_cast<std::size_t>(comp);
@@ -385,22 +483,11 @@ ParallelResult run_parallel(
       }
     };
 
-    for (int k = k0; k < n_steps; ++k) {
-      QUAKE_OBS_SCOPE("step");
-      rank.fault_point(k);
-      {
-      QUAKE_OBS_SCOPE("compute");  // sources + element kernel + ABC
-      compute_watch.start();
-      const double t_k = k * dt;
-      std::fill(f.begin(), f.end(), 0.0);
-      RankForceSink sink(L.local_of, f);
-      for (const solver::SourceModel* s : sources) s->add_forces(t_k, sink);
-      accumulate(f);
-
-      std::fill(ku.begin(), ku.end(), 0.0);
-      if (rayleigh) std::fill(dku.begin(), dku.end(), 0.0);
-      double ue[fem::kHexDofs], ye[fem::kHexDofs], de[fem::kHexDofs];
-      for (std::size_t le = 0; le < L.elems.size(); ++le) {
+    // One element-kernel application, shared by both phases of the split.
+    double ue[fem::kHexDofs], ye[fem::kHexDofs], de[fem::kHexDofs];
+    auto apply_elems = [&](const std::vector<int>& list) {
+      for (const int le_i : list) {
+        const std::size_t le = static_cast<std::size_t>(le_i);
         const std::size_t ge = static_cast<std::size_t>(L.elems[le]);
         const auto& c = L.conn[le];
         for (int i = 0; i < 8; ++i) {
@@ -429,57 +516,73 @@ ParallelResult run_parallel(
         }
         flops += fem::hex_apply_flops(rayleigh);
       }
-      if (op_opt.abc == fem::AbcType::kStacey) {
-        double uf[12], yf[12];
-        for (const auto& face : L.faces) {
-          if (!op_opt.absorbing_sides[static_cast<std::size_t>(face.side)]) {
-            continue;
-          }
-          const std::size_t ge =
-              static_cast<std::size_t>(L.elems[static_cast<std::size_t>(face.elem)]);
-          const auto& fn = mesh::kFaceNodes[static_cast<std::size_t>(face.side)];
-          const auto& c = L.conn[static_cast<std::size_t>(face.elem)];
-          for (int i = 0; i < 4; ++i) {
-            const std::size_t base = 3 * static_cast<std::size_t>(
-                c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
-            uf[3 * i] = u[base];
-            uf[3 * i + 1] = u[base + 1];
-            uf[3 * i + 2] = u[base + 2];
-          }
-          std::fill(yf, yf + 12, 0.0);
-          fem::face_stacey_apply(mesh.elem_mat[ge], mesh.elem_size[ge],
-                                 face.side, uf, yf);
-          for (int i = 0; i < 4; ++i) {
-            const std::size_t base = 3 * static_cast<std::size_t>(
-                c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
-            ku[base] += yf[3 * i];
-            ku[base + 1] += yf[3 * i + 1];
-            ku[base + 2] += yf[3 * i + 2];
-          }
-          flops += 200;
-        }
-      }
-      // Fold hanging-node partials into their masters BEFORE the exchange
-      // (B^T is linear, so projecting partials and summing commutes with
-      // summing and projecting) — this keeps ghost sets surface-sized.
-      accumulate(ku);
-      if (rayleigh) accumulate(dku);
       obs::counter_add("par/elements_processed",
-                       static_cast<std::int64_t>(L.elems.size()));
+                       static_cast<std::int64_t>(list.size()));
+    };
+    auto apply_faces = [&](const std::vector<RankLocal::Face>& list) {
+      if (op_opt.abc != fem::AbcType::kStacey) return;
+      double uf[12], yf[12];
+      for (const auto& face : list) {
+        if (!op_opt.absorbing_sides[static_cast<std::size_t>(face.side)]) {
+          continue;
+        }
+        const std::size_t ge =
+            static_cast<std::size_t>(L.elems[static_cast<std::size_t>(face.elem)]);
+        const auto& fn = mesh::kFaceNodes[static_cast<std::size_t>(face.side)];
+        const auto& c = L.conn[static_cast<std::size_t>(face.elem)];
+        for (int i = 0; i < 4; ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(
+              c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
+          uf[3 * i] = u[base];
+          uf[3 * i + 1] = u[base + 1];
+          uf[3 * i + 2] = u[base + 2];
+        }
+        std::fill(yf, yf + 12, 0.0);
+        fem::face_stacey_apply(mesh.elem_mat[ge], mesh.elem_size[ge],
+                               face.side, uf, yf);
+        for (int i = 0; i < 4; ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(
+              c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
+          ku[base] += yf[3 * i];
+          ku[base + 1] += yf[3 * i + 1];
+          ku[base + 2] += yf[3 * i + 2];
+        }
+        flops += 200;
+      }
+    };
+
+    for (int k = k0; k < n_steps; ++k) {
+      QUAKE_OBS_SCOPE("step");
+      rank.fault_point(k);
+      const double t_k = k * dt;
+
+      {
+      QUAKE_OBS_SCOPE("compute");  // boundary elements + boundary ABC faces
+      compute_watch.start();
+      std::fill(ku.begin(), ku.end(), 0.0);
+      if (rayleigh) std::fill(dku.begin(), dku.end(), 0.0);
+      apply_elems(L.boundary_elems);
+      apply_faces(L.boundary_faces);
+      // Fold the hanging-node partials that reach shared masters BEFORE the
+      // exchange (B^T is linear, so projecting partials and summing
+      // commutes with summing and projecting) — this keeps ghost sets
+      // surface-sized. Every element feeding these folds is a boundary
+      // element, so the posted partials are complete.
+      accumulate(ku, L.cons_boundary);
+      if (rayleigh) accumulate(dku, L.cons_boundary);
       compute_watch.stop();
       }
 
-      // ---- shared-node exchange: pack own partials, send, sum in rank
-      // order (own partial inserted at this rank's position) ----
+      // ---- post: coalesced (ku [+ dku]) per-neighbor messages go out
+      // before any interior work, so they are in flight during it ----
       {
       QUAKE_OBS_SCOPE("exchange");
       exchange_watch.start();
       {
-      QUAKE_OBS_SCOPE("send");
+      QUAKE_OBS_SCOPE("post");
       for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
-        auto& buf = sendbuf[nb];
+        auto& buf = L.sendbuf[nb];
         const auto& sh = L.neighbors[nb].shared;
-        buf.assign(pack * 3 * sh.size(), 0.0);
         for (std::size_t i = 0; i < sh.size(); ++i) {
           const std::size_t base = 3 * static_cast<std::size_t>(sh[i]);
           buf[3 * i] = ku[base];
@@ -494,36 +597,58 @@ ParallelResult run_parallel(
         }
         rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
       }
-      }
-      if (k == k0) {
-        sent_per_step = 0;
-        for (const auto& buf : sendbuf) sent_per_step += buf.size();
-      }
-      // Zero the shared entries, then accumulate contributions in ascending
-      // rank order; sendbuf still holds this rank's own partials.
+      // Zero the shared entries now; interior work never touches them, and
+      // the drain re-accumulates in ascending rank order (sendbuf still
+      // holds this rank's own partials).
       for (int li : L.all_shared) {
         const std::size_t base = 3 * static_cast<std::size_t>(li);
         ku[base] = ku[base + 1] = ku[base + 2] = 0.0;
         if (rayleigh) dku[base] = dku[base + 1] = dku[base + 2] = 0.0;
       }
-      // Accumulate contributions in ascending rank order so every copy of a
-      // shared node computes the identical floating-point sum. The own
-      // partial (recovered from the send buffers, which still hold it) is
-      // inserted at this rank's position in the order.
+      }
+      exchange_watch.stop();
+      }
+
+      // ---- overlap window: sources, interior elements, interior ABC
+      // faces, and interior hanging-node folds, all while the per-neighbor
+      // messages are in flight ----
       {
-        QUAKE_OBS_SCOPE("recv");
+      QUAKE_OBS_SCOPE("compute");
+      compute_watch.start();
+      overlap_watch.start();
+      std::fill(f.begin(), f.end(), 0.0);
+      RankForceSink sink(L.local_of, f);
+      for (const solver::SourceModel* s : sources) s->add_forces(t_k, sink);
+      accumulate(f, L.cons);
+      apply_elems(L.interior_elems);
+      apply_faces(L.interior_faces);
+      accumulate(ku, L.cons_interior);
+      if (rayleigh) accumulate(dku, L.cons_interior);
+      overlap_watch.stop();
+      compute_watch.stop();
+      }
+
+      // ---- drain: accumulate contributions in ascending rank order so
+      // every copy of a shared node computes the identical floating-point
+      // sum; the own partial (recovered from the send buffers) is inserted
+      // at this rank's position in the order ----
+      {
+      QUAKE_OBS_SCOPE("exchange");
+      exchange_watch.start();
+      drain_watch.start();
+      {
+        QUAKE_OBS_SCOPE("drain");
+        rank.fault_point(-k - 1);  // mid-exchange fault point (see FaultPlan)
         for (int s = 0; s < R; ++s) {
           if (s == rank.id()) {
-            // Own partials: recover from send buffers, first occurrence.
-            std::vector<std::uint8_t> done(L.nodes.size(), 0);
+            // Own partials: first occurrence across the neighbor lists,
+            // precomputed at setup.
             for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
               const auto& sh = L.neighbors[nb].shared;
-              const auto& buf = sendbuf[nb];
-              for (std::size_t i = 0; i < sh.size(); ++i) {
-                const std::size_t li = static_cast<std::size_t>(sh[i]);
-                if (done[li] != 0) continue;
-                done[li] = 1;
-                const std::size_t base = 3 * li;
+              const auto& buf = L.sendbuf[nb];
+              for (const int i_first : L.own_first[nb]) {
+                const std::size_t i = static_cast<std::size_t>(i_first);
+                const std::size_t base = 3 * static_cast<std::size_t>(sh[i]);
                 ku[base] += buf[3 * i];
                 ku[base + 1] += buf[3 * i + 1];
                 ku[base + 2] += buf[3 * i + 2];
@@ -537,13 +662,11 @@ ParallelResult run_parallel(
             }
             continue;
           }
-          // Receive from neighbor s if it is one.
-          const auto it = std::find_if(
-              L.neighbors.begin(), L.neighbors.end(),
-              [&](const Neighbor& nbr) { return nbr.rank == s; });
-          if (it == L.neighbors.end()) continue;
-          const std::vector<double> msg = rank.recv(s, /*tag=*/0);
-          const auto& sh = it->shared;
+          const int nbi = L.nb_of_rank[static_cast<std::size_t>(s)];
+          if (nbi < 0) continue;
+          auto& msg = L.recvbuf[static_cast<std::size_t>(nbi)];
+          rank.recv_into(s, /*tag=*/0, msg);
+          const auto& sh = L.neighbors[static_cast<std::size_t>(nbi)].shared;
           for (std::size_t i = 0; i < sh.size(); ++i) {
             const std::size_t base = 3 * static_cast<std::size_t>(sh[i]);
             ku[base] += msg[3 * i];
@@ -558,6 +681,7 @@ ParallelResult run_parallel(
           }
         }
       }
+      drain_watch.stop();
       exchange_watch.stop();
       }
 
@@ -631,24 +755,42 @@ ParallelResult run_parallel(
       result.u_final[g + 2] = u[3 * i + 2];
     }
 
+    // Fraction of the exchange hidden behind interior compute: of the time
+    // the messages spend "in flight" plus the time spent waiting for them,
+    // how much was spent computing. 0 when there is nothing to overlap.
+    const double overlap_s = overlap_watch.total_seconds();
+    const double drain_s = drain_watch.total_seconds();
+    const double overlap_fraction =
+        (L.neighbors.empty() || overlap_s + drain_s <= 0.0)
+            ? 0.0
+            : overlap_s / (overlap_s + drain_s);
+
     auto& st = result.rank_stats[r];
     st.n_elems = L.elems.size();
+    st.n_boundary_elems = L.boundary_elems.size();
+    st.n_interior_elems = L.interior_elems.size();
     st.n_local_nodes = L.nodes.size();
     st.n_neighbors = L.neighbors.size();
-    st.doubles_sent_per_step = sent_per_step;
+    st.doubles_sent_per_step = L.doubles_per_step;
     st.flops = flops;
     st.compute_seconds = compute_watch.total_seconds();
     st.exchange_seconds = exchange_watch.total_seconds();
+    st.overlap_fraction = overlap_fraction;
 
     // Partition-shape gauges; their across-rank min/mean/max in the merged
     // report is the load-imbalance view of Table 2.1.
     obs::gauge_set("par/n_elems", static_cast<double>(L.elems.size()));
+    obs::gauge_set("par/n_boundary_elems",
+                   static_cast<double>(L.boundary_elems.size()));
+    obs::gauge_set("par/n_interior_elems",
+                   static_cast<double>(L.interior_elems.size()));
     obs::gauge_set("par/n_local_nodes", static_cast<double>(L.nodes.size()));
     obs::gauge_set("par/n_neighbors", static_cast<double>(L.neighbors.size()));
     obs::gauge_set("par/doubles_sent_per_step",
-                   static_cast<double>(sent_per_step));
+                   static_cast<double>(L.doubles_per_step));
     obs::gauge_set("par/compute_seconds", compute_watch.total_seconds());
     obs::gauge_set("par/exchange_seconds", exchange_watch.total_seconds());
+    obs::gauge_set("par/overlap_fraction", overlap_fraction);
 
     // ---- telemetry gather: ship every registry to rank 0 and merge ------
     // Registries are snapshotted/encoded BEFORE the gather messages move,

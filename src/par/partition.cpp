@@ -45,6 +45,15 @@ Partition partition_sfc(const mesh::HexMesh& mesh, int n_ranks) {
       touchers[ni].insert(p.elem_rank[e]);
     }
   }
+  // A node touched by no element keeps the out-of-range sentinel; clamp it
+  // to rank 0 so node_owner is always a valid rank index (the sentinel used
+  // to escape into locals[owner] / u_final gather indexing downstream).
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    if (p.node_owner[n] == n_ranks) {
+      p.node_owner[n] = 0;
+      ++p.n_orphan_nodes;
+    }
+  }
 
   p.stats.assign(static_cast<std::size_t>(n_ranks), {});
   for (std::size_t r = 0; r < static_cast<std::size_t>(n_ranks); ++r) {

@@ -42,6 +42,47 @@ TEST(Communicator, PingPong) {
   });
 }
 
+TEST(Communicator, RecvIntoFillsCallerBuffer) {
+  Communicator comm(2);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> msg = {1.5, -2.0, 3.25};
+      r.send(1, /*tag=*/7, msg);
+    } else {
+      std::vector<double> buf(3, 0.0);
+      r.recv_into(0, /*tag=*/7, buf);
+      EXPECT_DOUBLE_EQ(buf[0], 1.5);
+      EXPECT_DOUBLE_EQ(buf[1], -2.0);
+      EXPECT_DOUBLE_EQ(buf[2], 3.25);
+    }
+  });
+}
+
+TEST(Communicator, RecvIntoSizeMismatchThrows) {
+  // A preplanned exchange must deliver exactly the agreed size; anything
+  // else is a program error, not a message to silently truncate or pad.
+  Communicator comm(2);
+  std::atomic<bool> threw{false};
+  try {
+    comm.run([&](Rank& r) {
+      if (r.id() == 0) {
+        const std::vector<double> msg = {1.0, 2.0};
+        r.send(1, 0, msg);
+      } else {
+        std::vector<double> buf(5, 0.0);
+        try {
+          r.recv_into(0, 0, buf);
+        } catch (const CommError&) {
+          threw = true;
+          throw;
+        }
+      }
+    });
+  } catch (const RankFailedError&) {
+  }
+  EXPECT_TRUE(threw);
+}
+
 TEST(Communicator, MessagesArriveInOrder) {
   Communicator comm(2);
   comm.run([](Rank& r) {
@@ -399,6 +440,41 @@ TEST(Partition, SingleRankHasNoSharing) {
   EXPECT_DOUBLE_EQ(p.imbalance(), 1.0);
 }
 
+// A node touched by no element used to keep the out-of-range sentinel
+// n_ranks in node_owner, which poisoned any downstream locals[owner]
+// indexing; it must now be clamped to a valid rank and counted.
+TEST(Partition, OrphanNodeClampedAndCounted) {
+  auto mesh = small_basin_mesh();
+  mesh.node_coords.push_back({123.0, 456.0, 789.0});
+  mesh.node_hanging.push_back(0);
+
+  const Partition p = partition_sfc(mesh, 4);
+  EXPECT_EQ(p.n_orphan_nodes, 1u);
+  ASSERT_EQ(p.node_owner.size(), mesh.n_nodes());
+  for (std::size_t n = 0; n < mesh.n_nodes(); ++n) {
+    EXPECT_GE(p.node_owner[n], 0);
+    EXPECT_LT(p.node_owner[n], 4);
+  }
+  EXPECT_EQ(p.node_owner[mesh.n_nodes() - 1], 0);  // the orphan
+
+  // The solver runs normally on a mesh with orphan nodes (they carry no
+  // dynamics; their u_final entries stay zero)...
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 0.2;
+  const ParallelResult pr = run_parallel(mesh, p, oo, so, {}, {});
+  const std::size_t base = 3 * (mesh.n_nodes() - 1);
+  EXPECT_DOUBLE_EQ(pr.u_final[base], 0.0);
+  EXPECT_DOUBLE_EQ(pr.u_final[base + 1], 0.0);
+  EXPECT_DOUBLE_EQ(pr.u_final[base + 2], 0.0);
+
+  // ...but a receiver snapping to the orphan is rejected with a diagnosis
+  // instead of undefined behavior.
+  const std::array<double, 3> rxs[] = {{123.0, 456.0, 789.0}};
+  EXPECT_THROW(run_parallel(mesh, p, oo, so, {}, rxs),
+               std::invalid_argument);
+}
+
 class ParallelEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelEquivalence, MatchesSerialSolver) {
@@ -507,6 +583,120 @@ TEST(ParallelCheckpoint, KillAndRestartBitIdenticalToFaultFreeRun) {
   std::filesystem::remove_all(dir);
 }
 
+// Rank-ordered accumulation makes a run at a fixed rank count exactly
+// repeatable: two identical runs must agree to the last bit even though
+// the overlapped exchange interleaves compute and message traffic
+// differently every time.
+TEST(ParallelDeterminism, RepeatedRunsBitIdentical) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  oo.rayleigh = true;
+  oo.damping_f_min = 0.01;
+  oo.damping_f_max = 0.05;
+  solver::SolverOptions so;
+  so.t_end = 2.0;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  const Partition part = partition_sfc(mesh, 4);
+
+  const ParallelResult a = run_parallel(mesh, part, oo, so, sources, rxs);
+  const ParallelResult b = run_parallel(mesh, part, oo, so, sources, rxs);
+  ASSERT_EQ(a.u_final.size(), b.u_final.size());
+  EXPECT_EQ(std::memcmp(a.u_final.data(), b.u_final.data(),
+                        a.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(a.receiver_histories[0].size(), b.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(a.receiver_histories[0].data(),
+                        b.receiver_histories[0].data(),
+                        a.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+}
+
+// Across rank counts the element contributions regroup (each rank pre-folds
+// its own partials before the exchange), so bitwise identity to the 1-rank
+// run is not achievable — but the drift is pure rounding, orders of
+// magnitude below the serial-equivalence tolerance.
+TEST(ParallelDeterminism, MultiRankMatchesSingleRankTightly) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  oo.rayleigh = true;
+  oo.damping_f_min = 0.01;
+  oo.damping_f_max = 0.05;
+  solver::SolverOptions so;
+  so.t_end = 2.0;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+
+  const Partition p1 = partition_sfc(mesh, 1);
+  const ParallelResult r1 = run_parallel(mesh, p1, oo, so, sources, rxs);
+  for (int R : {2, 4}) {
+    const Partition pR = partition_sfc(mesh, R);
+    const ParallelResult rR = run_parallel(mesh, pR, oo, so, sources, rxs);
+    const double unorm = quake::util::norm_l2(r1.u_final);
+    EXPECT_LT(quake::util::diff_l2(rR.u_final, r1.u_final),
+              1e-12 * (1.0 + unorm))
+        << "R=" << R;
+  }
+}
+
+// A rank killed between posting its ghost messages and draining its
+// neighbors' — the window the overlapped exchange opens — must recover
+// from the last checkpoint bit-identically, exactly like a kill at a step
+// boundary. FaultPlan step -(k+1) targets run_parallel's mid-exchange
+// fault point at step k.
+TEST(ParallelCheckpoint, MidExchangeKillRestoresBitIdentically) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  oo.rayleigh = true;
+  oo.damping_f_min = 0.01;
+  oo.damping_f_max = 0.05;
+  solver::SolverOptions so;
+  so.t_end = 2.0;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  const solver::SourceModel* sources[] = {&src};
+  const Partition part = partition_sfc(mesh, 4);
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  ASSERT_GT(ref.n_steps, 8);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_ckpt_midexchange_test";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*step=*/-(2 * ref.n_steps / 3 + 1)});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = std::max(1, ref.n_steps / 5);
+  ft.max_retries = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  EXPECT_EQ(pr.n_steps, ref.n_steps);
+  ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.receiver_histories[0].data(),
+                        ref.receiver_histories[0].data(),
+                        ref.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+  EXPECT_LT(pr.rank_stats[0].flops, ref.rank_stats[0].flops);
+  std::filesystem::remove_all(dir);
+}
+
 // Without a checkpoint directory, a supervised retry restarts from scratch
 // (receiver histories from the failed attempt must not leak into the
 // result).
@@ -577,6 +767,32 @@ TEST(ParallelStats, CommunicationVolumeReported) {
   const double eff = modeled_efficiency(pr, MachineModel{});
   EXPECT_GT(eff, 0.3);
   EXPECT_LE(eff, 1.0 + 1e-9);
+}
+
+TEST(ParallelStats, BoundaryInteriorSplitReported) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 0.5;
+  const Partition part = partition_sfc(mesh, 4);
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, {}, {});
+  for (const auto& s : pr.rank_stats) {
+    EXPECT_EQ(s.n_boundary_elems + s.n_interior_elems, s.n_elems);
+    // Multi-rank partitions of a 3D mesh have both kinds: a surface of
+    // boundary elements and a bulk of interior ones to hide the messages
+    // behind.
+    EXPECT_GT(s.n_boundary_elems, 0u);
+    EXPECT_GT(s.n_interior_elems, 0u);
+    EXPECT_GE(s.overlap_fraction, 0.0);
+    EXPECT_LE(s.overlap_fraction, 1.0);
+  }
+
+  // A single rank has nothing to exchange, hence nothing to overlap.
+  const Partition p1 = partition_sfc(mesh, 1);
+  const ParallelResult r1 = run_parallel(mesh, p1, oo, so, {}, {});
+  EXPECT_EQ(r1.rank_stats[0].n_boundary_elems, 0u);
+  EXPECT_EQ(r1.rank_stats[0].n_interior_elems, r1.rank_stats[0].n_elems);
+  EXPECT_DOUBLE_EQ(r1.rank_stats[0].overlap_fraction, 0.0);
 }
 
 }  // namespace

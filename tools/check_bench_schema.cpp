@@ -81,6 +81,27 @@ bool check_ranks(const Json& ranks) {
       }
     }
   }
+  // A report that times the ghost exchange must also carry the overlap
+  // instrumentation: the post/drain sub-scopes, the hidden-fraction gauge,
+  // and byte-level send accounting. This pins the exchange telemetry
+  // contract so a refactor cannot silently drop it.
+  const Json* exchange = scopes->find("step/exchange");
+  if (exchange != nullptr) {
+    for (const char* sub : {"step/exchange/post", "step/exchange/drain"}) {
+      if (scopes->find(sub) == nullptr) {
+        return fail(std::string("scopes has step/exchange but no \"") + sub +
+                    "\"");
+      }
+    }
+    if (ranks.find("gauges")->find("par/overlap_fraction") == nullptr) {
+      return fail(
+          "scopes has step/exchange but gauges lack \"par/overlap_fraction\"");
+    }
+    if (ranks.find("counters")->find("comm/bytes_sent") == nullptr) {
+      return fail(
+          "scopes has step/exchange but counters lack \"comm/bytes_sent\"");
+    }
+  }
   return true;
 }
 
