@@ -15,15 +15,24 @@
 // line with the experiment parameters, the headline metrics, and the
 // min/mean/max-across-ranks telemetry summary gathered by quake::obs.
 //
-//   bench_table2_1 [--quick] [--json PATH] [--csv PATH]
+//   bench_table2_1 [--quick] [--fault-sweep] [--json PATH] [--csv PATH]
 //
 // --quick shrinks the ladder for CI; the default JSON path is
 // BENCH_table2_1.json in the working directory.
+//
+// --fault-sweep appends a recovery-latency comparison (see DESIGN.md
+// "Localized recovery"): the same seeded mid-run rank kill handled by
+// in-place recovery vs the full-restart supervisor, against a fault-free
+// control, interleaved over several trials. Its report rows carry
+// params.mode = clean | recovery | full_restart and wall-clock metrics.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
+
+#include "quake/par/communicator.hpp"
 
 #include "quake/mesh/meshgen.hpp"
 #include "quake/obs/obs.hpp"
@@ -48,19 +57,23 @@ struct Row {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool fault_sweep = false;
   std::string json_path = "BENCH_table2_1.json";
   std::string csv_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[a], "--fault-sweep") == 0) {
+      fault_sweep = true;
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
       json_path = argv[++a];
     } else if (std::strcmp(argv[a], "--csv") == 0 && a + 1 < argc) {
       csv_path = argv[++a];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--json PATH] [--csv PATH]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--quick] [--fault-sweep] [--json PATH] [--csv PATH]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -178,6 +191,144 @@ int main(int argc, char** argv) {
   std::printf("\n(paper: efficiency 1.00 -> 0.80 from 1 to 3000 PEs; the "
               "model-efficiency column should decay mildly with rank count "
               "as the shared-surface fraction grows)\n");
+
+  if (fault_sweep) {
+    // ---- recovery-latency sweep: the same seeded kill, three policies ----
+    const int R = quick ? 4 : 8;
+    mesh::MeshOptions mopt;
+    mopt.domain_size = extent;
+    mopt.f_max = quick ? 0.05 : 0.10;
+    mopt.n_lambda = 8.0;
+    mopt.min_level = 3;
+    mopt.max_level = quick ? 5 : 6;
+    const mesh::HexMesh mesh = mesh::generate_mesh(model, mopt);
+
+    solver::FaultSource::Spec fs;
+    fs.y = 0.55 * extent;
+    fs.x0 = 0.3 * extent;
+    fs.x1 = 0.6 * extent;
+    fs.z_top = 1000.0;
+    fs.z_bot = 5000.0;
+    fs.hypocenter = {0.4 * extent, 3000.0};
+    fs.rise_time = 2.0;
+    fs.slip = 1.0;
+    const solver::FaultSource source(mesh, fs);
+    const solver::SourceModel* sources[] = {&source};
+
+    solver::OperatorOptions oopt;
+    solver::SolverOptions sopt;
+    sopt.t_end = quick ? 0.4 : 0.8;
+    sopt.cfl_fraction = 0.4;
+    const par::Partition part = par::partition_sfc(mesh, R);
+
+    // Probe once for the step count, then kill just after a checkpoint so
+    // the rollback depth (and hence the replay cost) is identical for the
+    // in-place and full-restart policies — the difference left is pure
+    // recovery overhead: teardown/restore scope vs one revived thread.
+    const par::ParallelResult probe =
+        par::run_parallel(mesh, part, oopt, sopt, sources, {});
+    const int n = probe.n_steps;
+    const int every = std::max(1, n / 4);
+    const int kill_step = std::min(3 * every + 1, n - 1);
+    const std::filesystem::path ckpt_dir =
+        std::filesystem::temp_directory_path() / "quake_bench_fault_sweep";
+
+    struct Mode {
+      const char* name;
+      bool kill;
+      int max_revives;
+    };
+    const Mode modes[] = {{"clean", false, 0},
+                          {"recovery", true, 2},
+                          {"full_restart", true, 0}};
+    struct Acc {
+      double sum = 0.0;
+      double min = 1e300;
+      double recoveries = 0.0;
+      double ranks_revived = 0.0;
+      double steps_rolled_back = 0.0;
+      double overlap = 0.0;
+      par::ParallelResult last;
+    };
+    Acc acc[3];
+    const int trials = quick ? 3 : 5;
+    // Interleave trials so clock drift / turbo effects spread evenly over
+    // the three policies instead of biasing whichever runs last.
+    for (int t = 0; t < trials; ++t) {
+      for (int m = 0; m < 3; ++m) {
+        std::filesystem::remove_all(ckpt_dir);
+        par::FaultPlan plan;
+        if (modes[m].kill) plan.kills.push_back({R - 1, kill_step});
+        par::FaultToleranceOptions ft;
+        ft.checkpoint_dir = ckpt_dir.string();
+        ft.checkpoint_every = every;
+        ft.max_retries = 2;
+        ft.max_revives = modes[m].max_revives;
+        ft.fault_plan = modes[m].kill ? &plan : nullptr;
+        util::Timer timer;
+        par::ParallelResult pr =
+            par::run_parallel(mesh, part, oopt, sopt, sources, {}, ft);
+        const double secs = timer.seconds();
+        acc[m].sum += secs;
+        acc[m].min = std::min(acc[m].min, secs);
+        acc[m].last = std::move(pr);
+      }
+    }
+    std::filesystem::remove_all(ckpt_dir);
+
+    std::printf(
+        "\nFault sweep: rank %d killed at step %d of %d (checkpoint every "
+        "%d), %d interleaved trials at %d ranks\n",
+        R - 1, kill_step, n, every, trials, R);
+    std::printf("%14s %12s %12s %11s %9s %12s\n", "mode", "wall min s",
+                "wall mean s", "recoveries", "revived", "rolled back");
+    for (int m = 0; m < 3; ++m) {
+      Acc& a = acc[m];
+      const auto& ctr = a.last.obs_summary.counters;
+      const auto get_sum = [&](const char* key) {
+        const auto it = ctr.find(key);
+        return it == ctr.end() ? 0.0 : it->second.sum;
+      };
+      a.recoveries = get_sum("par/recoveries");
+      a.ranks_revived = get_sum("par/ranks_revived");
+      a.steps_rolled_back = get_sum("par/steps_rolled_back");
+      for (const auto& s : a.last.rank_stats) a.overlap += s.overlap_fraction;
+      a.overlap /= static_cast<double>(a.last.rank_stats.size());
+      std::printf("%14s %12.4f %12.4f %11.0f %9.0f %12.0f\n", modes[m].name,
+                  a.min, a.sum / trials, a.recoveries, a.ranks_revived,
+                  a.steps_rolled_back);
+
+      obs::Json& jrow = sink.new_row();
+      jrow.set("params", obs::Json::object()
+                             .set("mode", modes[m].name)
+                             .set("ranks", R)
+                             .set("model", "BAS10S")
+                             .set("f_max", mopt.f_max)
+                             .set("max_level", mopt.max_level)
+                             .set("t_end", sopt.t_end)
+                             .set("kill_step", modes[m].kill ? kill_step : 0)
+                             .set("checkpoint_every", every)
+                             .set("trials", trials));
+      jrow.set("metrics", obs::Json::object()
+                              .set("n_steps", n)
+                              .set("wall_seconds_min", a.min)
+                              .set("wall_seconds_mean", a.sum / trials)
+                              // Fault-handling latency: excess wall-clock
+                              // over the fault-free control at equal
+                              // rollback depth.
+                              .set("excess_over_clean_seconds",
+                                   std::max(0.0, a.min - acc[0].min))
+                              .set("recoveries", a.recoveries)
+                              .set("ranks_revived", a.ranks_revived)
+                              .set("steps_rolled_back", a.steps_rolled_back)
+                              .set("overlap_fraction", a.overlap));
+      jrow.set("ranks", obs::to_json(a.last.obs_summary));
+    }
+    const double rec = acc[1].min, full = acc[2].min;
+    std::printf("(in-place recovery %s full restart: %.4f s vs %.4f s "
+                "min-over-trials)\n",
+                rec < full ? "beats" : "does NOT beat", rec, full);
+  }
 
   sink.write_json(json_path);
   if (!csv_path.empty()) sink.write_csv(csv_path);

@@ -8,11 +8,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "quake/obs/obs.hpp"
+#include "quake/util/checkpoint.hpp"  // crc32
+
 namespace quake::octree {
 namespace {
 
 constexpr std::size_t kPageSize = 4096;
+// Every on-disk page ends with a CRC32 of its first kPageDataSize bytes, so
+// torn writes and bit rot surface as descriptive errors instead of garbage
+// reads. A page of all zeroes (a hole in the sparse file — allocated but
+// never flushed) is accepted as fresh without verification.
+constexpr std::size_t kPageDataSize = kPageSize - 4;
 constexpr std::uint32_t kMagic = 0x45545245;  // "ETRE"
+constexpr std::uint32_t kFormatVersion = 2;   // v2: per-page checksums
 constexpr std::uint32_t kInvalidPage = 0xffffffffu;
 
 // 12-byte record key: (morton, level), compared lexicographically. Morton
@@ -50,6 +59,7 @@ constexpr std::size_t kChildSize = 4;
 // File header kept in page 0.
 struct FileHeader {
   std::uint32_t magic;
+  std::uint32_t version;
   std::uint32_t value_size;
   std::uint32_t root_page;
   std::uint32_t page_count;
@@ -81,7 +91,7 @@ class EtreeStore::Impl {
     fd_ = ::open(path_.c_str(), flags, 0644);
     if (fd_ < 0) throw std::runtime_error("EtreeStore: cannot open " + path_);
     if (create) {
-      header_ = FileHeader{kMagic, value_size, 1, 2, 0};
+      header_ = FileHeader{kMagic, kFormatVersion, value_size, 1, 2, 0};
       Page root(kPageSize, std::byte{0});
       set_header(root, PageHeader{kLeaf, 0, kInvalidPage});
       put_page(1, root);
@@ -91,15 +101,21 @@ class EtreeStore::Impl {
       if (header_.magic != kMagic) {
         throw std::runtime_error("EtreeStore: bad magic in " + path_);
       }
+      if (header_.version != kFormatVersion) {
+        throw std::runtime_error(
+            "EtreeStore: unsupported format version " +
+            std::to_string(header_.version) + " in " + path_ + " (expected " +
+            std::to_string(kFormatVersion) + ")");
+      }
       if (header_.value_size != value_size) {
         throw std::runtime_error("EtreeStore: value_size mismatch in " + path_);
       }
     }
     leaf_entry_ = kKeySize + header_.value_size;
-    leaf_capacity_ = (kPageSize - kHeaderSize) / leaf_entry_;
+    leaf_capacity_ = (kPageDataSize - kHeaderSize) / leaf_entry_;
     // Internal layout: nkeys keys then nkeys+1 children.
     internal_capacity_ =
-        (kPageSize - kHeaderSize - kChildSize) / (kKeySize + kChildSize);
+        (kPageDataSize - kHeaderSize - kChildSize) / (kKeySize + kChildSize);
   }
 
   ~Impl() {
@@ -460,19 +476,65 @@ class EtreeStore::Impl {
 
   void read_page_from_disk(std::uint32_t id, Page& page) {
     ++stats_.page_reads;
+    obs::counter_add("etree/page_reads", 1);
     const auto off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
     const ssize_t n = ::pread(fd_, page.data(), kPageSize, off);
     if (n < 0) throw std::runtime_error("EtreeStore: pread failed");
-    if (static_cast<std::size_t>(n) < kPageSize) {
-      // Freshly allocated page that was never flushed: treat as zeroed.
-      std::fill(page.begin() + n, page.end(), std::byte{0});
+    if (static_cast<std::size_t>(n) == 0) {
+      // Past EOF: a freshly allocated page that was never flushed.
+      std::fill(page.begin(), page.end(), std::byte{0});
+      return;
     }
+    if (static_cast<std::size_t>(n) < kPageSize) {
+      throw std::runtime_error("EtreeStore: truncated page " +
+                               std::to_string(id) + " in " + path_ + " (" +
+                               std::to_string(n) + " of " +
+                               std::to_string(kPageSize) + " bytes)");
+    }
+    verify_page(id, page);
+  }
+
+  // Checks the trailing CRC32 of a page read from disk. A page of all
+  // zeroes is a hole in the sparse file (allocated, never flushed) and is
+  // accepted as fresh — a genuinely written page always carries a nonzero
+  // checksum, since CRC32 of the zero data area is nonzero.
+  void verify_page(std::uint32_t id, const Page& page) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(page.data());
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes + kPageDataSize, sizeof stored);
+    if (stored == 0) {
+      bool all_zero = true;
+      for (std::size_t i = 0; i < kPageDataSize; ++i) {
+        if (bytes[i] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) return;
+    }
+    const std::uint32_t computed = util::crc32({bytes, kPageDataSize});
+    if (computed != stored) {
+      ++stats_.page_verify_failures;
+      obs::counter_add("etree/page_verify_failures", 1);
+      throw std::runtime_error(
+          "EtreeStore: checksum mismatch on page " + std::to_string(id) +
+          " in " + path_ + (id == 0 ? " (corrupt or pre-v2 header)" : "") +
+          ": stored " + std::to_string(stored) + ", computed " +
+          std::to_string(computed));
+    }
+    ++stats_.pages_verified;
+    obs::counter_add("etree/pages_verified", 1);
   }
 
   void write_page_to_disk(std::uint32_t id, const Page& page) {
     ++stats_.page_writes;
+    obs::counter_add("etree/page_writes", 1);
+    Page stamped = page;
+    const auto* data = reinterpret_cast<const unsigned char*>(stamped.data());
+    const std::uint32_t crc = util::crc32({data, kPageDataSize});
+    std::memcpy(stamped.data() + kPageDataSize, &crc, sizeof crc);
     const auto off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-    if (::pwrite(fd_, page.data(), kPageSize, off) !=
+    if (::pwrite(fd_, stamped.data(), kPageSize, off) !=
         static_cast<ssize_t>(kPageSize)) {
       throw std::runtime_error("EtreeStore: pwrite failed");
     }

@@ -29,6 +29,11 @@ class EtreeStore {
     std::uint64_t page_reads = 0;   // pages fetched from disk
     std::uint64_t page_writes = 0;  // pages flushed to disk
     std::uint64_t cache_hits = 0;   // fetches served from the buffer pool
+    // Every page (v2 format) carries a trailing CRC32 of its contents,
+    // verified on read; a mismatch or a short (truncated) read raises a
+    // descriptive error instead of handing the mesher garbage.
+    std::uint64_t pages_verified = 0;        // checksum-verified page reads
+    std::uint64_t page_verify_failures = 0;  // checksum mismatches seen
   };
 
   // Opens (or creates, when `create` is true) the store at `path`.

@@ -106,15 +106,19 @@ double Rank::allreduce_min(double v) {
 
 void Rank::fault_point(int step) { comm_->fault_point(id_, step); }
 
+bool Rank::await_recovery() { return comm_->await_recovery(id_); }
+
+std::uint64_t Rank::epoch() const { return comm_->epoch(); }
+
 void Communicator::fault_point(int rank, int step) {
   // Solvers call this (at least) once per rank per step: skip the global
   // mutex entirely on the common no-plan path.
   if (!has_plan_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t i = 0; i < plan_.kills.size(); ++i) {
-    if (kill_fired_[i] != 0) continue;
+    if (kill_fired_[i] >= plan_.kills[i].times) continue;
     if (plan_.kills[i].rank != rank || plan_.kills[i].step != step) continue;
-    kill_fired_[i] = 1;
+    ++kill_fired_[i];
     // fault_point runs on the victim's own thread, so the event lands in
     // the victim rank's registry.
     obs::counter_add("comm/fault_kills", 1);
@@ -163,6 +167,72 @@ void Communicator::rank_done(int rank) {
   cv_.notify_all();
 }
 
+void Communicator::revive_locked(int rank, std::uint64_t new_epoch) {
+  failures_.erase(
+      std::remove_if(failures_.begin(), failures_.end(),
+                     [rank](const std::pair<int, std::string>& f) {
+                       return f.first == rank;
+                     }),
+      failures_.end());
+  if (failures_.empty()) poisoned_ = false;
+  // Flush every in-flight mailbox touching the failed rank: messages it
+  // sent are from a state being rolled back, messages to it would be
+  // consumed out of order by its restarted function. Stragglers between
+  // survivors are left in place — the epoch fence discards them at
+  // receive time.
+  for (auto it = boxes_.begin(); it != boxes_.end();) {
+    const auto& [src, dst, tag] = it->first;
+    if (src == rank || dst == rank) {
+      it = boxes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    const auto& [src, dst, tag] = it->first;
+    if (src == rank || dst == rank) {
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // No waiter survives a poisoning (they all woke and threw), so partially
+  // filled barrier / reduction counts are pre-failure garbage. Generations
+  // are kept: a bumped generation would falsely release the next wait.
+  barrier_count_ = 0;
+  reduce_count_ = 0;
+  if (new_epoch > epoch_.load(std::memory_order_relaxed)) {
+    epoch_.store(new_epoch, std::memory_order_relaxed);
+  }
+}
+
+void Communicator::revive(int rank, std::uint64_t new_epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    revive_locked(rank, new_epoch);
+  }
+  cv_.notify_all();
+}
+
+bool Communicator::await_recovery(int rank) {
+  (void)rank;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!recovery_.enabled || recovery_abandoned_ || deadlocked_) return false;
+  const std::uint64_t parked_at = epoch_.load(std::memory_order_relaxed);
+  ++n_parked_;
+  cv_.notify_all();  // the monitor waits for every survivor to park
+  cv_.wait(lock, [&] {
+    return recovery_abandoned_ ||
+           epoch_.load(std::memory_order_relaxed) != parked_at;
+  });
+  if (recovery_abandoned_) {
+    --n_parked_;
+    cv_.notify_all();
+    return false;
+  }
+  return true;  // revived peers are live again; resume on the new epoch
+}
+
 // Deadlock iff every live rank is blocked and none of their waits can be
 // satisfied by current state. Only live ranks can change that state, and
 // all of them are blocked, so the condition is stable once observed (the
@@ -176,8 +246,13 @@ void Communicator::check_deadlock_locked() {
       case Blocked::Kind::kNone:
         break;  // finished rank
       case Blocked::Kind::kRecv: {
+        // Stale-epoch stragglers cannot satisfy a waiter: drop them here so
+        // they do not mask a genuine deadlock.
         const auto it = boxes_.find({b.src, r, b.tag});
-        if (it != boxes_.end() && !it->second.messages.empty()) return;
+        if (it != boxes_.end()) {
+          drop_stale_locked(it->second);
+          if (!it->second.messages.empty()) return;
+        }
         break;
       }
       case Blocked::Kind::kBarrier:
@@ -245,8 +320,12 @@ void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
         break;
       }
     }
+    // Stamp the current recovery epoch at post time: if a failure and
+    // revival happen while this message sits in the mailbox, the receive
+    // side sees a stale epoch and discards it.
+    const std::uint64_t ep = epoch_.load(std::memory_order_relaxed);
     auto deliver = [&](std::vector<double> m) {
-      boxes_[key].messages.push(std::move(m));
+      boxes_[key].messages.push(Msg{std::move(m), ep});
       // A previously delayed message on this edge rides after this one.
       auto d = delayed_.find(key);
       if (d != delayed_.end()) {
@@ -284,7 +363,7 @@ void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
           // Hold until the edge's next message (reordering); flushed by the
           // deadlock checker if the system would otherwise stall.
           obs::counter_add("comm/fault_delays", 1);
-          delayed_[key] = std::move(msg);
+          delayed_[key] = Msg{std::move(msg), ep};
           break;
       }
     }
@@ -292,15 +371,28 @@ void Communicator::post(int src, int dst, int tag, std::vector<double> msg) {
   cv_.notify_all();
 }
 
+std::size_t Communicator::drop_stale_locked(Mailbox& box) {
+  const std::uint64_t ep = epoch_.load(std::memory_order_relaxed);
+  std::size_t dropped = 0;
+  while (!box.messages.empty() && box.messages.front().epoch != ep) {
+    box.messages.pop();
+    ++dropped;
+  }
+  return dropped;
+}
+
 void Communicator::wait_for_message(std::unique_lock<std::mutex>& lock,
                                     int src, int dst, int tag,
                                     double timeout_sec) {
   throw_if_down_locked();
   const auto key = std::tuple<int, int, int>{src, dst, tag};
+  std::size_t stale = 0;
   const auto ready = [&] {
     if (poisoned_ || deadlocked_) return true;
     auto it = boxes_.find(key);
-    return it != boxes_.end() && !it->second.messages.empty();
+    if (it == boxes_.end()) return false;
+    stale += drop_stale_locked(it->second);
+    return !it->second.messages.empty();
   };
   if (!ready()) {
     block_locked(dst, {Blocked::Kind::kRecv, src, tag, 0});
@@ -316,6 +408,11 @@ void Communicator::wait_for_message(std::unique_lock<std::mutex>& lock,
     }
     unblock_locked(dst);
   }
+  if (stale != 0) {
+    // Charged to the receiving rank's thread-local registry (we run on it).
+    obs::counter_add("comm/stale_msgs_discarded",
+                     static_cast<std::int64_t>(stale));
+  }
   throw_if_down_locked();
 }
 
@@ -324,7 +421,7 @@ std::vector<double> Communicator::take(int src, int dst, int tag,
   std::unique_lock<std::mutex> lock(mu_);
   wait_for_message(lock, src, dst, tag, timeout_sec);
   auto& q = boxes_[std::tuple<int, int, int>{src, dst, tag}].messages;
-  std::vector<double> msg = std::move(q.front());
+  std::vector<double> msg = std::move(q.front().data);
   q.pop();
   return msg;
 }
@@ -337,7 +434,7 @@ std::vector<double> Communicator::take_into(int src, int dst, int tag,
     std::unique_lock<std::mutex> lock(mu_);
     wait_for_message(lock, src, dst, tag, timeout_sec);
     auto& q = boxes_[std::tuple<int, int, int>{src, dst, tag}].messages;
-    msg = std::move(q.front());
+    msg = std::move(q.front().data);
     q.pop();
   }
   if (msg.size() != out.size()) {
@@ -412,7 +509,7 @@ void Communicator::run(const std::function<void(Rank&)>& fn) {
   {
     // Reset any state left over from a previous (possibly failed) run so
     // the communicator is reusable by supervised retry loops. Fault-plan
-    // fired-state is deliberately kept: one-shot faults stay consumed.
+    // fired-state is deliberately kept: consumed faults stay consumed.
     std::lock_guard<std::mutex> lock(mu_);
     poisoned_ = false;
     failures_.clear();
@@ -426,23 +523,36 @@ void Communicator::run(const std::function<void(Rank&)>& fn) {
     n_blocked_ = 0;
     n_live_ = n_ranks_;
     blocked_.assign(static_cast<std::size_t>(n_ranks_), {});
+    epoch_.store(0, std::memory_order_relaxed);
+    n_parked_ = 0;
+    n_completed_ = 0;
+    revives_used_ = 0;
+    recovery_abandoned_ = false;
+    unrecoverable_ = false;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_ranks_));
-  std::vector<Rank> ranks;
-  ranks.reserve(static_cast<std::size_t>(n_ranks_));
-  for (int r = 0; r < n_ranks_; ++r) {
-    ranks.push_back(Rank(this, r, n_ranks_));
-  }
+  // One slot per rank so a revived rank's thread can be respawned in place.
+  std::vector<std::thread> threads(static_cast<std::size_t>(n_ranks_));
   std::exception_ptr deadlock_error;
   std::mutex deadlock_mu;
-  for (int r = 0; r < n_ranks_; ++r) {
-    threads.emplace_back([&, r] {
+  const auto spawn = [&](int r, bool revived) {
+    threads[static_cast<std::size_t>(r)] = std::thread([&, r, revived] {
+      // The Rank handle lives on its own thread: a respawn gets a fresh one
+      // (fresh message pool, revived() set) without touching survivors'.
+      Rank rank(this, r, n_ranks_);
+      rank.revived_ = revived;
       try {
-        fn(ranks[static_cast<std::size_t>(r)]);
+        fn(rank);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++n_completed_;  // finished ranks cannot rewind: no more revivals
       } catch (const DeadlockError&) {
         std::lock_guard<std::mutex> lock(deadlock_mu);
         if (!deadlock_error) deadlock_error = std::current_exception();
+      } catch (const UnrecoverableError& e) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          unrecoverable_ = true;
+        }
+        poison(r, e.what());
       } catch (const RankFailedError& e) {
         // Poison-wakeup casualty of a peer failure: not a root cause, do
         // not re-report. A RankFailedError thrown by user code before any
@@ -460,8 +570,59 @@ void Communicator::run(const std::function<void(Rank&)>& fn) {
       }
       rank_done(r);
     });
+  };
+  for (int r = 0; r < n_ranks_; ++r) spawn(r, /*revived=*/false);
+
+  if (recovery_.enabled) {
+    // Recovery monitor (runs on the calling thread): when a failure has
+    // poisoned the communicator and every surviving rank has parked in
+    // await_recovery(), join the dead ranks' threads, repair the
+    // communicator, and respawn only them. Everything else tears down as
+    // before (n_live_ drains to zero).
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return n_live_ == 0 ||
+               (poisoned_ && !recovery_abandoned_ && n_live_ > 0 &&
+                n_parked_ == n_live_);
+      });
+      if (n_live_ == 0) break;
+      if (unrecoverable_ || deadlocked_ || n_completed_ > 0 ||
+          revives_used_ >= recovery_.max_revives) {
+        // Parked survivors wake, see the abandonment, and rethrow — the
+        // run drains into the aggregated-failure path below.
+        recovery_abandoned_ = true;
+        cv_.notify_all();
+        continue;
+      }
+      const std::vector<int> failed = failed_ids(failures_);
+      ++revives_used_;
+      const std::uint64_t next_epoch =
+          epoch_.load(std::memory_order_relaxed) + 1;
+      lock.unlock();
+      // The failed ranks' threads have exited (a failure only poisons once
+      // the function has thrown); join so their slots can be respawned.
+      for (int r : failed) {
+        auto& t = threads[static_cast<std::size_t>(r)];
+        if (t.joinable()) t.join();
+      }
+      lock.lock();
+      for (int r : failed) revive_locked(r, next_epoch);
+      // Count the respawned ranks as live BEFORE any survivor can resume
+      // and block on them, or the deadlock detector would see every live
+      // rank blocked on a rank it does not yet know about.
+      n_live_ += static_cast<int>(failed.size());
+      n_parked_ = 0;
+      lock.unlock();
+      for (int r : failed) spawn(r, /*revived=*/true);
+      cv_.notify_all();  // release parked survivors into the new epoch
+      lock.lock();
+    }
   }
-  for (auto& t : threads) t.join();
+
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
   boxes_.clear();
   if (deadlock_error) std::rethrow_exception(deadlock_error);
   if (!failures_.empty()) {

@@ -19,7 +19,16 @@
 //  * Deterministic fault injection — a seeded FaultPlan installed on the
 //    Communicator kills ranks at planned steps and drops / duplicates /
 //    corrupts / delays planned messages, so recovery machinery is testable
-//    in CI. Each fault fires once, surviving across run() retries.
+//    in CI. Each fault fires a planned number of times (default once),
+//    surviving across run() retries.
+//  * In-place recovery (opt-in via set_recovery) — instead of tearing the
+//    whole run down on a rank failure, survivors park in await_recovery()
+//    with their thread (and all rank-local state) intact; run()'s monitor
+//    joins the dead rank's thread, repairs the communicator with
+//    revive(rank, epoch), and respawns only the dead rank. Every message
+//    is stamped with the recovery epoch at post time and stale-epoch
+//    messages are discarded at receive time, so stragglers from the
+//    pre-failure epoch cannot corrupt the restarted exchange.
 
 #include <atomic>
 #include <condition_variable>
@@ -79,21 +88,37 @@ class InjectedFaultError : public CommError {
   using CommError::CommError;
 };
 
-// Deterministic, seeded fault schedule. Every fault fires exactly once per
-// install (state survives across run() calls, so a supervised retry does
-// not re-hit the same fault).
+// Thrown by rank code to veto in-place recovery and force a full teardown:
+// run()'s recovery monitor never revives after one of these (e.g. the
+// recovery restore protocol found no usable common checkpoint, so parking
+// and retrying in place could never make progress). The failure is
+// aggregated into run()'s RankFailedError like any other, handing control
+// back to the outer full-restart supervisor.
+class UnrecoverableError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+// Deterministic, seeded fault schedule. Every fault fires `times` times
+// (message faults: exactly once) per install; fired-state survives across
+// run() calls, so a supervised retry does not re-hit a consumed fault.
 struct FaultPlan {
   std::uint64_t seed = 1;  // drives the corrupted-value perturbation
 
   // Throw InjectedFaultError on `rank` when it reaches Rank::fault_point(step).
   // Matching is exact, so solvers can expose extra phase-specific fault
   // points under step encodings that cannot collide with real step numbers:
-  // run_parallel calls fault_point(k) at the top of step k and
-  // fault_point(-(k + 1)) between posting and draining the ghost exchange,
-  // so a Kill with step = -(k + 1) dies mid-exchange at step k.
+  // run_parallel calls fault_point(k) at the top of step k,
+  // fault_point(-(k + 1)) between posting and draining the ghost exchange
+  // (so step = -(k + 1) dies mid-exchange at step k), and
+  // fault_point(INT_MIN + e) inside the recovery protocol of epoch e >= 1
+  // (so step = INT_MIN + 1 dies *during* the first recovery). `times` > 1
+  // lets the same planned kill re-fire after an in-place revival replays
+  // the step — the same rank can be killed repeatedly across epochs.
   struct Kill {
     int rank = 0;
     int step = 0;
+    int times = 1;
   };
   std::vector<Kill> kills;
 
@@ -153,6 +178,21 @@ class Rank {
   // Total doubles sent by this rank (communication-volume accounting).
   [[nodiscard]] std::size_t doubles_sent() const { return sent_; }
 
+  // In-place recovery rendezvous: call from a RankFailedError handler to
+  // park this (surviving) rank's thread while run()'s monitor repairs the
+  // communicator. Returns true once the failed ranks have been revived and
+  // a new epoch has begun — resume collective work; returns false when
+  // recovery is disabled, abandoned, or exhausted — rethrow and let the
+  // full-restart supervisor take over.
+  [[nodiscard]] bool await_recovery();
+
+  // True on a rank whose thread was respawned by an in-place recovery (its
+  // function restarted from the top while the survivors kept their state).
+  [[nodiscard]] bool revived() const { return revived_; }
+
+  // Current recovery epoch (0 until the first revival).
+  [[nodiscard]] std::uint64_t epoch() const;
+
  private:
   friend class Communicator;
   Rank(Communicator* comm, int id, int size)
@@ -160,6 +200,7 @@ class Rank {
   Communicator* comm_;
   int id_;
   int size_;
+  bool revived_ = false;
   std::size_t sent_ = 0;
   // Rank-local message-storage pool: refilled by recv_into, drawn by send,
   // no locking (only this rank's thread touches it). Storage migrates
@@ -188,13 +229,51 @@ class Communicator {
   void install_fault_plan(const FaultPlan& plan);
   void clear_fault_plan();
 
+  // In-place recovery policy. When enabled, run() keeps a monitor on the
+  // calling thread: after a failure it waits for every surviving rank to
+  // park in Rank::await_recovery(), joins the failed ranks' threads,
+  // revives them (repairing poison and fencing a new epoch), respawns only
+  // their threads with Rank::revived() set, and resumes the survivors.
+  // Recovery is abandoned (survivors' await_recovery returns false) when
+  // the budget is exhausted, any rank already returned normally, or a rank
+  // threw UnrecoverableError. Set between runs only.
+  struct RecoveryOptions {
+    bool enabled = false;
+    int max_revives = 1;  // revival rounds per run()
+  };
+  void set_recovery(const RecoveryOptions& opt) { recovery_ = opt; }
+
+  // Current recovery epoch: 0 at the start of each run(), +1 per revival
+  // round. Messages are stamped with the epoch at post time; receives
+  // discard stale-epoch messages.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  // Repairs the communicator after `rank` failed: clears its entry from
+  // the failure list (poison lifts when no failures remain), flushes every
+  // in-flight mailbox to or from it, resets partially-filled barrier /
+  // reduction counts (no waiter survives a poisoning, so those counts are
+  // pre-failure garbage), and advances the epoch to `new_epoch` so
+  // surviving in-flight messages from older epochs are fenced off.
+  // run()'s recovery monitor drives this; it is public for substrate tests
+  // and does NOT respawn threads or fix live-rank accounting by itself.
+  void revive(int rank, std::uint64_t new_epoch);
+
  private:
   friend class Rank;
 
   enum class ReduceMode { kSum, kMax, kMin };
 
+  // A posted message plus the recovery epoch it belongs to; receives drop
+  // messages whose epoch is not current (pre-failure stragglers).
+  struct Msg {
+    std::vector<double> data;
+    std::uint64_t epoch = 0;
+  };
+
   struct Mailbox {
-    std::queue<std::vector<double>> messages;
+    std::queue<Msg> messages;
   };
 
   // What a rank is currently blocked on (for deadlock diagnosis).
@@ -220,6 +299,11 @@ class Communicator {
   void barrier_wait(int rank, double timeout_sec);
   double reduce(int rank, double v, ReduceMode mode);
   void fault_point(int rank, int step);
+  bool await_recovery(int rank);
+  void revive_locked(int rank, std::uint64_t new_epoch);
+  // Drops stale-epoch messages from the front of `box`; returns the number
+  // dropped (mu_ held).
+  std::size_t drop_stale_locked(Mailbox& box);
 
   // Marks `rank` as failed with `what` and wakes all blocked peers.
   // Requires mu_ NOT held.
@@ -249,6 +333,15 @@ class Communicator {
   bool deadlocked_ = false;
   std::string deadlock_report_;
 
+  // In-place recovery state (monitor in run(); reset by the next run()).
+  RecoveryOptions recovery_;
+  std::atomic<std::uint64_t> epoch_{0};
+  int n_parked_ = 0;     // survivors waiting in await_recovery()
+  int n_completed_ = 0;  // ranks whose fn returned normally (cannot rewind)
+  int revives_used_ = 0;
+  bool recovery_abandoned_ = false;
+  bool unrecoverable_ = false;
+
   // Blocked-rank table for deadlock detection.
   std::vector<Blocked> blocked_;
   int n_blocked_ = 0;
@@ -262,10 +355,10 @@ class Communicator {
   // between runs, never concurrently with rank threads.
   std::atomic<bool> has_plan_{false};
   FaultPlan plan_;
-  std::vector<std::uint8_t> kill_fired_;
+  std::vector<int> kill_fired_;  // fire counts, capped at Kill::times
   std::vector<std::uint8_t> msg_fired_;
   std::map<std::tuple<int, int, int>, int> edge_sends_;  // per-edge counter
-  std::map<std::tuple<int, int, int>, std::vector<double>> delayed_;
+  std::map<std::tuple<int, int, int>, Msg> delayed_;
 
   // Dissemination-free simple barrier / reduction state.
   int barrier_count_ = 0;

@@ -72,18 +72,32 @@ struct ParallelResult {
 };
 
 // Fault-tolerance policy for run_parallel (see DESIGN.md "Fault tolerance
-// & checkpointing"). With a checkpoint directory set, each rank writes a
-// CRC32-verified snapshot of its state (u, u_prev, dku_prev, step counter,
-// owned receiver histories) every `checkpoint_every` steps, and a failed
-// run is rewound to the last snapshot on which all ranks agree and resumed
-// — bit-identically to an uninterrupted run. Failures are retried up to
-// `max_retries` times with exponential backoff before the aggregated
-// RankFailedError surfaces; detected deadlocks are never retried (they are
-// deterministic program errors).
+// & checkpointing" and "Localized recovery"). With a checkpoint directory
+// set, each rank writes a CRC32-verified snapshot of its state (u, u_prev,
+// dku_prev, step counter, owned receiver histories) every
+// `checkpoint_every` steps, retaining the last `checkpoint_keep`
+// generations per rank; a snapshot that fails to write (e.g. ENOSPC) is
+// logged and counted (`checkpoint/write_failures`) and the solve continues
+// with the previous generation as the restore target.
+//
+// Recovery is layered: with `max_revives` > 0, a rank failure is first
+// repaired IN PLACE — surviving rank threads park with their partition,
+// ghost plans, and exchange buffers intact, only the dead rank's thread is
+// respawned and restored from its snapshot, survivors roll their state
+// vectors back in memory, and the solve resumes at the agreed step,
+// bit-identically to an uninterrupted run. Only when in-place recovery is
+// unavailable (no usable common checkpoint, revive budget exhausted, or a
+// failure outside the step loop) does the full-restart supervisor take
+// over: rewind every rank to the last agreed snapshot and re-run, up to
+// `max_retries` times with exponential backoff. Detected deadlocks are
+// never retried (they are deterministic program errors).
 struct FaultToleranceOptions {
   std::string checkpoint_dir;         // empty = checkpointing off
   int checkpoint_every = 0;           // steps between snapshots (0 = off)
+  int checkpoint_keep = 2;            // snapshot generations kept per rank
   int max_retries = 0;                // supervised restarts on rank failure
+  int max_revives = 0;                // in-place rank revivals before full
+                                      // restart (0 = always full-restart)
   double backoff_base_seconds = 0.0;  // sleep base, doubled per retry
   double timeout_seconds = 0.0;       // per blocking comm op (0 = infinite)
   const FaultPlan* fault_plan = nullptr;  // injected faults (testing)

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -365,6 +367,11 @@ ParallelResult run_parallel(
   Communicator comm(R);
   if (ft.fault_plan != nullptr) comm.install_fault_plan(*ft.fault_plan);
   if (ft.timeout_seconds > 0.0) comm.set_timeout(ft.timeout_seconds);
+  // In-place recovery needs snapshots to roll back to; without them every
+  // failure goes straight to the full-restart supervisor as before.
+  const bool in_place = ckpt_on && ft.max_revives > 0;
+  comm.set_recovery({in_place, ft.max_revives});
+  const int ckpt_keep = std::max(1, ft.checkpoint_keep);
 
   // Per-rank telemetry registries, declared outside the supervised-retry
   // loop so a retried run accumulates into the same registries (the report
@@ -376,6 +383,8 @@ ParallelResult run_parallel(
     const std::size_t r = static_cast<std::size_t>(rank.id());
     const obs::ScopedRegistry obs_install(rank_regs[r]);
     obs::counter_add("ft/attempts", 1);
+    if (rank.revived()) obs::counter_add("par/ranks_revived", 1);
+    obs::gauge_set("par/epoch", static_cast<double>(rank.epoch()));
     RankLocal& L = locals[r];
     const std::size_t nd = 3 * L.nodes.size();
     std::vector<double> u(nd, 0.0), u_prev(nd, 0.0), u_next(nd, 0.0);
@@ -391,65 +400,115 @@ ParallelResult run_parallel(
     obs::counter_add("comm/msgs_sent", 0);
     obs::counter_add("comm/bytes_sent", 0);
 
+    // In-memory rollback target: a copy of the state vectors taken at each
+    // checkpoint barrier. On an in-place recovery, survivors roll back from
+    // this shadow without touching disk — only the revived rank (whose
+    // thread, and hence shadow, died with it) reads its snapshot back.
+    struct Shadow {
+      std::int64_t step = -1;  // -1 = nothing captured yet
+      std::vector<double> u, u_prev, dku_prev;
+    } shadow;
+    const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
+
     // ---- checkpoint restore: agree on a common restart step --------------
-    // Each rank proposes the newest usable snapshot among its current and
-    // previous checkpoint files; the collective restart step is the minimum
-    // proposal, and a second round confirms every rank can serve it (from
-    // either file). Any disagreement falls back to a from-scratch start —
-    // always correct, at worst wasteful.
-    int k0 = 0;
-    if (ckpt_on) {
-      const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
-      util::Snapshot cand[2];
-      bool have[2] = {false, false};
-      have[0] = util::load_snapshot(path, &cand[0]) &&
-                snapshot_usable(cand[0], nd, n_steps, L.receivers);
-      have[1] = util::load_snapshot(path + ".prev", &cand[1]) &&
-                snapshot_usable(cand[1], nd, n_steps, L.receivers);
-      if (have[0] && have[1] && cand[1].step > cand[0].step) {
-        std::swap(cand[0], cand[1]);
-      }
-      const double proposal =
-          have[0] ? static_cast<double>(cand[0].step)
-                  : (have[1] ? static_cast<double>(cand[1].step) : -1.0);
-      const double agreed = rank.allreduce_min(proposal);
-      const util::Snapshot* chosen = nullptr;
-      for (int c = 0; c < 2; ++c) {
-        if (have[c] && static_cast<double>(cand[c].step) == agreed) {
-          chosen = &cand[c];
-          break;
-        }
-      }
-      const double all_can =
-          rank.allreduce_min(agreed >= 1.0 && chosen != nullptr ? 1.0 : 0.0);
-      if (all_can == 1.0) {
-        k0 = static_cast<int>(chosen->step);
-        const auto su = chosen->field("u");
-        const auto sp = chosen->field("u_prev");
-        const auto sd = chosen->field("dku_prev");
-        std::copy(su.begin(), su.end(), u.begin());
-        std::copy(sp.begin(), sp.end(), u_prev.begin());
-        std::copy(sd.begin(), sd.end(), dku_prev.begin());
-        for (const auto& [ri, ln] : L.receivers) {
-          const auto flat = chosen->field("recv" + std::to_string(ri));
-          auto& hist = result.receiver_histories[static_cast<std::size_t>(ri)];
-          hist.assign(static_cast<std::size_t>(k0), {});
-          for (std::size_t s = 0; s < hist.size(); ++s) {
-            hist[s] = {flat[3 * s], flat[3 * s + 1], flat[3 * s + 2]};
+    // Each rank proposes its newest usable state — the in-memory shadow if
+    // it has one, else the newest usable snapshot among its retained
+    // generations; the collective restart step is the minimum proposal, and
+    // a second round confirms every rank can serve it. On a fresh start a
+    // disagreement falls back to from-scratch (always correct, at worst
+    // wasteful); during an in-place recovery it throws UnrecoverableError
+    // instead, handing the failure to the full-restart supervisor (an
+    // in-place from-scratch "resume" would silently discard survivors'
+    // progress).
+    const auto attempt_restore = [&](bool recovering) -> int {
+      int k0 = 0;
+      if (ckpt_on) {
+        std::optional<obs::ScopeTimer> agree_scope;
+        if (recovering) agree_scope.emplace("agree");
+        std::vector<util::Snapshot> cands;
+        for (int gen = 0; gen < ckpt_keep; ++gen) {
+          util::Snapshot s;
+          if (util::load_snapshot(util::snapshot_generation_path(path, gen),
+                                  &s) &&
+              snapshot_usable(s, nd, n_steps, L.receivers)) {
+            cands.push_back(std::move(s));
           }
         }
+        double proposal =
+            shadow.step >= 1 ? static_cast<double>(shadow.step) : -1.0;
+        for (const auto& s : cands) {
+          proposal = std::max(proposal, static_cast<double>(s.step));
+        }
+        const double agreed = rank.allreduce_min(proposal);
+        const bool from_shadow =
+            shadow.step >= 1 && static_cast<double>(shadow.step) == agreed;
+        const util::Snapshot* chosen = nullptr;
+        if (!from_shadow) {
+          for (const auto& s : cands) {
+            if (static_cast<double>(s.step) == agreed) {
+              chosen = &s;
+              break;
+            }
+          }
+        }
+        const double all_can = rank.allreduce_min(
+            agreed >= 1.0 && (from_shadow || chosen != nullptr) ? 1.0 : 0.0);
+        agree_scope.reset();
+        if (all_can == 1.0) {
+          std::optional<obs::ScopeTimer> restore_scope;
+          if (recovering) restore_scope.emplace("restore");
+          k0 = static_cast<int>(agreed);
+          if (from_shadow) {
+            std::copy(shadow.u.begin(), shadow.u.end(), u.begin());
+            std::copy(shadow.u_prev.begin(), shadow.u_prev.end(),
+                      u_prev.begin());
+            std::copy(shadow.dku_prev.begin(), shadow.dku_prev.end(),
+                      dku_prev.begin());
+            // Histories are append-only and bit-identical across replays:
+            // rolling back is a truncation.
+            for (const auto& [ri, ln] : L.receivers) {
+              result.receiver_histories[static_cast<std::size_t>(ri)].resize(
+                  static_cast<std::size_t>(k0));
+            }
+          } else {
+            const auto su = chosen->field("u");
+            const auto sp = chosen->field("u_prev");
+            const auto sd = chosen->field("dku_prev");
+            std::copy(su.begin(), su.end(), u.begin());
+            std::copy(sp.begin(), sp.end(), u_prev.begin());
+            std::copy(sd.begin(), sd.end(), dku_prev.begin());
+            for (const auto& [ri, ln] : L.receivers) {
+              const auto flat = chosen->field("recv" + std::to_string(ri));
+              auto& hist =
+                  result.receiver_histories[static_cast<std::size_t>(ri)];
+              hist.assign(static_cast<std::size_t>(k0), {});
+              for (std::size_t s = 0; s < hist.size(); ++s) {
+                hist[s] = {flat[3 * s], flat[3 * s + 1], flat[3 * s + 2]};
+              }
+            }
+          }
+        } else if (recovering) {
+          throw UnrecoverableError(
+              "in-place recovery: no usable common checkpoint (agreed step " +
+              std::to_string(static_cast<long long>(agreed)) +
+              "), falling back to full restart");
+        }
+      } else if (recovering) {
+        throw UnrecoverableError(
+            "in-place recovery without checkpointing, falling back");
       }
-    }
-    if (k0 > 0) {
-      obs::counter_add("ckpt/restores", 1);
-      obs::counter_add("ckpt/restored_steps", k0);
-    } else {
-      // Fresh (or retried-from-scratch) start: drop any partial histories a
-      // failed attempt appended to this rank's owned receivers.
-      for (const auto& [ri, ln] : L.receivers) {
-        result.receiver_histories[static_cast<std::size_t>(ri)].clear();
+      if (k0 > 0) {
+        obs::counter_add("ckpt/restores", 1);
+        obs::counter_add("ckpt/restored_steps", k0);
+      } else {
+        // Fresh (or retried-from-scratch) start: drop any partial histories
+        // a failed attempt appended to this rank's owned receivers.
+        for (const auto& [ri, ln] : L.receivers) {
+          result.receiver_histories[static_cast<std::size_t>(ri)].clear();
+        }
       }
-    }
+      return k0;
+    };
 
     auto expand = [&](std::vector<double>& x) {
       for (const LocalConstraint& c : L.cons) {
@@ -551,8 +610,11 @@ ParallelResult run_parallel(
       }
     };
 
+    int k_progress = 0;  // last step this rank started (rollback accounting)
+    const auto step_loop = [&](int k0) {
     for (int k = k0; k < n_steps; ++k) {
       QUAKE_OBS_SCOPE("step");
+      k_progress = k;
       rank.fault_point(k);
       const double t_k = k * dt;
 
@@ -721,8 +783,6 @@ ParallelResult run_parallel(
           (k + 1) % ft.checkpoint_every == 0 && k + 1 < n_steps) {
         QUAKE_OBS_SCOPE("checkpoint");
         rank.barrier();
-        const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
-        std::rename(path.c_str(), (path + ".prev").c_str());  // keep one old
         util::Snapshot snap;
         snap.step = k + 1;
         snap.add("u", u);
@@ -738,14 +798,34 @@ ParallelResult run_parallel(
           ckpt_doubles += flat.size();
           snap.add("recv" + std::to_string(ri), std::move(flat));
         }
-        util::save_snapshot(path, snap);
-        obs::counter_add("ckpt/writes", 1);
-        obs::counter_add("ckpt/bytes_written",
-                         static_cast<std::int64_t>(8 * ckpt_doubles));
+        std::string ckpt_err;
+        if (util::save_snapshot_rotating(path, snap, ckpt_keep, &ckpt_err)) {
+          obs::counter_add("ckpt/writes", 1);
+          obs::counter_add("ckpt/bytes_written",
+                           static_cast<std::int64_t>(8 * ckpt_doubles));
+        } else {
+          // Disk pressure (ENOSPC, permissions) is survivable: the rotation
+          // left the previous generation intact as the restore target, so
+          // count it, say so, and keep solving.
+          obs::counter_add("checkpoint/write_failures", 1);
+          std::fprintf(stderr,
+                       "[quake::par] rank %d: checkpoint write at step %d "
+                       "failed (%s); continuing on previous snapshot\n",
+                       rank.id(), k + 1, ckpt_err.c_str());
+        }
+        // The in-memory rollback shadow tracks the snapshot cadence even
+        // when the disk write fails — survivors roll back from memory, disk
+        // only serves the revived rank.
+        shadow.step = k + 1;
+        shadow.u = u;
+        shadow.u_prev = u_prev;
+        shadow.dku_prev = dku_prev;
         rank.barrier();
       }
     }
+    };  // step_loop
 
+    const auto finish = [&] {
     // Gather: each rank writes its owned nodes (owners are unique).
     for (std::size_t i = 0; i < L.nodes.size(); ++i) {
       if (L.owned[i] == 0) continue;
@@ -810,6 +890,57 @@ ParallelResult run_parallel(
                   obs::encode_report(obs::RankReport{rank.id(), rank_regs[r]}));
       }
     }
+    };  // finish
+
+    // ---- epoch loop: solve; on a rank failure (in-place recovery armed)
+    // park until the communicator is repaired, then roll back and replay.
+    // Survivors keep their partition, ghost plans, and exchange buffers —
+    // nothing above this loop is re-run on a recovery. ----
+    int last_fail_step = -1;  // k_progress at the most recent local failure
+    bool recovering = rank.revived();  // respawned ranks join mid-recovery
+    for (;;) {
+      try {
+        int k0 = 0;
+        if (recovering) {
+          QUAKE_OBS_SCOPE("recover");
+          obs::gauge_set("par/epoch", static_cast<double>(rank.epoch()));
+          // Recovery-phase fault point: a planned Kill with step =
+          // INT_MIN + epoch dies during this recovery (see FaultPlan).
+          rank.fault_point(std::numeric_limits<int>::min() +
+                           static_cast<int>(rank.epoch()));
+          k0 = attempt_restore(/*recovering=*/true);
+          {
+            // Rendezvous before re-entering the step loop; this scope's
+            // time is the wait for the slowest rank's restore (usually the
+            // revived rank reading its snapshot back from disk).
+            QUAKE_OBS_SCOPE("resume");
+            rank.barrier();
+          }
+          if (last_fail_step >= 0) {
+            obs::counter_add("par/steps_rolled_back",
+                             std::max(0, last_fail_step - k0));
+          }
+          recovering = false;
+        } else {
+          k0 = attempt_restore(/*recovering=*/false);
+        }
+        k_progress = k0;
+        step_loop(k0);
+        finish();
+        break;
+      } catch (const RankFailedError&) {
+        // A peer died. With in-place recovery armed, park this thread —
+        // state intact — until run()'s monitor revives the dead rank, then
+        // take another lap through the restore agreement. Otherwise (or
+        // when recovery is abandoned) rethrow into the full-restart
+        // supervisor.
+        if (!in_place) throw;
+        last_fail_step = k_progress;
+        if (!rank.await_recovery()) throw;
+        obs::counter_add("par/recoveries", 1);
+        recovering = true;
+      }
+    }
   };
 
   // ---- supervised execution: rewind to the last checkpoint and retry on
@@ -836,8 +967,10 @@ ParallelResult run_parallel(
     // short-circuit an unrelated future run pointed at the same directory).
     for (int rr = 0; rr < R; ++rr) {
       const std::string path = ckpt_path(ft.checkpoint_dir, rr);
-      std::remove(path.c_str());
-      std::remove((path + ".prev").c_str());
+      for (int gen = 0; gen <= ckpt_keep; ++gen) {
+        std::remove(util::snapshot_generation_path(path, gen).c_str());
+      }
+      std::remove((path + ".tmp").c_str());
     }
   }
 

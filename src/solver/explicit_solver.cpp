@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "quake/obs/obs.hpp"
@@ -137,8 +138,15 @@ void ExplicitSolver::step(int k) {
 }
 
 int ExplicitSolver::restore_checkpoint() {
+  // Newest generation first; an older sibling is still a valid resume point
+  // when the newest write was torn or skipped under disk pressure.
   util::Snapshot snap;
-  if (!util::load_snapshot(checkpoint_path_, &snap)) return 0;
+  bool loaded = false;
+  for (int gen = 0; gen < checkpoint_keep_ && !loaded; ++gen) {
+    loaded = util::load_snapshot(
+        util::snapshot_generation_path(checkpoint_path_, gen), &snap);
+  }
+  if (!loaded) return 0;
   const std::size_t nd = op_->n_dofs();
   const auto u = snap.field("u");
   const auto u_prev = snap.field("u_prev");
@@ -183,7 +191,18 @@ void ExplicitSolver::write_checkpoint(int step) const {
     doubles += flat.size();
     snap.add("recv" + std::to_string(i), std::move(flat));
   }
-  util::save_snapshot(checkpoint_path_, snap);
+  std::string err;
+  if (!util::save_snapshot_rotating(checkpoint_path_, snap, checkpoint_keep_,
+                                    &err)) {
+    // Disk pressure is not fatal: the previous generation chain is intact,
+    // so the run keeps going and simply has an older restore target.
+    obs::counter_add("checkpoint/write_failures", 1);
+    std::fprintf(stderr,
+                 "[quake::solver] checkpoint write at step %d failed (%s); "
+                 "continuing on previous snapshot\n",
+                 step, err.c_str());
+    return;
+  }
   obs::counter_add("ckpt/writes", 1);
   obs::counter_add("ckpt/bytes_written",
                    static_cast<std::int64_t>(8 * doubles));

@@ -67,9 +67,14 @@ class ExplicitSolver {
   // from `path` when it holds a valid snapshot. A restarted run is
   // bit-identical to an uninterrupted one. Pass every = 0 to disable
   // periodic writes while still resuming from an existing snapshot.
-  void set_checkpoint(std::string path, int every) {
+  // The last `keep` snapshot generations are retained (`path`, `path.1`,
+  // ...); a write that fails (e.g. ENOSPC) is logged and counted
+  // (`checkpoint/write_failures`) and the run continues with the previous
+  // generation intact, and restore falls back through the generations.
+  void set_checkpoint(std::string path, int every, int keep = 2) {
     checkpoint_path_ = std::move(path);
     checkpoint_every_ = every;
+    checkpoint_keep_ = keep < 1 ? 1 : keep;
   }
 
   [[nodiscard]] double dt() const { return dt_; }
@@ -99,6 +104,7 @@ class ExplicitSolver {
 
   std::string checkpoint_path_;
   int checkpoint_every_ = 0;
+  int checkpoint_keep_ = 2;
 
   const ElasticOperator* op_;
   SolverOptions opt_;

@@ -71,7 +71,13 @@ std::span<const double> Snapshot::field(std::string_view name) const {
   return {};
 }
 
-void save_snapshot(const std::string& path, const Snapshot& snap) {
+namespace {
+
+// Serializes + writes the snapshot to `tmp`; returns false (with *error
+// set) instead of throwing so retention-aware callers can ride out disk
+// pressure. A failed write removes the partial temp file.
+bool write_snapshot_file(const std::string& tmp, const Snapshot& snap,
+                         std::string* error) {
   std::vector<unsigned char> buf;
   put(buf, kMagic);
   put(buf, kVersion);
@@ -85,22 +91,70 @@ void save_snapshot(const std::string& path, const Snapshot& snap) {
   }
   put(buf, crc32(buf));
 
+  FilePtr f(std::fopen(tmp.c_str(), "wb"));
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + tmp;
+    return false;
+  }
+  if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size() ||
+      std::ferror(f.get()) != 0) {
+    f.reset();
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "short write to " + tmp;
+    return false;
+  }
+  std::FILE* raw = f.release();
+  if (std::fclose(raw) != 0) {  // delayed ENOSPC surfaces here
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "close failed for " + tmp;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const Snapshot& snap) {
   const std::string tmp = path + ".tmp";
-  {
-    FilePtr f(std::fopen(tmp.c_str(), "wb"));
-    if (!f) throw std::runtime_error("save_snapshot: cannot open " + tmp);
-    if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size() ||
-        std::ferror(f.get()) != 0) {
-      throw std::runtime_error("save_snapshot: short write to " + tmp);
-    }
-    std::FILE* raw = f.release();
-    if (std::fclose(raw) != 0) {
-      throw std::runtime_error("save_snapshot: close failed for " + tmp);
-    }
+  std::string error;
+  if (!write_snapshot_file(tmp, snap, &error)) {
+    throw std::runtime_error("save_snapshot: " + error);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("save_snapshot: rename to " + path + " failed");
   }
+}
+
+std::string snapshot_generation_path(const std::string& path, int gen) {
+  return gen <= 0 ? path : path + "." + std::to_string(gen);
+}
+
+bool save_snapshot_rotating(const std::string& path, const Snapshot& snap,
+                            int keep, std::string* error) {
+  if (keep < 1) keep = 1;
+  const std::string tmp = path + ".tmp";
+  // Write the new data first: until it is safely on disk, the existing
+  // generation chain is not touched, so a failure here (ENOSPC, read-only
+  // filesystem) leaves every previous restore target intact.
+  if (!write_snapshot_file(tmp, snap, error)) return false;
+  // Rotate newest -> oldest; the rename onto `path.(keep-1)` atomically
+  // replaces (= prunes) the oldest retained generation. A missing link in
+  // the chain is fine — rename of a nonexistent source just fails and the
+  // younger generations still shift up.
+  for (int gen = keep - 1; gen >= 1; --gen) {
+    std::rename(snapshot_generation_path(path, gen - 1).c_str(),
+                snapshot_generation_path(path, gen).c_str());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "rename to " + path + " failed";
+    return false;
+  }
+  // Prune generations beyond the retention window (e.g. after `keep` was
+  // lowered between runs); only after the successful rename above, so a
+  // failed save never costs us a usable snapshot.
+  std::remove(snapshot_generation_path(path, keep).c_str());
+  return true;
 }
 
 bool load_snapshot(const std::string& path, Snapshot* out) {

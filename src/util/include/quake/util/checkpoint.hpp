@@ -37,6 +37,21 @@ struct Snapshot {
 // std::runtime_error on any I/O failure (open, short write, close).
 void save_snapshot(const std::string& path, const Snapshot& snap);
 
+// Retention-aware save: writes the snapshot to disk first, then rotates
+// the generation chain `path` -> `path + ".1"` -> ... -> `path + ".<keep-1>"`
+// (the oldest generation is pruned by the rotation's atomic rename) and
+// renames the fresh file into `path`. On ANY failure — ENOSPC on the temp
+// write, a failed rename — returns false with the previous generation
+// chain intact as the restore target, so callers can log and continue the
+// solve under disk pressure instead of aborting (see run_parallel's
+// `checkpoint/write_failures` counter). `keep` < 1 is treated as 1; when
+// `error` is non-null it receives a description of the failure.
+bool save_snapshot_rotating(const std::string& path, const Snapshot& snap,
+                            int keep, std::string* error = nullptr);
+
+// The on-disk name of retention generation `gen` (0 = newest = `path`).
+std::string snapshot_generation_path(const std::string& path, int gen);
+
 // Loads a snapshot; returns false (leaving *out* untouched) if the file is
 // missing, truncated, has a wrong magic/version, or fails CRC verification.
 bool load_snapshot(const std::string& path, Snapshot* out);

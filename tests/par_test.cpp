@@ -8,11 +8,13 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <thread>
 
 #include "quake/mesh/meshgen.hpp"
+#include "quake/obs/obs.hpp"
 #include "quake/par/communicator.hpp"
 #include "quake/par/parallel_solver.hpp"
 #include "quake/par/partition.hpp"
@@ -748,6 +750,291 @@ TEST(ParallelCheckpoint, ExhaustedRetriesSurfaceAggregatedError) {
     ASSERT_EQ(e.failed_ranks().size(), 1u);
     EXPECT_EQ(e.failed_ranks()[0], 0);
   }
+}
+
+// ---- in-place recovery ----------------------------------------------------
+
+// Substrate-level epoch fencing: a message posted before a rank failure is
+// a pre-failure straggler; after revive() the first receive on that edge
+// must discard it and deliver the post-recovery message instead.
+TEST(Recovery, ReviveDiscardsPreFailureStragglers) {
+  Communicator comm(3);
+  comm.set_recovery({/*enabled=*/true, /*max_revives=*/1});
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/2, /*step=*/0});
+  comm.install_fault_plan(plan);
+  std::atomic<int> revived_runs{0};
+  comm.run([&](Rank& r) {
+    if (r.id() == 0) {
+      const std::vector<double> stale = {1.0};
+      r.send(1, 5, stale);  // still queued when rank 2 dies: epoch-0 message
+      const std::vector<double> go = {0.0};
+      r.send(2, 6, go);  // hands rank 2 the go-ahead to die
+      try {
+        (void)r.recv(2, 7);
+        FAIL() << "rank 2 must die before replying";
+      } catch (const RankFailedError&) {
+        ASSERT_TRUE(r.await_recovery());
+      }
+      const std::vector<double> fresh = {2.0};
+      r.send(1, 5, fresh);  // epoch-1 message
+      EXPECT_EQ(r.epoch(), 1u);
+    } else if (r.id() == 1) {
+      try {
+        (void)r.recv(2, 7);
+        FAIL() << "rank 2 must die before replying";
+      } catch (const RankFailedError&) {
+        ASSERT_TRUE(r.await_recovery());
+      }
+      // The stale {1.0} is still at the head of the (0 -> 1, tag 5) queue;
+      // the epoch fence must drop it.
+      const auto m = r.recv(0, 5);
+      ASSERT_EQ(m.size(), 1u);
+      EXPECT_DOUBLE_EQ(m[0], 2.0);
+    } else {
+      if (r.revived()) {
+        revived_runs.fetch_add(1);
+        return;  // second life: nothing left to do
+      }
+      (void)r.recv(0, 6);
+      r.fault_point(0);  // planned death
+    }
+  });
+  EXPECT_EQ(revived_runs.load(), 1);
+  EXPECT_EQ(comm.epoch(), 1u);
+}
+
+// A Kill with times > 1 re-fires after the revival replays the same step:
+// the same rank dies twice and is revived twice within one run().
+TEST(Recovery, PlannedKillRefiresAcrossEpochs) {
+  Communicator comm(2);
+  comm.set_recovery({/*enabled=*/true, /*max_revives=*/3});
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*step=*/3, /*times=*/2});
+  comm.install_fault_plan(plan);
+  std::atomic<int> deaths{0};
+  comm.run([&](Rank& r) {
+    if (r.id() == 0) {
+      for (;;) {
+        try {
+          const auto m = r.recv(1, 9);
+          ASSERT_EQ(m.size(), 1u);
+          EXPECT_DOUBLE_EQ(m[0], 42.0);
+          break;
+        } catch (const RankFailedError&) {
+          ASSERT_TRUE(r.await_recovery());
+        }
+      }
+    } else {
+      if (r.revived()) deaths.fetch_add(1);
+      for (int k = 0; k < 6; ++k) r.fault_point(k);
+      const std::vector<double> done = {42.0};
+      r.send(0, 9, done);
+    }
+  });
+  EXPECT_EQ(deaths.load(), 2);
+  EXPECT_EQ(comm.epoch(), 2u);
+}
+
+// Telemetry-observing recovery tests run with obs enabled.
+class ParallelRecovery : public ::testing::Test {
+ protected:
+  void SetUp() override { quake::obs::set_enabled(true); }
+  void TearDown() override { quake::obs::set_enabled(false); }
+};
+
+// Tentpole acceptance: a seeded single-rank kill at 8 ranks is repaired in
+// place — survivors keep their partition, ghost plans, and exchange buffers
+// (their body runs exactly once), only the dead rank is respawned, and the
+// recovered run is bit-identical to the fault-free one.
+TEST_F(ParallelRecovery, InPlaceRecoveryBitIdenticalWithoutSurvivorReSetup) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 2.0;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  const Partition part = partition_sfc(mesh, 8);
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  ASSERT_GT(ref.n_steps, 8);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_inplace_recovery_test";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/5, /*step=*/2 * ref.n_steps / 3});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = std::max(1, ref.n_steps / 4);
+  ft.max_retries = 1;  // fallback stays armed but must not be needed
+  ft.max_revives = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  EXPECT_EQ(pr.n_steps, ref.n_steps);
+  ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.receiver_histories[0].data(),
+                        ref.receiver_histories[0].data(),
+                        ref.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+
+  // Exactly one recovery round: the revived rank re-entered its body once,
+  // every survivor ran its body exactly once (a full restart would bump
+  // every rank's ft/attempts to 2).
+  ASSERT_EQ(pr.obs_reports.size(), 8u);
+  for (const auto& rep : pr.obs_reports) {
+    const auto it = rep.metrics.counters.find("ft/attempts");
+    ASSERT_NE(it, rep.metrics.counters.end());
+    if (rep.rank == 5) {
+      EXPECT_EQ(it->second, 2) << "revived rank re-enters its body once";
+      EXPECT_EQ(rep.metrics.counters.at("par/ranks_revived"), 1);
+    } else {
+      EXPECT_EQ(it->second, 1)
+          << "survivor rank " << rep.rank << " must not re-run setup";
+      EXPECT_EQ(rep.metrics.counters.at("par/recoveries"), 1);
+    }
+  }
+  ASSERT_TRUE(pr.obs_summary.counters.count("par/ranks_revived"));
+  EXPECT_EQ(pr.obs_summary.counters.at("par/ranks_revived").sum, 1.0);
+  ASSERT_TRUE(pr.obs_summary.counters.count("par/steps_rolled_back"));
+  ASSERT_TRUE(pr.obs_summary.gauges.count("par/epoch"));
+  EXPECT_EQ(pr.obs_summary.gauges.at("par/epoch").max, 1.0);
+  for (const char* scope :
+       {"recover", "recover/agree", "recover/restore", "recover/resume"}) {
+    ASSERT_TRUE(pr.obs_summary.scopes.count(scope)) << scope;
+    EXPECT_GT(pr.obs_summary.scopes.at(scope).calls_total, 0u) << scope;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Seeded fault-sweep soak: across rank counts, recovery survives a kill at
+// a step boundary, a kill inside the overlapped exchange window, a kill
+// during the recovery protocol itself, and the same rank killed twice —
+// each trial bit-identical to the fault-free run at that rank count.
+TEST_F(ParallelRecovery, SeededFaultSweepAcrossRankCounts) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  constexpr int kDuringRecovery = std::numeric_limits<int>::min() + 1;
+
+  for (const int R : {2, 4, 8}) {
+    const Partition part = partition_sfc(mesh, R);
+    const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+    ASSERT_GT(ref.n_steps, 8);
+    const int n = ref.n_steps;
+    const int victim = R - 1;
+
+    struct Trial {
+      const char* name;
+      std::vector<FaultPlan::Kill> kills;
+    };
+    const Trial trials[] = {
+        {"kill_at_step", {{victim, 2 * n / 3}}},
+        {"kill_mid_exchange", {{victim, -(2 * n / 3 + 1)}}},
+        {"kill_during_recovery", {{victim, 2 * n / 3}, {0, kDuringRecovery}}},
+        {"kill_twice", {{victim, 2 * n / 3, /*times=*/2}}},
+    };
+    for (const Trial& trial : trials) {
+      SCOPED_TRACE(std::string(trial.name) + " R=" + std::to_string(R));
+      const std::filesystem::path dir =
+          std::filesystem::temp_directory_path() /
+          ("quake_fault_sweep_" + std::to_string(R) + "_" + trial.name);
+      std::filesystem::remove_all(dir);
+      FaultPlan plan;
+      plan.kills = trial.kills;
+      FaultToleranceOptions ft;
+      ft.checkpoint_dir = dir.string();
+      ft.checkpoint_every = std::max(1, n / 4);
+      ft.max_retries = 1;
+      ft.max_revives = 4;
+      ft.fault_plan = &plan;
+      const ParallelResult pr =
+          run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+      EXPECT_EQ(pr.n_steps, ref.n_steps);
+      ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+      EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                            ref.u_final.size() * sizeof(double)),
+                0);
+      ASSERT_EQ(pr.receiver_histories[0].size(),
+                ref.receiver_histories[0].size());
+      EXPECT_EQ(
+          std::memcmp(pr.receiver_histories[0].data(),
+                      ref.receiver_histories[0].data(),
+                      ref.receiver_histories[0].size() * sizeof(double) * 3),
+          0);
+      ASSERT_TRUE(pr.obs_summary.counters.count("par/recoveries"));
+      EXPECT_GE(pr.obs_summary.counters.at("par/recoveries").sum, 1.0);
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+// With no usable checkpoint (the rank dies before the first snapshot), the
+// in-place path must refuse — an in-place from-scratch "resume" would
+// silently discard survivors' progress — and hand the failure to the
+// full-restart supervisor, which still produces a bit-identical result.
+TEST_F(ParallelRecovery, FallsBackToFullRestartWithoutUsableCheckpoint) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 1.0;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  const Partition part = partition_sfc(mesh, 3);
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  ASSERT_GT(ref.n_steps, 4);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_recovery_fallback_test";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*step=*/2});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = ref.n_steps;  // cadence never fires: no snapshots
+  ft.max_retries = 1;
+  ft.max_revives = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.receiver_histories[0].data(),
+                        ref.receiver_histories[0].data(),
+                        ref.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+  // Every rank's body ran twice (the full restart), plus once more on the
+  // revived rank for the in-place attempt that was refused.
+  ASSERT_EQ(pr.obs_reports.size(), 3u);
+  for (const auto& rep : pr.obs_reports) {
+    const auto it = rep.metrics.counters.find("ft/attempts");
+    ASSERT_NE(it, rep.metrics.counters.end());
+    EXPECT_EQ(it->second, rep.rank == 1 ? 3 : 2) << "rank " << rep.rank;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ParallelStats, CommunicationVolumeReported) {

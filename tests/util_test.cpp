@@ -279,4 +279,55 @@ TEST(Checkpoint, CorruptionAndTruncationRejected) {
   EXPECT_FALSE(load_snapshot(path, &out));
 }
 
+TEST(Checkpoint, RotatingSaveKeepsLastKGenerations) {
+  const std::string path = testing::TempDir() + "/quake_snap_rot.ckpt";
+  for (int gen = 0; gen <= 4; ++gen) {
+    std::remove(snapshot_generation_path(path, gen).c_str());
+  }
+  const int keep = 3;
+  for (int step = 1; step <= 5; ++step) {
+    Snapshot snap;
+    snap.step = step;
+    snap.add("u", {static_cast<double>(step)});
+    ASSERT_TRUE(save_snapshot_rotating(path, snap, keep));
+  }
+  // Newest three survive (steps 5, 4, 3), older generations are pruned.
+  for (int gen = 0; gen < keep; ++gen) {
+    Snapshot out;
+    ASSERT_TRUE(load_snapshot(snapshot_generation_path(path, gen), &out))
+        << "generation " << gen;
+    EXPECT_EQ(out.step, 5 - gen);
+  }
+  Snapshot out;
+  EXPECT_FALSE(load_snapshot(snapshot_generation_path(path, keep), &out));
+  for (int gen = 0; gen < keep; ++gen) {
+    std::remove(snapshot_generation_path(path, gen).c_str());
+  }
+}
+
+TEST(Checkpoint, RotatingSaveFailureLeavesPreviousChainIntact) {
+  const std::string dir = testing::TempDir() + "/quake_snap_rot_fail";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/state.ckpt";
+  Snapshot snap;
+  snap.step = 11;
+  snap.add("u", {1.0, 2.0});
+  ASSERT_TRUE(save_snapshot_rotating(path, snap, 2));
+
+  // Squat on the temp-file name with a directory so the next write fails
+  // (EISDIR) the way a full disk would; the existing generation must stay
+  // loadable. (Permission tricks don't work here: tests may run as root.)
+  std::filesystem::create_directories(path + ".tmp");
+  snap.step = 12;
+  std::string error;
+  EXPECT_FALSE(save_snapshot_rotating(path, snap, 2, &error));
+  EXPECT_FALSE(error.empty());
+  std::filesystem::remove_all(path + ".tmp");
+  Snapshot out;
+  ASSERT_TRUE(load_snapshot(path, &out));
+  EXPECT_EQ(out.step, 11);  // the failed save cost nothing
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace

@@ -105,6 +105,43 @@ bool check_ranks(const Json& ranks) {
   return true;
 }
 
+// A row whose metrics report recoveries > 0 claims a fault was survived
+// in place; such a row must carry the recovery telemetry that proves it —
+// the recover scope tree (agreement, restore, resume), the recovery
+// counters, and the epoch gauge. This pins the recovery-observability
+// contract so a refactor cannot report recoveries without evidence.
+bool check_recovery_contract(const Json& row) {
+  const Json* metrics = row.find("metrics");
+  const Json* recoveries =
+      metrics == nullptr ? nullptr : metrics->find("recoveries");
+  if (!is_number(recoveries) || recoveries->as_number() <= 0.0) return true;
+  const Json* ranks = row.find("ranks");
+  if (ranks == nullptr) {
+    return fail("metrics.recoveries > 0 but row has no \"ranks\" report");
+  }
+  const Json* scopes = ranks->find("scopes");
+  for (const char* sc :
+       {"recover", "recover/agree", "recover/restore", "recover/resume"}) {
+    if (scopes == nullptr || scopes->find(sc) == nullptr) {
+      return fail(std::string("metrics.recoveries > 0 but scopes lack \"") +
+                  sc + "\"");
+    }
+  }
+  const Json* counters = ranks->find("counters");
+  for (const char* c :
+       {"par/recoveries", "par/ranks_revived", "par/steps_rolled_back"}) {
+    if (counters == nullptr || counters->find(c) == nullptr) {
+      return fail(std::string("metrics.recoveries > 0 but counters lack \"") +
+                  c + "\"");
+    }
+  }
+  const Json* gauges = ranks->find("gauges");
+  if (gauges == nullptr || gauges->find("par/epoch") == nullptr) {
+    return fail("metrics.recoveries > 0 but gauges lack \"par/epoch\"");
+  }
+  return true;
+}
+
 bool check_series(const Json& series) {
   if (!series.is_object()) return fail("\"series\" is not an object");
   for (const auto& [name, arr] : series.members()) {
@@ -212,6 +249,7 @@ int main(int argc, char** argv) {
     if (ranks != nullptr && !check_ranks(*ranks)) return 1;
     const Json* series = row.find("series");
     if (series != nullptr && !check_series(*series)) return 1;
+    if (!check_recovery_contract(row)) return 1;
     for (const std::string& path : required) {
       if (!has_path(row, path)) {
         fail("required path \"" + path + "\" missing");
