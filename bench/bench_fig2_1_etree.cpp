@@ -2,32 +2,93 @@
 // transform, with database statistics and the local-balancing speedup the
 // paper reports (8x-28x over global balancing; our in-memory analogue
 // compares the work-queue/local algorithms against naive full-sweep global
-// balancing).
+// balancing). The store section drives the out-of-core pipeline phase by
+// phase (construct->store, scan+balance, re-persist) and surfaces
+// EtreeStore::stats() plus the etree/pool_hit_rate gauge after each phase,
+// so buffer-pool behavior per phase is visible instead of one end-of-run
+// aggregate.
+//
+//   bench_fig2_1_etree [--quick] [--json PATH] [--csv PATH]
+//
+// Emits a "quake.bench/1" report (default BENCH_fig2_1.json) with rows
+// params.section = ladder | balancing | store (store rows carry
+// params.phase); tools/check_bench_schema pins the fig2_1 store contract.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "quake/mesh/meshgen.hpp"
+#include "quake/obs/obs.hpp"
+#include "quake/obs/sink.hpp"
 #include "quake/octree/etree_store.hpp"
 #include "quake/util/timer.hpp"
 
-int main() {
-  using namespace quake;
+namespace {
+
+using namespace quake;
+
+double pool_hit_rate(const octree::EtreeStore::Stats& s) {
+  const double denom = static_cast<double>(s.cache_hits + s.page_reads);
+  return denom > 0.0 ? static_cast<double>(s.cache_hits) / denom : 0.0;
+}
+
+obs::Json stats_metrics(const octree::EtreeStore::Stats& s, double seconds,
+                        std::size_t records) {
+  return obs::Json::object()
+      .set("seconds", seconds)
+      .set("records", static_cast<double>(records))
+      .set("page_reads", static_cast<double>(s.page_reads))
+      .set("page_writes", static_cast<double>(s.page_writes))
+      .set("cache_hits", static_cast<double>(s.cache_hits))
+      .set("pages_verified", static_cast<double>(s.pages_verified))
+      .set("page_verify_failures",
+           static_cast<double>(s.page_verify_failures))
+      .set("pool_hit_rate", pool_hit_rate(s));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_fig2_1.json";
+  std::string csv_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--csv") == 0 && a + 1 < argc) {
+      csv_path = argv[++a];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH] [--csv PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  obs::set_enabled(true);
+  obs::MetricsSink sink("fig2_1");
+
   const double extent = 25600.0;
   const vel::BasinModel model = vel::BasinModel::demo(extent);
+  const int top_level = quick ? 8 : 9;
 
   std::printf("Fig 2.1 analogue: etree pipeline at growing resolution\n");
   std::printf("%6s %10s %10s %10s %10s %9s %9s %9s\n", "f_max", "octants",
               "balanced", "nodes", "hanging", "t_cons", "t_bal", "t_xform");
 
-  for (double f_max : {0.05, 0.1, 0.2, 0.3}) {
+  const std::vector<double> ladder =
+      quick ? std::vector<double>{0.05, 0.1} : std::vector<double>{0.05, 0.1,
+                                                                   0.2, 0.3};
+  for (double f_max : ladder) {
     mesh::MeshOptions opt;
     opt.domain_size = extent;
     opt.f_max = f_max;
     opt.n_lambda = 8.0;
     opt.min_level = 3;
-    opt.max_level = 9;
+    opt.max_level = top_level;
 
     util::Timer t;
     const octree::LinearOctree built =
@@ -43,19 +104,35 @@ int main() {
     std::printf("%6.2f %10zu %10zu %10zu %10zu %8.3fs %8.3fs %8.3fs\n", f_max,
                 built.size(), balanced.size(), mesh.n_nodes(),
                 mesh.n_hanging(), t_cons, t_bal, t_xform);
+
+    obs::Json& row = sink.new_row();
+    row.set("params", obs::Json::object()
+                          .set("section", "ladder")
+                          .set("f_max", f_max)
+                          .set("max_level", top_level));
+    row.set("metrics",
+            obs::Json::object()
+                .set("octants", static_cast<double>(built.size()))
+                .set("balanced", static_cast<double>(balanced.size()))
+                .set("nodes", static_cast<double>(mesh.n_nodes()))
+                .set("hanging", static_cast<double>(mesh.n_hanging()))
+                .set("t_construct", t_cons)
+                .set("t_balance", t_bal)
+                .set("t_transform", t_xform));
   }
 
   // Local vs global balancing speedup on an adversarial tree: a refinement
-  // sheet (every octant cut by the z = L/2 plane refined to level 7) abuts
-  // coarse level-3 leaves, so balancing must grade a large interface.
-  std::printf("\nbalancing algorithms (sheet-refined tree, levels 3..9):\n");
+  // sheet (every octant cut by the z = L/2 plane refined to the top level)
+  // abuts coarse level-3 leaves, so balancing must grade a large interface.
+  std::printf("\nbalancing algorithms (sheet-refined tree, levels 3..%d):\n",
+              top_level);
   const std::uint32_t mid = octree::kTicks / 2;
   const octree::LinearOctree stress = octree::build_octree(
       [&](const octree::Octant& o) {
         if (o.level < 3) return true;
-        return o.z <= mid && mid < o.z + o.size() && o.level < 9;
+        return o.z <= mid && mid < o.z + o.size() && o.level < top_level;
       },
-      9);
+      top_level);
   util::Timer t;
   const auto b_sweeps =
       octree::balance_global_sweeps(stress, octree::BalanceScope::kAll);
@@ -67,6 +144,8 @@ int main() {
   const auto b_local =
       octree::balance_local(stress, octree::BalanceScope::kAll, 2);
   const double t_local = t.seconds();
+  const bool identical = b_sweeps.size() == b_queue.size() &&
+                         b_queue.size() == b_local.size();
   std::printf("  global sweeps: %.4f s  (%zu -> %zu leaves)\n", t_sweeps,
               stress.size(), b_sweeps.size());
   std::printf("  work queue:    %.4f s  (speedup %.1fx)\n", t_queue,
@@ -74,30 +153,110 @@ int main() {
   std::printf("  local blocks:  %.4f s  (speedup %.1fx; paper reports 8-28x "
               "for its out-of-core setting)\n",
               t_local, t_sweeps / t_local);
-  std::printf("  identical results: %s\n",
-              (b_sweeps.size() == b_queue.size() &&
-               b_queue.size() == b_local.size())
-                  ? "yes"
-                  : "NO (bug!)");
+  std::printf("  identical results: %s\n", identical ? "yes" : "NO (bug!)");
 
-  // Out-of-core store statistics under a small buffer pool.
+  obs::Json& brow = sink.new_row();
+  brow.set("params", obs::Json::object()
+                         .set("section", "balancing")
+                         .set("top_level", top_level)
+                         .set("leaves", static_cast<double>(stress.size())));
+  brow.set("metrics",
+           obs::Json::object()
+               .set("t_global_sweeps", t_sweeps)
+               .set("t_work_queue", t_queue)
+               .set("t_local_blocks", t_local)
+               .set("speedup_work_queue", t_sweeps / t_queue)
+               .set("speedup_local_blocks", t_sweeps / t_local)
+               .set("identical", identical ? 1 : 0));
+
+  // The out-of-core pipeline phase by phase under a deliberately small
+  // buffer pool, mirroring generate_mesh_out_of_core: (1) construct and
+  // insert the unbalanced tree, (2) scan it back and balance in memory,
+  // (3) re-persist the balanced tree. Each phase reports the store's
+  // stats() delta and the etree/pool_hit_rate gauge the store publishes;
+  // inserts in SFC order should stay pool-resident (high hit rate) even
+  // when the tree far exceeds the pool.
+  const std::size_t pool_pages = 32;
   const std::string path = "/tmp/bench_etree.store";
-  {
-    octree::EtreeStore store(path, sizeof(double), /*pool_pages=*/32,
-                             /*create=*/true);
-    t.reset();
-    for (std::size_t i = 0; i < b_queue.size(); ++i) {
-      const double v = static_cast<double>(i);
-      store.put(b_queue[i], std::as_bytes(std::span<const double, 1>(&v, 1)));
-    }
-    store.flush();
-    const auto st = store.stats();
-    std::printf("\netree store: %zu records inserted in %.3f s; %llu page "
-                "writes, %llu page reads, %llu cache hits (32-page pool)\n",
-                b_queue.size(), t.seconds(),
-                static_cast<unsigned long long>(st.page_writes),
+  obs::Registry reg;
+  std::printf("\netree store pipeline (%zu-page pool):\n", pool_pages);
+  std::printf("  %-10s %8s %8s %9s %9s %9s %9s\n", "phase", "records",
+              "seconds", "p_reads", "p_writes", "hits", "hit_rate");
+
+  const auto emit_phase = [&](const char* phase,
+                              const octree::EtreeStore::Stats& st,
+                              double seconds, std::size_t records) {
+    double gauge = 0.0;
+    const auto it = reg.gauges.find("etree/pool_hit_rate");
+    if (it != reg.gauges.end()) gauge = it->second;
+    std::printf("  %-10s %8zu %7.3fs %9llu %9llu %9llu %8.1f%%\n", phase,
+                records, seconds,
                 static_cast<unsigned long long>(st.page_reads),
-                static_cast<unsigned long long>(st.cache_hits));
+                static_cast<unsigned long long>(st.page_writes),
+                static_cast<unsigned long long>(st.cache_hits),
+                100.0 * pool_hit_rate(st));
+    obs::Json& row = sink.new_row();
+    row.set("params", obs::Json::object()
+                          .set("section", "store")
+                          .set("phase", phase)
+                          .set("pool_pages", static_cast<double>(pool_pages)));
+    row.set("metrics", stats_metrics(st, seconds, records)
+                           .set("pool_hit_rate_gauge", gauge));
+  };
+
+  {
+    const obs::ScopedRegistry install(reg);
+
+    // Phase 1: construct -> store (insert the sheet-stress tree's leaves).
+    double seconds = 0.0;
+    {
+      octree::EtreeStore store(path, sizeof(double), pool_pages,
+                               /*create=*/true);
+      t.reset();
+      for (std::size_t i = 0; i < stress.size(); ++i) {
+        const double v = static_cast<double>(i);
+        store.put(stress[i], std::as_bytes(std::span<const double, 1>(&v, 1)));
+      }
+      store.flush();
+      seconds = t.seconds();
+      emit_phase("construct", store.stats(), seconds, stress.size());
+    }
+
+    // Phase 2: scan back (fresh store handle: cold pool) and balance.
+    std::vector<octree::Octant> leaves;
+    {
+      octree::EtreeStore store(path, sizeof(double), pool_pages,
+                               /*create=*/false);
+      t.reset();
+      store.scan([&leaves](const octree::Octant& o,
+                           std::span<const std::byte>) { leaves.push_back(o); });
+      const octree::LinearOctree rebalanced =
+          octree::balance(octree::LinearOctree(std::move(leaves)),
+                          octree::BalanceScope::kAll);
+      seconds = t.seconds();
+      emit_phase("scan_balance", store.stats(), seconds, rebalanced.size());
+
+      // Phase 3: re-persist the balanced tree into a second store.
+      {
+        octree::EtreeStore out(path + ".balanced", sizeof(double), pool_pages,
+                               /*create=*/true);
+        t.reset();
+        for (std::size_t i = 0; i < rebalanced.size(); ++i) {
+          const double v = static_cast<double>(i);
+          out.put(rebalanced[i],
+                  std::as_bytes(std::span<const double, 1>(&v, 1)));
+        }
+        out.flush();
+        seconds = t.seconds();
+        emit_phase("repersist", out.stats(), seconds, rebalanced.size());
+      }
+    }
   }
-  return 0;
+  std::remove(path.c_str());
+  std::remove((path + ".balanced").c_str());
+
+  sink.write_json(json_path);
+  if (!csv_path.empty()) sink.write_csv(csv_path);
+  std::printf("report: %s\n", json_path.c_str());
+  return identical ? 0 : 1;
 }

@@ -426,13 +426,27 @@ class EtreeStore::Impl {
     auto it = pool_.find(id);
     if (it != pool_.end()) {
       ++stats_.cache_hits;
+      note_pool_access();
       it->second.lru = ++lru_clock_;
       return it->second.data;
     }
     Page page(kPageSize);
     read_page_from_disk(id, page);
+    note_pool_access();
     install(id, page, /*dirty=*/false);
     return page;
+  }
+
+  // Running buffer-pool hit rate over every page lookup so far (hits over
+  // hits-plus-disk-reads); a gauge, so a merged report shows the rate at
+  // the end of the phase that produced it.
+  void note_pool_access() const {
+    const double denom =
+        static_cast<double>(stats_.cache_hits + stats_.page_reads);
+    if (denom > 0.0) {
+      obs::gauge_set("etree/pool_hit_rate",
+                     static_cast<double>(stats_.cache_hits) / denom);
+    }
   }
 
   void put_page(std::uint32_t id, const Page& page) {

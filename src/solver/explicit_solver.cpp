@@ -237,6 +237,19 @@ void ExplicitSolver::run(const SnapshotFn& snapshot, int snapshot_every) {
   elapsed_ = timer.seconds();
 }
 
+void ExplicitSolver::reset() {
+  std::fill(u_.begin(), u_.end(), 0.0);
+  std::fill(u_prev_.begin(), u_prev_.end(), 0.0);
+  std::fill(u_next_.begin(), u_next_.end(), 0.0);
+  std::fill(f_.begin(), f_.end(), 0.0);
+  std::fill(ku_.begin(), ku_.end(), 0.0);
+  std::fill(dku_.begin(), dku_.end(), 0.0);
+  std::fill(dku_prev_.begin(), dku_prev_.end(), 0.0);
+  for (Receiver& r : receivers_) r.u.clear();
+  elapsed_ = 0.0;
+  flops_.clear();
+}
+
 double ExplicitSolver::energy() const {
   // The discrete energy that undamped central differences conserve exactly:
   //   E = 1/2 v_{k-1/2}^T M v_{k-1/2} + 1/2 u_k^T K u_{k-1},

@@ -61,6 +61,13 @@ class ExplicitSolver {
 
   void run(const SnapshotFn& snapshot = {}, int snapshot_every = 0);
 
+  // Returns the solver to its just-constructed state so it can be reused
+  // for another scenario on the same operator: quiescent state vectors,
+  // empty receiver histories (receiver registrations are kept), zeroed
+  // timing and flop accounting. Without this, a second run() continues
+  // from the final displacement and appends to the first run's histories.
+  void reset();
+
   // Checkpoint/restart: every `every` steps run() writes a CRC32-verified
   // binary snapshot of the integrator state (u, u_prev, dku_prev, receiver
   // histories) to `path` (atomically, via temp file + rename), and resumes

@@ -1,0 +1,202 @@
+#pragma once
+
+// quake::svc — the serving layer over the parallel solver (see
+// docs/SERVICE.md). The paper's cost split is: mesh generation and solver
+// setup are expensive, each explicit step is O(N) — so the production shape
+// of this workload is MANY forward solves over ONE fixed discretization
+// (earthquake-sequence simulation, the GN–CG inversion's hundreds of
+// forward/adjoint solves per inversion). SimulationService builds the
+// immutable shared state once (a par::ParallelSetup: ElasticOperator, ghost
+// plans, boundary/interior split, exchange buffers, communicator) and then
+// serves a stream of ScenarioRequests through a bounded priority queue with
+// a single worker, so every request pays only the O(N)-per-step solve.
+//
+// Isolation semantics: all mutable solver state (displacement vectors,
+// receiver histories, telemetry registries, fault-plan cursors) is
+// per-request inside ParallelSetup::run. A request that dies — e.g. via an
+// injected FaultPlan with retries exhausted — completes exceptionally with
+// kFailed and the service keeps serving; the communicator resets itself at
+// the start of the next run.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "quake/obs/obs.hpp"
+#include "quake/par/parallel_solver.hpp"
+#include "quake/solver/source.hpp"
+
+namespace quake::svc {
+
+// Typed load-shedding rejection: thrown by submit() when `queue_bound`
+// requests are already waiting. Callers distinguish "try later" from
+// programming errors by catching this type.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Point source parameters (a Ricker-wavelet force at the nearest node);
+// resolved against the service's mesh at execution time.
+struct PointSourceSpec {
+  std::array<double, 3> position{};
+  std::array<double, 3> direction{0.0, 0.0, 1.0};
+  double amplitude = 1.0;
+  double fp = 1.0;  // Ricker peak frequency [Hz]
+  double tc = 1.0;  // Ricker center time [s]
+};
+
+// One forward-solve scenario on the service's fixed discretization. The
+// time axis (dt) is part of the shared setup; a request chooses only how
+// long to integrate, what drives the run, and where to record.
+struct ScenarioRequest {
+  std::vector<PointSourceSpec> point_sources;
+  std::vector<solver::FaultSource::Spec> fault_sources;
+  std::vector<std::array<double, 3>> receivers;  // station positions
+  double t_end = 1.0;
+
+  double deadline_seconds = 0.0;  // end-to-end budget from admission; 0=none
+  int priority = 0;               // higher drains first; FIFO within a level
+
+  // Per-request fault tolerance (checkpointing, retries, injected faults —
+  // the FaultPlan pointer must outlive the request). A request whose
+  // recovery budget is exhausted fails alone; the service stays up.
+  par::FaultToleranceOptions ft;
+};
+
+enum class RequestStatus {
+  kCompleted,         // ran to t_end
+  kCancelled,         // cancel(id) hit it, queued or at a step boundary
+  kDeadlineExceeded,  // end-to-end deadline expired, queued or mid-solve
+  kFailed,            // the solve threw; see `error`
+};
+
+struct ScenarioResult {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kCompleted;
+  std::string error;  // set when status == kFailed
+
+  // The full solver result: seismograms (receiver_histories), final field,
+  // per-rank stats, and the per-request obs report (obs_reports /
+  // obs_summary, populated when obs is enabled). On kCancelled /
+  // kDeadlineExceeded this is partial: solve.cancelled is true and
+  // histories cover solve.steps_completed steps. Empty on kFailed and on
+  // requests cancelled while still queued.
+  par::ParallelResult solve;
+
+  std::uint64_t exec_index = 0;  // 1-based worker pickup order; 0 = never ran
+  double queue_seconds = 0.0;    // admission -> worker pickup
+  double solve_seconds = 0.0;    // the solve call's wall-clock
+  double total_seconds = 0.0;    // admission -> completion (end-to-end)
+};
+
+struct ServiceOptions {
+  std::size_t queue_bound = 16;  // waiting requests admitted before shedding
+  int cancel_check_every = 1;    // steps between cancel/deadline agreements
+  bool start_paused = false;     // admit but hold execution until resume()
+};
+
+class SimulationService {
+ public:
+  using Options = ServiceOptions;
+
+  // Builds the shared setup (the expensive phase) synchronously and starts
+  // the worker. `mesh` and `part` must outlive the service.
+  SimulationService(const mesh::HexMesh& mesh, const par::Partition& part,
+                    const solver::OperatorOptions& op_opt,
+                    const solver::SolverOptions& base, Options opt = {});
+
+  // Shuts down: completes still-queued requests with kCancelled, requests
+  // cooperative cancellation of the in-flight solve, joins the worker.
+  // Call wait_idle() first to let outstanding work finish instead.
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::future<ScenarioResult> result;
+  };
+
+  // Admission: enqueues the request and returns its id + future. Throws
+  // QueueFullError when `queue_bound` requests are already waiting (the
+  // in-flight request does not count against the bound).
+  Ticket submit(ScenarioRequest req);
+
+  // Cooperative cancellation. A queued request completes immediately with
+  // kCancelled; a running one stops at its next step-boundary agreement.
+  // Returns false when the id is unknown or already finished.
+  bool cancel(std::uint64_t id);
+
+  // Deterministic queue control (tests; maintenance windows): pause() holds
+  // the worker after the in-flight request, resume() releases it.
+  void pause();
+  void resume();
+
+  // Blocks until the queue is empty and nothing is in flight. While the
+  // service is paused with work queued this waits for resume().
+  void wait_idle();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const par::ParallelSetup& setup() const { return setup_; }
+  [[nodiscard]] double dt() const { return setup_.dt(); }
+
+  // Point-in-time service metrics snapshot: the svc/requests_* counters,
+  // the svc/queue_depth gauge, and the svc/latency|queue|solve_seconds
+  // series are always live; scope timings (svc/request/setup|solve|extract)
+  // accumulate only while quake::obs is enabled.
+  [[nodiscard]] obs::Registry metrics() const;
+
+ private:
+  struct Pending;
+
+  void worker_loop();
+  ScenarioResult execute(Pending& p, std::uint64_t exec_index);
+  std::deque<std::unique_ptr<Pending>>::iterator pick_next_locked();
+
+  par::ParallelSetup setup_;
+  const Options opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // worker wakeups
+  std::condition_variable idle_cv_;   // wait_idle wakeups
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  std::uint64_t running_id_ = 0;  // 0 = nothing in flight
+  std::shared_ptr<std::atomic<bool>> running_cancel_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> exec_counter_{0};
+
+  // Live counters (ISSUE taxonomy); atomics so submit-side rejections are
+  // counted without taking the queue lock's contention into metrics().
+  std::atomic<std::int64_t> admitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<std::int64_t> failed_{0};
+
+  // Per-request scope/series telemetry, merged from the worker's request-
+  // local registry after each request (so metrics() never races the
+  // recording thread).
+  mutable std::mutex agg_mu_;
+  obs::Registry agg_;
+
+  std::thread worker_;
+};
+
+}  // namespace quake::svc

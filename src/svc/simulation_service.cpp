@@ -1,0 +1,314 @@
+#include "quake/svc/simulation_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace quake::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+struct SimulationService::Pending {
+  std::uint64_t id = 0;
+  int priority = 0;
+  std::uint64_t seq = 0;  // admission order; FIFO tiebreak within a priority
+  ScenarioRequest req;
+  Clock::time_point admitted;
+  std::promise<ScenarioResult> promise;
+  std::shared_ptr<std::atomic<bool>> cancel_flag;
+};
+
+SimulationService::SimulationService(const mesh::HexMesh& mesh,
+                                     const par::Partition& part,
+                                     const solver::OperatorOptions& op_opt,
+                                     const solver::SolverOptions& base,
+                                     Options opt)
+    : setup_(mesh, part, op_opt, base), opt_(opt) {
+  paused_ = opt_.start_paused;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+SimulationService::~SimulationService() {
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+    orphans.swap(queue_);
+    if (running_cancel_) {
+      running_cancel_->store(true, std::memory_order_relaxed);
+    }
+  }
+  work_cv_.notify_all();
+  for (auto& p : orphans) {
+    ScenarioResult r;
+    r.id = p->id;
+    r.status = RequestStatus::kCancelled;
+    r.total_seconds = seconds_between(p->admitted, Clock::now());
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    p->promise.set_value(std::move(r));
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+SimulationService::Ticket SimulationService::submit(ScenarioRequest req) {
+  auto p = std::make_unique<Pending>();
+  p->req = std::move(req);
+  p->priority = p->req.priority;
+  p->cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  std::future<ScenarioResult> fut = p->promise.get_future();
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      throw std::runtime_error("SimulationService: submit after shutdown");
+    }
+    if (queue_.size() >= opt_.queue_bound) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      throw QueueFullError("SimulationService: admission queue full (" +
+                           std::to_string(opt_.queue_bound) +
+                           " requests waiting)");
+    }
+    id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    p->id = id;
+    p->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    p->admitted = Clock::now();
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(std::move(p));
+  }
+  work_cv_.notify_one();
+  return Ticket{id, std::move(fut)};
+}
+
+bool SimulationService::cancel(std::uint64_t id) {
+  std::unique_ptr<Pending> victim;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (running_id_ == id && running_cancel_) {
+      // In flight: flip the cooperative flag; the ranks agree to stop at
+      // the next step boundary and the request completes with kCancelled.
+      running_cancel_->store(true, std::memory_order_relaxed);
+      return true;
+    }
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [id](const std::unique_ptr<Pending>& p) { return p->id == id; });
+    if (it == queue_.end()) return false;
+    victim = std::move(*it);
+    queue_.erase(it);
+  }
+  ScenarioResult r;
+  r.id = id;
+  r.status = RequestStatus::kCancelled;
+  r.total_seconds = seconds_between(victim->admitted, Clock::now());
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  victim->promise.set_value(std::move(r));
+  idle_cv_.notify_all();
+  return true;
+}
+
+void SimulationService::pause() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void SimulationService::resume() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void SimulationService::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && running_id_ == 0; });
+}
+
+std::size_t SimulationService::queue_depth() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+obs::Registry SimulationService::metrics() const {
+  obs::Registry m;
+  {
+    const std::lock_guard<std::mutex> lk(agg_mu_);
+    m = agg_;
+  }
+  m.counters["svc/requests_admitted"] =
+      admitted_.load(std::memory_order_relaxed);
+  m.counters["svc/requests_completed"] =
+      completed_.load(std::memory_order_relaxed);
+  m.counters["svc/requests_rejected"] =
+      rejected_.load(std::memory_order_relaxed);
+  m.counters["svc/requests_cancelled"] =
+      cancelled_.load(std::memory_order_relaxed);
+  m.counters["svc/requests_deadline_exceeded"] =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  m.counters["svc/requests_failed"] = failed_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    m.gauges["svc/queue_depth"] = static_cast<double>(queue_.size());
+  }
+  return m;
+}
+
+std::deque<std::unique_ptr<SimulationService::Pending>>::iterator
+SimulationService::pick_next_locked() {
+  auto best = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->priority > (*best)->priority ||
+        ((*it)->priority == (*best)->priority && (*it)->seq < (*best)->seq)) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+void SimulationService::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(
+          lk, [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+      if (shutdown_) return;
+      const auto it = pick_next_locked();
+      p = std::move(*it);
+      queue_.erase(it);
+      running_id_ = p->id;
+      running_cancel_ = p->cancel_flag;
+    }
+    const std::uint64_t exec_index =
+        exec_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ScenarioResult res = execute(*p, exec_index);
+    switch (res.status) {
+      case RequestStatus::kCompleted:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kDeadlineExceeded:
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kFailed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    p->promise.set_value(std::move(res));
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      running_id_ = 0;
+      running_cancel_.reset();
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+ScenarioResult SimulationService::execute(Pending& p,
+                                          std::uint64_t exec_index) {
+  ScenarioResult res;
+  res.id = p.id;
+  res.exec_index = exec_index;
+  const Clock::time_point picked = Clock::now();
+  res.queue_seconds = seconds_between(p.admitted, picked);
+
+  // All request-scoped telemetry lands in a registry local to this request,
+  // merged into the service aggregate afterwards — metrics() never reads a
+  // registry a thread is still writing.
+  obs::Registry req_reg;
+  {
+    const obs::ScopedRegistry install(req_reg);
+    QUAKE_OBS_SCOPE("svc/request");
+
+    // An end-to-end deadline covers queueing: what is left of the budget
+    // after the wait is what the solve gets.
+    double remaining_budget = 0.0;
+    bool run_it = true;
+    if (p.req.deadline_seconds > 0.0) {
+      remaining_budget = p.req.deadline_seconds - res.queue_seconds;
+      if (remaining_budget <= 0.0) {
+        res.status = RequestStatus::kDeadlineExceeded;
+        run_it = false;
+      }
+    }
+    if (run_it && p.cancel_flag->load(std::memory_order_relaxed)) {
+      res.status = RequestStatus::kCancelled;
+      run_it = false;
+    }
+
+    if (run_it) {
+      // Materialize the request's sources against the service's mesh; this
+      // (plus receiver snapping inside the solve) is all the per-request
+      // setup there is — the expensive state is shared.
+      std::vector<std::unique_ptr<solver::SourceModel>> sources;
+      {
+        QUAKE_OBS_SCOPE("setup");
+        sources.reserve(p.req.point_sources.size() +
+                        p.req.fault_sources.size());
+        for (const PointSourceSpec& s : p.req.point_sources) {
+          sources.push_back(std::make_unique<solver::PointSource>(
+              setup_.mesh(), s.position, s.direction, s.amplitude, s.fp,
+              s.tc));
+        }
+        for (const solver::FaultSource::Spec& s : p.req.fault_sources) {
+          sources.push_back(
+              std::make_unique<solver::FaultSource>(setup_.mesh(), s));
+        }
+      }
+      std::vector<const solver::SourceModel*> src_ptrs;
+      src_ptrs.reserve(sources.size());
+      for (const auto& s : sources) src_ptrs.push_back(s.get());
+
+      par::RunControl ctl;
+      ctl.cancel = p.cancel_flag.get();
+      ctl.deadline_seconds = remaining_budget;
+      ctl.check_every = opt_.cancel_check_every;
+
+      const Clock::time_point t0 = Clock::now();
+      try {
+        QUAKE_OBS_SCOPE("solve");
+        res.solve = setup_.run(p.req.t_end, src_ptrs, p.req.receivers,
+                               p.req.ft, ctl);
+      } catch (const std::exception& e) {
+        // Request-level failure (rank failure with the recovery budget
+        // exhausted, bad receiver, ...): this request fails, the service —
+        // and the shared setup — keep serving.
+        res.status = RequestStatus::kFailed;
+        res.error = e.what();
+      }
+      res.solve_seconds = seconds_between(t0, Clock::now());
+
+      {
+        QUAKE_OBS_SCOPE("extract");
+        if (res.status != RequestStatus::kFailed && res.solve.cancelled) {
+          // Both stop conditions funnel through the same step-boundary
+          // agreement; the cancel flag tells them apart.
+          res.status = p.cancel_flag->load(std::memory_order_relaxed)
+                           ? RequestStatus::kCancelled
+                           : RequestStatus::kDeadlineExceeded;
+        }
+      }
+    }
+    res.total_seconds = seconds_between(p.admitted, Clock::now());
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(agg_mu_);
+    agg_.merge_from(req_reg);
+    agg_.series["svc/latency_seconds"].push_back(res.total_seconds);
+    agg_.series["svc/queue_seconds"].push_back(res.queue_seconds);
+    agg_.series["svc/solve_seconds"].push_back(res.solve_seconds);
+  }
+  return res;
+}
+
+}  // namespace quake::svc

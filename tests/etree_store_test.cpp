@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "quake/obs/obs.hpp"
 #include "quake/octree/etree_store.hpp"
 #include "quake/octree/linear_octree.hpp"
 #include "quake/util/checkpoint.hpp"
@@ -155,6 +156,40 @@ TEST(EtreeStore, SmallPoolForcesEvictionsButStaysCorrect) {
   const auto st = store.stats();
   EXPECT_GT(st.page_reads, 0u);   // evictions forced re-reads
   EXPECT_GT(st.cache_hits, 0u);
+}
+
+TEST(EtreeStore, PoolHitRateGaugePublished) {
+  // Every pool access updates the etree/pool_hit_rate gauge:
+  // cache_hits / (cache_hits + page_reads), consistent with stats().
+  quake::obs::set_enabled(true);
+  quake::obs::Registry reg;
+  {
+    const quake::obs::ScopedRegistry install(reg);
+    EtreeStore store(temp_path("hitrate"), sizeof(double), 4, true);
+    const LinearOctree tree =
+        build_octree([](const Octant& o) { return o.level < 4; }, 4);
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      const double v = static_cast<double>(i);
+      store.put(tree[i], bytes_of(v));
+    }
+    quake::util::Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+      double out;
+      ASSERT_TRUE(store.get(
+          tree[rng.next_u64() % tree.size()],
+          std::as_writable_bytes(std::span<double, 1>(&out, 1))));
+    }
+    const auto st = store.stats();
+    ASSERT_GT(st.cache_hits + st.page_reads, 0u);
+    const auto it = reg.gauges.find("etree/pool_hit_rate");
+    ASSERT_NE(it, reg.gauges.end());
+    EXPECT_DOUBLE_EQ(it->second,
+                     static_cast<double>(st.cache_hits) /
+                         static_cast<double>(st.cache_hits + st.page_reads));
+    EXPECT_GE(it->second, 0.0);
+    EXPECT_LE(it->second, 1.0);
+  }
+  quake::obs::set_enabled(false);
 }
 
 // ---- page integrity (v2 format: trailing per-page CRC32) ------------------

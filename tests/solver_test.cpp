@@ -161,6 +161,49 @@ TEST(Solver, EnergyConservedWithoutDampingOrAbc) {
   }
 }
 
+TEST(Solver, ResetThenRerunIsBitIdentical) {
+  // reset() must return the solver to its just-constructed state: a second
+  // run after reset matches a fresh solver bitwise (state vectors, receiver
+  // histories, timing/flop accounting all cleared; registrations kept).
+  const auto mesh = uniform_mesh(3, 1000.0);
+  OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  const ElasticOperator op(mesh, oo);
+  SolverOptions so;
+  so.t_end = 0.3;
+  so.cfl_fraction = 0.3;
+  const PointSource src(mesh, {500.0, 500.0, 400.0}, {1.0, 0.0, 0.5}, 1e9,
+                        20.0, 0.05);
+  const std::array<double, 3> rx = {700.0, 500.0, 0.0};
+
+  ExplicitSolver fresh(op, so);
+  fresh.add_source(&src);
+  fresh.add_receiver(rx);
+  fresh.run();
+
+  ExplicitSolver reused(op, so);
+  reused.add_source(&src);
+  reused.add_receiver(rx);
+  reused.run();
+  // Dirty state everywhere: displacement, histories, elapsed time, flops.
+  ASSERT_FALSE(reused.receivers()[0].u.empty());
+  reused.reset();
+  EXPECT_TRUE(reused.receivers()[0].u.empty());
+  for (double v : reused.displacement()) EXPECT_EQ(v, 0.0);
+  reused.run();
+
+  ASSERT_EQ(reused.displacement().size(), fresh.displacement().size());
+  EXPECT_EQ(std::memcmp(reused.displacement().data(),
+                        fresh.displacement().data(),
+                        fresh.displacement().size() * sizeof(double)),
+            0);
+  ASSERT_EQ(reused.receivers()[0].u.size(), fresh.receivers()[0].u.size());
+  EXPECT_EQ(std::memcmp(reused.receivers()[0].u.data(),
+                        fresh.receivers()[0].u.data(),
+                        fresh.receivers()[0].u.size() * 3 * sizeof(double)),
+            0);
+}
+
 TEST(Solver, EnergyDecaysWithAbsorbingBoundaries) {
   const auto mesh = uniform_mesh(3, 1000.0);
   OperatorOptions oo;

@@ -1,0 +1,393 @@
+// Tests for the simulation service layer: setup reuse determinism, the
+// bounded admission queue (load shedding, priority, cancellation,
+// deadlines), and per-request failure isolation.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "quake/mesh/meshgen.hpp"
+#include "quake/par/communicator.hpp"
+#include "quake/par/parallel_solver.hpp"
+#include "quake/par/partition.hpp"
+#include "quake/svc/simulation_service.hpp"
+
+namespace {
+
+using namespace quake;
+
+mesh::HexMesh small_basin_mesh() {
+  const vel::BasinModel basin = vel::BasinModel::demo(20000.0);
+  mesh::MeshOptions opt;
+  opt.domain_size = 20000.0;
+  opt.f_max = 0.04;
+  opt.n_lambda = 8.0;
+  opt.min_level = 2;
+  opt.max_level = 4;
+  return mesh::generate_mesh(basin, opt);
+}
+
+using History = std::vector<std::vector<std::array<double, 3>>>;
+
+bool bitwise_equal(const History& a, const History& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].size() != b[r].size()) return false;
+    for (std::size_t k = 0; k < a[r].size(); ++k) {
+      if (std::memcmp(a[r][k].data(), b[r][k].data(), 3 * sizeof(double)) !=
+          0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct Fixture {
+  mesh::HexMesh mesh = small_basin_mesh();
+  par::Partition part;
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  solver::PointSource src_a;
+  solver::PointSource src_b;
+  std::vector<std::array<double, 3>> rxs{{14000.0, 9000.0, 0.0},
+                                         {6000.0, 11000.0, 0.0}};
+
+  explicit Fixture(int n_ranks = 2)
+      : part(par::partition_sfc(mesh, n_ranks)),
+        src_a(mesh, {10000.0, 10000.0, 4000.0}, {1.0, 0.5, 0.2}, 1e12, 0.03,
+              40.0),
+        src_b(mesh, {6000.0, 14000.0, 2000.0}, {0.0, 1.0, 0.0}, 5e11, 0.025,
+              30.0) {
+    so.t_end = 2.0;
+    so.cfl_fraction = 0.4;
+  }
+
+  par::ParallelResult cold(const solver::PointSource& src) const {
+    const solver::SourceModel* sources[] = {&src};
+    solver::SolverOptions run = so;
+    return par::run_parallel(mesh, part, oo, run, sources, rxs);
+  }
+
+  svc::ScenarioRequest request(const solver::PointSource& src) const {
+    svc::ScenarioRequest req;
+    svc::PointSourceSpec spec;
+    const bool is_a = &src == &src_a;
+    spec.position = is_a ? std::array<double, 3>{10000.0, 10000.0, 4000.0}
+                         : std::array<double, 3>{6000.0, 14000.0, 2000.0};
+    spec.direction = is_a ? std::array<double, 3>{1.0, 0.5, 0.2}
+                          : std::array<double, 3>{0.0, 1.0, 0.0};
+    spec.amplitude = is_a ? 1e12 : 5e11;
+    spec.fp = is_a ? 0.03 : 0.025;
+    spec.tc = is_a ? 40.0 : 30.0;
+    req.point_sources = {spec};
+    req.receivers = rxs;
+    req.t_end = so.t_end;
+    return req;
+  }
+};
+
+// Two sequential scenarios through ONE ParallelSetup must match two cold
+// run_parallel runs bitwise: nothing from scenario A (state vectors,
+// receiver histories, exchange buffers, fault bookkeeping) may leak into
+// scenario B.
+TEST(ParallelSetup, SequentialReuseMatchesColdRunsBitwise) {
+  const Fixture f;
+  const par::ParallelResult cold_a = f.cold(f.src_a);
+  const par::ParallelResult cold_b = f.cold(f.src_b);
+
+  par::ParallelSetup setup(f.mesh, f.part, f.oo, f.so);
+  const solver::SourceModel* sa[] = {&f.src_a};
+  const solver::SourceModel* sb[] = {&f.src_b};
+  const par::ParallelResult warm_a = setup.run(f.so.t_end, sa, f.rxs);
+  const par::ParallelResult warm_b = setup.run(f.so.t_end, sb, f.rxs);
+
+  EXPECT_TRUE(bitwise_equal(warm_a.u_final, cold_a.u_final));
+  EXPECT_TRUE(bitwise_equal(warm_b.u_final, cold_b.u_final));
+  EXPECT_TRUE(bitwise_equal(warm_a.receiver_histories,
+                            cold_a.receiver_histories));
+  EXPECT_TRUE(bitwise_equal(warm_b.receiver_histories,
+                            cold_b.receiver_histories));
+  EXPECT_FALSE(bitwise_equal(warm_a.receiver_histories,
+                             warm_b.receiver_histories));  // distinct physics
+}
+
+// A run cancelled mid-solve must not poison the setup: the next run on the
+// same setup is bit-identical to a cold run.
+TEST(ParallelSetup, ReuseAfterCancelledRunMatchesCold) {
+  const Fixture f;
+  const par::ParallelResult cold_b = f.cold(f.src_b);
+
+  par::ParallelSetup setup(f.mesh, f.part, f.oo, f.so);
+  std::atomic<bool> cancel{true};  // pre-set: stops at the first check
+  par::RunControl ctl;
+  ctl.cancel = &cancel;
+  const solver::SourceModel* sa[] = {&f.src_a};
+  const par::ParallelResult partial =
+      setup.run(f.so.t_end, sa, f.rxs, {}, ctl);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_LT(partial.steps_completed, partial.n_steps);
+
+  const solver::SourceModel* sb[] = {&f.src_b};
+  const par::ParallelResult warm_b = setup.run(f.so.t_end, sb, f.rxs);
+  EXPECT_FALSE(warm_b.cancelled);
+  EXPECT_TRUE(bitwise_equal(warm_b.u_final, cold_b.u_final));
+  EXPECT_TRUE(bitwise_equal(warm_b.receiver_histories,
+                            cold_b.receiver_histories));
+}
+
+TEST(SimulationService, WarmRequestsMatchColdRunsBitwise) {
+  const Fixture f;
+  const par::ParallelResult cold_a = f.cold(f.src_a);
+  const par::ParallelResult cold_b = f.cold(f.src_b);
+
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+  auto ta = service.submit(f.request(f.src_a));
+  auto tb = service.submit(f.request(f.src_b));
+  const svc::ScenarioResult ra = ta.result.get();
+  const svc::ScenarioResult rb = tb.result.get();
+
+  ASSERT_EQ(ra.status, svc::RequestStatus::kCompleted);
+  ASSERT_EQ(rb.status, svc::RequestStatus::kCompleted);
+  EXPECT_TRUE(bitwise_equal(ra.solve.receiver_histories,
+                            cold_a.receiver_histories));
+  EXPECT_TRUE(bitwise_equal(rb.solve.receiver_histories,
+                            cold_b.receiver_histories));
+  EXPECT_TRUE(bitwise_equal(ra.solve.u_final, cold_a.u_final));
+  EXPECT_TRUE(bitwise_equal(rb.solve.u_final, cold_b.u_final));
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/requests_admitted"), 2);
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 2);
+  EXPECT_EQ(m.counters.at("svc/requests_failed"), 0);
+  ASSERT_EQ(m.series.at("svc/latency_seconds").size(), 2u);
+  EXPECT_GT(ra.total_seconds, 0.0);
+  EXPECT_GE(ra.total_seconds, ra.solve_seconds);
+}
+
+TEST(SimulationService, QueueBoundShedsLoadWithTypedError) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.queue_bound = 2;
+  opt.start_paused = true;  // nothing drains: the bound is deterministic
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  auto t1 = service.submit(f.request(f.src_a));
+  auto t2 = service.submit(f.request(f.src_b));
+  EXPECT_EQ(service.queue_depth(), 2u);
+  EXPECT_THROW(service.submit(f.request(f.src_a)), svc::QueueFullError);
+  EXPECT_THROW(service.submit(f.request(f.src_b)), svc::QueueFullError);
+
+  obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/requests_admitted"), 2);
+  EXPECT_EQ(m.counters.at("svc/requests_rejected"), 2);
+  EXPECT_DOUBLE_EQ(m.gauges.at("svc/queue_depth"), 2.0);
+
+  service.resume();
+  EXPECT_EQ(t1.result.get().status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t2.result.get().status, svc::RequestStatus::kCompleted);
+  service.wait_idle();
+  m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 2);
+  EXPECT_DOUBLE_EQ(m.gauges.at("svc/queue_depth"), 0.0);
+}
+
+TEST(SimulationService, PriorityDrainsBeforeFifo) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  svc::ScenarioRequest low = f.request(f.src_a);
+  low.priority = 0;
+  svc::ScenarioRequest hi1 = f.request(f.src_b);
+  hi1.priority = 5;
+  svc::ScenarioRequest hi2 = f.request(f.src_a);
+  hi2.priority = 5;
+  auto t_low = service.submit(low);    // admitted first...
+  auto t_hi1 = service.submit(hi1);
+  auto t_hi2 = service.submit(hi2);
+  service.resume();
+
+  const svc::ScenarioResult r_low = t_low.result.get();
+  const svc::ScenarioResult r_hi1 = t_hi1.result.get();
+  const svc::ScenarioResult r_hi2 = t_hi2.result.get();
+  EXPECT_EQ(r_hi1.exec_index, 1u);  // ...but priority drains first,
+  EXPECT_EQ(r_hi2.exec_index, 2u);  // FIFO within a priority level,
+  EXPECT_EQ(r_low.exec_index, 3u);  // the low-priority request last
+}
+
+TEST(SimulationService, CancelWhileQueued) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  auto t1 = service.submit(f.request(f.src_a));
+  auto t2 = service.submit(f.request(f.src_b));
+  EXPECT_TRUE(service.cancel(t2.id));
+  EXPECT_FALSE(service.cancel(t2.id));      // already finished
+  EXPECT_FALSE(service.cancel(99999));      // unknown id
+
+  const svc::ScenarioResult r2 = t2.result.get();  // resolved immediately
+  EXPECT_EQ(r2.status, svc::RequestStatus::kCancelled);
+  EXPECT_EQ(r2.exec_index, 0u);  // never reached the worker
+  EXPECT_TRUE(r2.solve.receiver_histories.empty());
+
+  service.resume();
+  EXPECT_EQ(t1.result.get().status, svc::RequestStatus::kCompleted);
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/requests_cancelled"), 1);
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 1);
+}
+
+TEST(SimulationService, CancelMidSolveStopsAtStepBoundary) {
+  const Fixture f;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+
+  // A long request (many steps) so cancellation lands mid-solve.
+  svc::ScenarioRequest req = f.request(f.src_a);
+  req.t_end = 400.0 * service.dt();
+  auto t = service.submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(service.cancel(t.id));
+
+  const svc::ScenarioResult r = t.result.get();
+  EXPECT_EQ(r.status, svc::RequestStatus::kCancelled);
+  if (r.exec_index != 0) {  // raced into the worker: partial solve
+    EXPECT_TRUE(r.solve.cancelled);
+    EXPECT_LT(r.solve.steps_completed, r.solve.n_steps);
+  }
+}
+
+TEST(SimulationService, DeadlineExceededMidSolve) {
+  const Fixture f;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+
+  svc::ScenarioRequest req = f.request(f.src_a);
+  req.t_end = 4000.0 * service.dt();  // far more work than the budget allows
+  req.deadline_seconds = 0.05;
+  auto t = service.submit(req);
+  const svc::ScenarioResult r = t.result.get();
+
+  EXPECT_EQ(r.status, svc::RequestStatus::kDeadlineExceeded);
+  ASSERT_NE(r.exec_index, 0u);
+  EXPECT_TRUE(r.solve.cancelled);
+  EXPECT_GT(r.solve.n_steps, 0);
+  EXPECT_LT(r.solve.steps_completed, r.solve.n_steps);
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/requests_deadline_exceeded"), 1);
+}
+
+TEST(SimulationService, DeadlineBlownWhileQueued) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  svc::ScenarioRequest req = f.request(f.src_a);
+  req.deadline_seconds = 0.01;
+  auto t = service.submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.resume();
+
+  const svc::ScenarioResult r = t.result.get();
+  EXPECT_EQ(r.status, svc::RequestStatus::kDeadlineExceeded);
+  EXPECT_TRUE(r.solve.receiver_histories.empty());  // never ran
+  EXPECT_EQ(r.solve.steps_completed, 0);
+}
+
+// The kill-one-request soak: a request whose injected FaultPlan kills a
+// rank (no recovery budget) fails ALONE — requests before and after it on
+// the same service complete bit-identically to a clean service, and the
+// service's shared setup keeps serving.
+TEST(SimulationService, KilledRequestFailsAloneBitwise) {
+  const Fixture f;
+  par::FaultPlan plan;
+  plan.kills.push_back({1, 5});  // kill rank 1 at step 5, once
+
+  // Clean reference service.
+  svc::SimulationService clean(f.mesh, f.part, f.oo, f.so);
+  auto ca = clean.submit(f.request(f.src_a));
+  auto cb = clean.submit(f.request(f.src_b));
+  const svc::ScenarioResult clean_a = ca.result.get();
+  const svc::ScenarioResult clean_b = cb.result.get();
+  ASSERT_EQ(clean_a.status, svc::RequestStatus::kCompleted);
+  ASSERT_EQ(clean_b.status, svc::RequestStatus::kCompleted);
+
+  // Service under fault: victim sandwiched between two healthy requests.
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+  auto t1 = service.submit(f.request(f.src_a));
+  svc::ScenarioRequest doomed = f.request(f.src_a);
+  doomed.ft.fault_plan = &plan;
+  auto t2 = service.submit(doomed);
+  auto t3 = service.submit(f.request(f.src_b));
+
+  const svc::ScenarioResult r1 = t1.result.get();
+  const svc::ScenarioResult r2 = t2.result.get();
+  const svc::ScenarioResult r3 = t3.result.get();
+
+  EXPECT_EQ(r2.status, svc::RequestStatus::kFailed);
+  EXPECT_FALSE(r2.error.empty());
+  ASSERT_EQ(r1.status, svc::RequestStatus::kCompleted);
+  ASSERT_EQ(r3.status, svc::RequestStatus::kCompleted);
+  EXPECT_TRUE(bitwise_equal(r1.solve.receiver_histories,
+                            clean_a.solve.receiver_histories));
+  EXPECT_TRUE(bitwise_equal(r3.solve.receiver_histories,
+                            clean_b.solve.receiver_histories));
+  EXPECT_TRUE(bitwise_equal(r1.solve.u_final, clean_a.solve.u_final));
+  EXPECT_TRUE(bitwise_equal(r3.solve.u_final, clean_b.solve.u_final));
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/requests_failed"), 1);
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 2);
+}
+
+// A killed request with a recovery budget heals in place and completes —
+// per-request fault tolerance composes with the shared setup.
+TEST(SimulationService, KilledRequestWithRevivalBudgetCompletes) {
+  const Fixture f;
+  const par::ParallelResult cold_a = f.cold(f.src_a);
+  par::FaultPlan plan;
+  plan.kills.push_back({1, 5});
+
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+  svc::ScenarioRequest req = f.request(f.src_a);
+  req.ft.fault_plan = &plan;
+  req.ft.max_revives = 1;
+  req.ft.checkpoint_every = 2;
+  req.ft.checkpoint_dir = ::testing::TempDir() + "svc_revive_ckpt";
+  auto t = service.submit(req);
+  const svc::ScenarioResult r = t.result.get();
+  // Completing bit-identically is the proof of recovery: the same kill with
+  // no revival budget fails the request (KilledRequestFailsAloneBitwise).
+  ASSERT_EQ(r.status, svc::RequestStatus::kCompleted);
+  EXPECT_TRUE(bitwise_equal(r.solve.receiver_histories,
+                            cold_a.receiver_histories));
+}
+
+TEST(SimulationService, ShutdownResolvesQueuedAsCancelled) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.start_paused = true;
+  std::future<svc::ScenarioResult> orphan;
+  {
+    svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+    orphan = service.submit(f.request(f.src_a)).result;
+  }
+  const svc::ScenarioResult r = orphan.get();
+  EXPECT_EQ(r.status, svc::RequestStatus::kCancelled);
+}
+
+}  // namespace

@@ -9,8 +9,11 @@
 // ordered min <= mean <= max summaries; optional "series" of numeric
 // arrays), and that every --require dotted path (e.g. "ranks" or
 // "series.gn/cg_iters" — metric names use '/', so '.' is a safe separator)
-// is present in every row. Exits 0 on success, 1 with a diagnostic on the
-// first violation.
+// is present in every row. Bench-specific contracts keyed on the bench
+// name pin evidence obligations: "throughput" (warm A/B numbers, zero
+// failed requests in the clean trial, bitwise kill isolation) and
+// "fig2_1" (per-phase store statistics with sane pool hit rates). Exits 0
+// on success, 1 with a diagnostic on the first violation.
 
 #include <cstdio>
 #include <cstring>
@@ -142,6 +145,89 @@ bool check_recovery_contract(const Json& row) {
   return true;
 }
 
+const Json* row_param(const Json& row, const char* key) {
+  const Json* params = row.find("params");
+  return params == nullptr ? nullptr : params->find(key);
+}
+
+bool param_is(const Json& row, const char* key, const char* want) {
+  const Json* p = row_param(row, key);
+  return p != nullptr && p->type() == Json::Type::kString &&
+         p->as_string() == want;
+}
+
+// The throughput bench (bench_throughput, docs/SERVICE.md) claims setup
+// amortization and failure isolation; its report must carry the evidence.
+// The warm row needs the A/B numbers and a clean service (zero failed
+// requests); the kill row must prove bitwise isolation of the surviving
+// requests. This pins the serving contract so a service regression cannot
+// ship a green-looking report.
+bool check_throughput_contract(const Json& rows) {
+  const Json* warm = nullptr;
+  const Json* kill = nullptr;
+  for (const Json& row : rows.items()) {
+    if (param_is(row, "mode", "warm")) warm = &row;
+    if (param_is(row, "mode", "kill")) kill = &row;
+  }
+  g_context += " (throughput contract)";
+  if (warm == nullptr) return fail("no row with params.mode == \"warm\"");
+  if (kill == nullptr) return fail("no row with params.mode == \"kill\"");
+  const Json* wm = warm->find("metrics");
+  for (const char* key :
+       {"requests_completed", "warm_wall_seconds", "cold_wall_seconds",
+        "svc_requests_failed"}) {
+    if (wm == nullptr || !is_number(wm->find(key))) {
+      return fail(std::string("warm row needs numeric metrics.") + key);
+    }
+  }
+  if (wm->find("requests_completed")->as_number() <= 0.0) {
+    return fail("warm row completed zero requests");
+  }
+  if (wm->find("svc_requests_failed")->as_number() != 0.0) {
+    return fail("clean warm trial reports svc_requests_failed != 0");
+  }
+  const Json* km = kill->find("metrics");
+  const Json* iso = km == nullptr ? nullptr : km->find("kill_isolation_bitwise");
+  if (!is_number(iso)) {
+    return fail("kill row needs numeric metrics.kill_isolation_bitwise");
+  }
+  if (iso->as_number() != 1.0) {
+    return fail("kill row reports kill_isolation_bitwise != 1");
+  }
+  return true;
+}
+
+// The fig2_1 bench surfaces per-phase etree buffer-pool statistics; every
+// store-phase row must carry the page accounting and a sane hit rate, and
+// checksum verification must have seen no failures.
+bool check_fig2_1_contract(const Json& rows) {
+  g_context += " (fig2_1 contract)";
+  std::size_t store_rows = 0;
+  for (const Json& row : rows.items()) {
+    if (!param_is(row, "section", "store")) continue;
+    ++store_rows;
+    const Json* m = row.find("metrics");
+    for (const char* key :
+         {"page_reads", "page_writes", "cache_hits", "pool_hit_rate",
+          "page_verify_failures"}) {
+      if (m == nullptr || !is_number(m->find(key))) {
+        return fail(std::string("store row needs numeric metrics.") + key);
+      }
+    }
+    const double rate = m->find("pool_hit_rate")->as_number();
+    if (rate < 0.0 || rate > 1.0) {
+      return fail("store row pool_hit_rate outside [0, 1]");
+    }
+    if (m->find("page_verify_failures")->as_number() != 0.0) {
+      return fail("store row reports page checksum failures");
+    }
+  }
+  if (store_rows == 0) {
+    return fail("no row with params.section == \"store\"");
+  }
+  return true;
+}
+
 bool check_series(const Json& series) {
   if (!series.is_object()) return fail("\"series\" is not an object");
   for (const auto& [name, arr] : series.members()) {
@@ -256,6 +342,16 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  g_context = file;
+  if (bench->as_string() == "throughput" &&
+      !check_throughput_contract(*rows)) {
+    return 1;
+  }
+  g_context = file;
+  if (bench->as_string() == "fig2_1" && !check_fig2_1_contract(*rows)) {
+    return 1;
   }
 
   std::printf("%s: OK (%s, %zu rows)\n", file.c_str(),
