@@ -21,10 +21,13 @@
 // BENCH_table2_1.json in the working directory.
 //
 // --fault-sweep appends a recovery-latency comparison (see DESIGN.md
-// "Localized recovery"): the same seeded mid-run rank kill handled by
-// in-place recovery vs the full-restart supervisor, against a fault-free
+// "Localized recovery"): the same seeded mid-run rank kill handled by the
+// three recovery tiers — message-log replay (zero survivor rollback),
+// donation-aware rollback (message log disabled), and the full-restart
+// supervisor — against a fault-free
 // control, interleaved over several trials. Its report rows carry
-// params.mode = clean | recovery | full_restart and wall-clock metrics.
+// params.mode = clean | recovery | rollback | full_restart plus wall-clock
+// metrics and the recover/agree|restore|replay|resume latency breakdown.
 
 #include <cstdio>
 #include <cstring>
@@ -193,7 +196,7 @@ int main(int argc, char** argv) {
               "as the shared-surface fraction grows)\n");
 
   if (fault_sweep) {
-    // ---- recovery-latency sweep: the same seeded kill, three policies ----
+    // ---- recovery-latency sweep: the same seeded kill, four policies ----
     const int R = quick ? 4 : 8;
     mesh::MeshOptions mopt;
     mopt.domain_size = extent;
@@ -237,25 +240,37 @@ int main(int argc, char** argv) {
       const char* name;
       bool kill;
       int max_revives;
+      int log_steps;  // FaultToleranceOptions::message_log_steps
     };
-    const Mode modes[] = {{"clean", false, 0},
-                          {"recovery", true, 2},
-                          {"full_restart", true, 0}};
+    // "recovery" is the full tier-1 path (donation + message-log replay);
+    // "rollback" disables the message log so the same kill lands on the
+    // tier-2 donation-aware rollback (the PR 4 behaviour); "full_restart"
+    // spends no revives and falls through to the supervisor.
+    const Mode modes[] = {{"clean", false, 0, 0},
+                          {"recovery", true, 2, -1},
+                          {"rollback", true, 2, 0},
+                          {"full_restart", true, 0, 0}};
+    constexpr int kModes = 4;
     struct Acc {
       double sum = 0.0;
       double min = 1e300;
       double recoveries = 0.0;
       double ranks_revived = 0.0;
       double steps_rolled_back = 0.0;
+      double steps_replayed = 0.0;
+      double rec_agree = 0.0;
+      double rec_restore = 0.0;
+      double rec_replay = 0.0;
+      double rec_resume = 0.0;
       double overlap = 0.0;
       par::ParallelResult last;
     };
-    Acc acc[3];
+    Acc acc[kModes];
     const int trials = quick ? 3 : 5;
     // Interleave trials so clock drift / turbo effects spread evenly over
-    // the three policies instead of biasing whichever runs last.
+    // the four policies instead of biasing whichever runs last.
     for (int t = 0; t < trials; ++t) {
-      for (int m = 0; m < 3; ++m) {
+      for (int m = 0; m < kModes; ++m) {
         std::filesystem::remove_all(ckpt_dir);
         par::FaultPlan plan;
         if (modes[m].kill) plan.kills.push_back({R - 1, kill_step});
@@ -264,6 +279,7 @@ int main(int argc, char** argv) {
         ft.checkpoint_every = every;
         ft.max_retries = 2;
         ft.max_revives = modes[m].max_revives;
+        ft.message_log_steps = modes[m].log_steps;
         ft.fault_plan = modes[m].kill ? &plan : nullptr;
         util::Timer timer;
         par::ParallelResult pr =
@@ -280,23 +296,41 @@ int main(int argc, char** argv) {
         "\nFault sweep: rank %d killed at step %d of %d (checkpoint every "
         "%d), %d interleaved trials at %d ranks\n",
         R - 1, kill_step, n, every, trials, R);
-    std::printf("%14s %12s %12s %11s %9s %12s\n", "mode", "wall min s",
-                "wall mean s", "recoveries", "revived", "rolled back");
-    for (int m = 0; m < 3; ++m) {
+    std::printf("%14s %12s %12s %11s %9s %12s %9s %8s %8s %8s %8s\n", "mode",
+                "wall min s", "wall mean s", "recoveries", "revived",
+                "rolled back", "replayed", "agree s", "restor s", "replay s",
+                "resume s");
+    for (int m = 0; m < kModes; ++m) {
       Acc& a = acc[m];
       const auto& ctr = a.last.obs_summary.counters;
       const auto get_sum = [&](const char* key) {
         const auto it = ctr.find(key);
         return it == ctr.end() ? 0.0 : it->second.sum;
       };
+      // Recovery-phase latency breakdown: max across ranks = the critical
+      // path each phase contributed to the stall (scope time nests, so
+      // recover/* children partition the recover parent).
+      const auto& scp = a.last.obs_summary.scopes;
+      const auto get_scope_max = [&](const char* key) {
+        const auto it = scp.find(key);
+        return it == scp.end() ? 0.0 : it->second.seconds.max;
+      };
       a.recoveries = get_sum("par/recoveries");
       a.ranks_revived = get_sum("par/ranks_revived");
       a.steps_rolled_back = get_sum("par/steps_rolled_back");
+      a.steps_replayed = get_sum("par/steps_replayed");
+      a.rec_agree = get_scope_max("recover/agree");
+      a.rec_restore = get_scope_max("recover/restore");
+      a.rec_replay = get_scope_max("recover/replay");
+      a.rec_resume = get_scope_max("recover/resume");
       for (const auto& s : a.last.rank_stats) a.overlap += s.overlap_fraction;
       a.overlap /= static_cast<double>(a.last.rank_stats.size());
-      std::printf("%14s %12.4f %12.4f %11.0f %9.0f %12.0f\n", modes[m].name,
-                  a.min, a.sum / trials, a.recoveries, a.ranks_revived,
-                  a.steps_rolled_back);
+      std::printf(
+          "%14s %12.4f %12.4f %11.0f %9.0f %12.0f %9.0f %8.4f %8.4f %8.4f "
+          "%8.4f\n",
+          modes[m].name, a.min, a.sum / trials, a.recoveries, a.ranks_revived,
+          a.steps_rolled_back, a.steps_replayed, a.rec_agree, a.rec_restore,
+          a.rec_replay, a.rec_resume);
 
       obs::Json& jrow = sink.new_row();
       jrow.set("params", obs::Json::object()
@@ -321,13 +355,19 @@ int main(int argc, char** argv) {
                               .set("recoveries", a.recoveries)
                               .set("ranks_revived", a.ranks_revived)
                               .set("steps_rolled_back", a.steps_rolled_back)
+                              .set("steps_replayed", a.steps_replayed)
+                              .set("recover_agree_seconds", a.rec_agree)
+                              .set("recover_restore_seconds", a.rec_restore)
+                              .set("recover_replay_seconds", a.rec_replay)
+                              .set("recover_resume_seconds", a.rec_resume)
                               .set("overlap_fraction", a.overlap));
       jrow.set("ranks", obs::to_json(a.last.obs_summary));
     }
-    const double rec = acc[1].min, full = acc[2].min;
-    std::printf("(in-place recovery %s full restart: %.4f s vs %.4f s "
-                "min-over-trials)\n",
-                rec < full ? "beats" : "does NOT beat", rec, full);
+    const double rec = acc[1].min, roll = acc[2].min, full = acc[3].min;
+    std::printf("(replay recovery %s rollback and full restart: %.4f s vs "
+                "%.4f s vs %.4f s min-over-trials)\n",
+                rec < roll && rec < full ? "beats" : "does NOT beat", rec,
+                roll, full);
   }
 
   sink.write_json(json_path);

@@ -104,6 +104,10 @@ double Rank::allreduce_min(double v) {
   return comm_->reduce(id_, v, Communicator::ReduceMode::kMin);
 }
 
+std::vector<double> Rank::allgather(double v) {
+  return comm_->gather_all(id_, v);
+}
+
 void Rank::fault_point(int step) { comm_->fault_point(id_, step); }
 
 bool Rank::await_recovery() { return comm_->await_recovery(id_); }
@@ -197,10 +201,12 @@ void Communicator::revive_locked(int rank, std::uint64_t new_epoch) {
     }
   }
   // No waiter survives a poisoning (they all woke and threw), so partially
-  // filled barrier / reduction counts are pre-failure garbage. Generations
-  // are kept: a bumped generation would falsely release the next wait.
+  // filled barrier / reduction / gather counts are pre-failure garbage.
+  // Generations are kept: a bumped generation would falsely release the
+  // next wait.
   barrier_count_ = 0;
   reduce_count_ = 0;
+  gather_count_ = 0;
   if (new_epoch > epoch_.load(std::memory_order_relaxed)) {
     epoch_.store(new_epoch, std::memory_order_relaxed);
   }
@@ -261,6 +267,9 @@ void Communicator::check_deadlock_locked() {
       case Blocked::Kind::kReduce:
         if (reduce_gen_ != b.gen) return;
         break;
+      case Blocked::Kind::kGather:
+        if (gather_gen_ != b.gen) return;
+        break;
     }
   }
   // A fault-delayed message still in flight counts as progress: flush it
@@ -290,6 +299,9 @@ void Communicator::check_deadlock_locked() {
         break;
       case Blocked::Kind::kReduce:
         deadlock_report_ += " [rank " + std::to_string(r) + ": allreduce]";
+        break;
+      case Blocked::Kind::kGather:
+        deadlock_report_ += " [rank " + std::to_string(r) + ": allgather]";
         break;
     }
   }
@@ -505,6 +517,28 @@ double Communicator::reduce(int rank, double v, ReduceMode mode) {
   return reduce_result_;
 }
 
+std::vector<double> Communicator::gather_all(int rank, double v) {
+  std::unique_lock<std::mutex> lock(mu_);
+  throw_if_down_locked();
+  const std::size_t gen = gather_gen_;
+  if (gather_count_ == 0) gather_acc_.assign(static_cast<std::size_t>(n_ranks_), 0.0);
+  gather_acc_[static_cast<std::size_t>(rank)] = v;
+  if (++gather_count_ == n_ranks_) {
+    gather_result_ = gather_acc_;
+    gather_count_ = 0;
+    ++gather_gen_;
+    cv_.notify_all();
+    return gather_result_;
+  }
+  block_locked(rank, {Blocked::Kind::kGather, 0, 0, gen});
+  cv_.wait(lock, [&] {
+    return poisoned_ || deadlocked_ || gather_gen_ != gen;
+  });
+  unblock_locked(rank);
+  throw_if_down_locked();
+  return gather_result_;
+}
+
 void Communicator::run(const std::function<void(Rank&)>& fn) {
   {
     // Reset any state left over from a previous (possibly failed) run so
@@ -520,6 +554,7 @@ void Communicator::run(const std::function<void(Rank&)>& fn) {
     delayed_.clear();
     barrier_count_ = 0;
     reduce_count_ = 0;
+    gather_count_ = 0;
     n_blocked_ = 0;
     n_live_ = n_ranks_;
     blocked_.assign(static_cast<std::size_t>(n_ranks_), {});

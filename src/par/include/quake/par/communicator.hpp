@@ -171,6 +171,12 @@ class Rank {
   double allreduce_max(double v);
   double allreduce_min(double v);
 
+  // All-gather: every rank contributes one double and every rank receives
+  // the full vector, indexed by rank id. The recovery agreement uses this
+  // to exchange per-rank progress and donation metadata in one collective
+  // instead of R point-to-point rounds.
+  std::vector<double> allgather(double v);
+
   // Deterministic fault hook: long-running solvers call this once per time
   // step so an installed FaultPlan can kill this rank at a planned step.
   void fault_point(int step);
@@ -250,6 +256,14 @@ class Communicator {
     return epoch_.load(std::memory_order_relaxed);
   }
 
+  // Revival rounds consumed by the most recent run() (reset at the start of
+  // each run). Read between runs; callers use it to report how much of the
+  // ft.max_revives budget a solve actually spent.
+  [[nodiscard]] int revives_used() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return revives_used_;
+  }
+
   // Repairs the communicator after `rank` failed: clears its entry from
   // the failure list (poison lifts when no failures remain), flushes every
   // in-flight mailbox to or from it, resets partially-filled barrier /
@@ -278,11 +292,11 @@ class Communicator {
 
   // What a rank is currently blocked on (for deadlock diagnosis).
   struct Blocked {
-    enum class Kind { kNone, kRecv, kBarrier, kReduce };
+    enum class Kind { kNone, kRecv, kBarrier, kReduce, kGather };
     Kind kind = Kind::kNone;
     int src = 0;
     int tag = 0;
-    std::size_t gen = 0;  // barrier/reduce generation at block time
+    std::size_t gen = 0;  // barrier/reduce/gather generation at block time
   };
 
   void post(int src, int dst, int tag, std::vector<double> msg);
@@ -298,6 +312,7 @@ class Communicator {
                         int tag, double timeout_sec);
   void barrier_wait(int rank, double timeout_sec);
   double reduce(int rank, double v, ReduceMode mode);
+  std::vector<double> gather_all(int rank, double v);
   void fault_point(int rank, int step);
   bool await_recovery(int rank);
   void revive_locked(int rank, std::uint64_t new_epoch);
@@ -323,7 +338,7 @@ class Communicator {
   }
 
   int n_ranks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::tuple<int, int, int>, Mailbox> boxes_;
 
@@ -367,6 +382,10 @@ class Communicator {
   std::size_t reduce_gen_ = 0;
   double reduce_acc_ = 0.0;
   double reduce_result_ = 0.0;
+  int gather_count_ = 0;
+  std::size_t gather_gen_ = 0;
+  std::vector<double> gather_acc_;
+  std::vector<double> gather_result_;
 };
 
 }  // namespace quake::par

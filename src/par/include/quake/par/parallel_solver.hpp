@@ -52,6 +52,11 @@ struct ParallelResult {
   bool cancelled = false;
   int steps_completed = 0;
 
+  // In-place revival rounds this run consumed, summed across supervised
+  // restarts (0 on a clean run). Always populated, independent of the obs
+  // enable flag — the service health snapshot reads it.
+  int revives_used = 0;
+
   struct RankStats {
     std::size_t n_elems = 0;
     std::size_t n_boundary_elems = 0;  // touch a shared node (sent early)
@@ -89,17 +94,27 @@ struct ParallelResult {
 // logged and counted (`checkpoint/write_failures`) and the solve continues
 // with the previous generation as the restore target.
 //
-// Recovery is layered: with `max_revives` > 0, a rank failure is first
-// repaired IN PLACE — surviving rank threads park with their partition,
-// ghost plans, and exchange buffers intact, only the dead rank's thread is
-// respawned and restored from its snapshot, survivors roll their state
-// vectors back in memory, and the solve resumes at the agreed step,
-// bit-identically to an uninterrupted run. Only when in-place recovery is
-// unavailable (no usable common checkpoint, revive budget exhausted, or a
-// failure outside the step loop) does the full-restart supervisor take
-// over: rewind every rank to the last agreed snapshot and re-run, up to
-// `max_retries` times with exponential backoff. Detected deadlocks are
-// never retried (they are deterministic program errors).
+// Recovery is three-tiered (see DESIGN.md "Localized recovery"). With
+// `max_revives` > 0 a rank failure is first repaired IN PLACE — surviving
+// rank threads park with their partition, ghost plans, and exchange
+// buffers intact; only the dead rank's thread is respawned:
+//
+//  * Tier 1 (replay, the common path): the revived rank restores the
+//    newest donated buddy snapshot (or its newest disk generation) and
+//    replays forward using the per-neighbor outbound message logs the
+//    survivors kept since the last checkpoint barrier. Survivors keep
+//    their current state, re-serve the log, and roll back ZERO steps.
+//  * Tier 2 (donation + rollback): when the log cannot cover the replay
+//    span (ring overflow, fault during recovery), every rank rolls back
+//    to the newest common state — in-memory shadows for survivors, the
+//    donated buddy snapshot or a disk generation for the revived rank.
+//  * Tier 3 (full restart): when no common state exists or the revival
+//    budget is spent, the supervisor rewinds every rank to the last
+//    agreed snapshot and re-runs, up to `max_retries` times with
+//    exponential backoff. Detected deadlocks are never retried (they are
+//    deterministic program errors).
+//
+// All tiers resume bit-identically to an uninterrupted run.
 struct FaultToleranceOptions {
   std::string checkpoint_dir;         // empty = checkpointing off
   int checkpoint_every = 0;           // steps between snapshots (0 = off)
@@ -110,6 +125,19 @@ struct FaultToleranceOptions {
   double backoff_base_seconds = 0.0;  // sleep base, doubled per retry
   double timeout_seconds = 0.0;       // per blocking comm op (0 = infinite)
   const FaultPlan* fault_plan = nullptr;  // injected faults (testing)
+
+  // Survivor state donation: at each checkpoint barrier every rank streams
+  // its state to buddy rank (r+1)%R, which holds it in (thread-local)
+  // memory; on revival the buddy donates it back over the communicator so
+  // the revived rank restores the newest checkpoint without touching disk.
+  // Only meaningful with in-place recovery armed (max_revives > 0).
+  bool state_donation = true;
+
+  // Outbound message log retained per neighbor for tier-1 replay, in steps:
+  // -1 = auto (checkpoint_every + 8, covering one checkpoint interval plus
+  // exchange slack), 0 = logging off (every in-place recovery falls back to
+  // tier-2 rollback), > 0 = explicit ring capacity.
+  int message_log_steps = -1;
 };
 
 // Cooperative per-run control for service workloads: a cancel flag and a

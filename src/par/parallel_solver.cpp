@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <limits>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "quake/fem/hex_element.hpp"
 #include "quake/obs/obs.hpp"
@@ -105,6 +107,11 @@ std::string ckpt_path(const std::string& dir, int rank) {
 // exchange uses tag 0; receiving on a distinct tag keeps the two streams
 // from interleaving).
 constexpr int kObsGatherTag = 9;
+
+// Communicator tag for survivor state donation: the buddy-capture shift
+// exchange at each checkpoint barrier and the donation stream during
+// recovery. Distinct from the ghost exchange (0) and the obs gather (9).
+constexpr int kDonationTag = 10;
 
 // A snapshot is usable by this rank iff its step is inside the run and its
 // state arrays match this rank's dof count and owned receiver set.
@@ -414,6 +421,15 @@ ParallelResult ParallelSetup::Impl::run(
   const bool in_place = ckpt_on && ft.max_revives > 0;
   comm.set_recovery({in_place, ft.max_revives});
   const int ckpt_keep = std::max(1, ft.checkpoint_keep);
+  // Tier-1 machinery (see FaultToleranceOptions): buddy-shadow donation and
+  // the per-neighbor outbound message log. Both only pay their cost when
+  // in-place recovery is armed.
+  const bool donate_on = in_place && ft.state_donation && R > 1;
+  const int log_cap =
+      !in_place ? 0
+                : (ft.message_log_steps >= 0 ? ft.message_log_steps
+                                             : std::max(1, ft.checkpoint_every) + 8);
+  const bool log_on = log_cap > 0;
 
   // Cancellation/deadline agreement cadence (see RunControl).
   const bool ctl_active = control.active();
@@ -460,49 +476,184 @@ ParallelResult ParallelSetup::Impl::run(
     } shadow;
     const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
 
+    // Buddy-held donation state: at each checkpoint barrier rank r streams
+    // [u | u_prev | dku_prev | flattened owned histories] to rank (r+1)%R,
+    // which holds it HERE — in this thread's frame, so a buddy that dies
+    // loses what it held, exactly like remote node memory. On revival the
+    // buddy donates it back and the revived rank restores the newest
+    // checkpoint without touching disk.
+    struct BuddyHeld {
+      std::int64_t step = -1;  // -1 = holding nothing
+      std::vector<double> state;
+    } held;
+    const int buddy = (rank.id() + 1) % R;          // I donate to buddy
+    const int pred = (rank.id() + R - 1) % R;       // I hold pred's state
+    const auto rv_count = static_cast<std::size_t>(RV.size());
+
+    // Tier-1 outbound message log: per neighbor, the last `log_cap` posted
+    // coalesced exchange payloads, keyed by step. During a replay recovery
+    // survivors re-serve these so only the revived rank re-executes steps.
+    struct LogEntry {
+      int step;
+      std::vector<double> payload;
+    };
+    std::vector<std::deque<LogEntry>> msg_log(L.neighbors.size());
+
+    // Per-rank resume points of the last recovery agreement: rank s will
+    // re-enter the step loop at start_of[s]; frontier = max(start_of). A
+    // rank only posts step k to a neighbor that will consume it (k >=
+    // start_of[nb]), and step-loop collectives (cancel agreement,
+    // checkpoint barriers) are suppressed below the frontier, where ranks
+    // execute different step ranges. On a normal run every entry equals
+    // k0, so every post and collective happens as before.
+    std::vector<int> start_of(static_cast<std::size_t>(R), 0);
+    int frontier = 0;
+    int k_done = -1;  // last fully completed step (state + history updated)
+
+    // True once this rank's state vectors describe a definite step (fresh
+    // zeros or a completed restore). A freshly respawned victim has no
+    // state until recovery gives it some.
+    bool has_state = false;
+
+    // Retained disk generations that load and fit this rank, newest first,
+    // with the corruption flag the generation-fallback counter needs.
+    struct DiskCands {
+      std::vector<std::pair<int, util::Snapshot>> snaps;  // (gen, snapshot)
+      bool newest_corrupt = false;
+    };
+    const auto load_disk_candidates = [&]() -> DiskCands {
+      DiskCands d;
+      for (int gen = 0; gen < ckpt_keep; ++gen) {
+        util::Snapshot s;
+        const util::SnapshotLoadStatus st = util::load_snapshot_status(
+            util::snapshot_generation_path(path, gen), &s);
+        if (gen == 0 && st == util::SnapshotLoadStatus::kCorrupt) {
+          d.newest_corrupt = true;
+        }
+        if (st == util::SnapshotLoadStatus::kOk &&
+            snapshot_usable(s, nd, n_steps, RV)) {
+          d.snaps.emplace_back(gen, std::move(s));
+        }
+      }
+      return d;
+    };
+
+    // Restore this rank's vectors and owned histories from a full disk
+    // snapshot, seeding the rollback shadow with the restored cut.
+    const auto restore_from_snapshot = [&](const util::Snapshot& s) {
+      const int k0 = static_cast<int>(s.step);
+      const auto su = s.field("u");
+      const auto sp = s.field("u_prev");
+      const auto sd = s.field("dku_prev");
+      std::copy(su.begin(), su.end(), u.begin());
+      std::copy(sp.begin(), sp.end(), u_prev.begin());
+      std::copy(sd.begin(), sd.end(), dku_prev.begin());
+      for (const auto& [ri, ln] : RV) {
+        const auto flat = s.field("recv" + std::to_string(ri));
+        auto& hist = result.receiver_histories[static_cast<std::size_t>(ri)];
+        hist.assign(static_cast<std::size_t>(k0), {});
+        for (std::size_t i = 0; i < hist.size(); ++i) {
+          hist[i] = {flat[3 * i], flat[3 * i + 1], flat[3 * i + 2]};
+        }
+      }
+      shadow.step = k0;
+      shadow.u = u;
+      shadow.u_prev = u_prev;
+      shadow.dku_prev = dku_prev;
+    };
+
+    // Receive the donated buddy snapshot from rank (r+1)%R and restore
+    // state + owned histories from it. The payload layout mirrors the
+    // capture in the checkpoint block: [u | u_prev | dku_prev | flattened
+    // owned histories]; a size mismatch means the donation protocol itself
+    // broke, which only the full-restart supervisor can fix.
+    const auto restore_from_donation = [&](int step) {
+      const std::vector<double> pay = rank.recv(buddy, kDonationTag);
+      const std::size_t want =
+          3 * nd + 3 * static_cast<std::size_t>(step) * rv_count;
+      if (pay.size() != want) {
+        throw UnrecoverableError(
+            "state donation payload mismatch on rank " +
+            std::to_string(rank.id()) + ": got " +
+            std::to_string(pay.size()) + " doubles, expected " +
+            std::to_string(want));
+      }
+      const auto b = pay.begin();
+      const auto n = static_cast<std::ptrdiff_t>(nd);
+      std::copy(b, b + n, u.begin());
+      std::copy(b + n, b + 2 * n, u_prev.begin());
+      std::copy(b + 2 * n, b + 3 * n, dku_prev.begin());
+      std::size_t off = 3 * nd;
+      for (const auto& [ri, ln] : RV) {
+        auto& hist = result.receiver_histories[static_cast<std::size_t>(ri)];
+        hist.assign(static_cast<std::size_t>(step), {});
+        for (std::size_t i = 0; i < hist.size(); ++i) {
+          hist[i] = {pay[off], pay[off + 1], pay[off + 2]};
+          off += 3;
+        }
+      }
+      shadow.step = step;
+      shadow.u = u;
+      shadow.u_prev = u_prev;
+      shadow.dku_prev = dku_prev;
+      obs::counter_add("par/donation_restores", 1);
+    };
+
     // ---- checkpoint restore: agree on a common restart step --------------
     // Each rank proposes its newest usable state — the in-memory shadow if
-    // it has one, else the newest usable snapshot among its retained
-    // generations; the collective restart step is the minimum proposal, and
-    // a second round confirms every rank can serve it. On a fresh start a
-    // disagreement falls back to from-scratch (always correct, at worst
-    // wasteful); during an in-place recovery it throws UnrecoverableError
-    // instead, handing the failure to the full-restart supervisor (an
-    // in-place from-scratch "resume" would silently discard survivors'
-    // progress).
-    const auto attempt_restore = [&](bool recovering) -> int {
+    // it has one, a donated buddy snapshot offered by the caller, or the
+    // newest usable snapshot among its retained generations; the collective
+    // restart step is the minimum proposal, and a second round confirms
+    // every rank can serve it. On a fresh start a disagreement falls back
+    // to from-scratch (always correct, at worst wasteful); during an
+    // in-place recovery it throws UnrecoverableError instead, handing the
+    // failure to the full-restart supervisor (an in-place from-scratch
+    // "resume" would silently discard survivors' progress).
+    const auto attempt_restore = [&](bool recovering,
+                                     std::int64_t donated) -> int {
       int k0 = 0;
       if (ckpt_on) {
         std::optional<obs::ScopeTimer> agree_scope;
         if (recovering) agree_scope.emplace("agree");
-        std::vector<util::Snapshot> cands;
-        for (int gen = 0; gen < ckpt_keep; ++gen) {
-          util::Snapshot s;
-          if (util::load_snapshot(util::snapshot_generation_path(path, gen),
-                                  &s) &&
-              snapshot_usable(s, nd, n_steps, RV)) {
-            cands.push_back(std::move(s));
-          }
-        }
+        const DiskCands disk = load_disk_candidates();
         double proposal =
             shadow.step >= 1 ? static_cast<double>(shadow.step) : -1.0;
-        for (const auto& s : cands) {
+        if (donated >= 1) {
+          proposal = std::max(proposal, static_cast<double>(donated));
+        }
+        for (const auto& [gen, s] : disk.snaps) {
           proposal = std::max(proposal, static_cast<double>(s.step));
         }
         const double agreed = rank.allreduce_min(proposal);
         const bool from_shadow =
             shadow.step >= 1 && static_cast<double>(shadow.step) == agreed;
+        const bool from_donation = !from_shadow && donated >= 1 &&
+                                   static_cast<double>(donated) == agreed;
         const util::Snapshot* chosen = nullptr;
-        if (!from_shadow) {
-          for (const auto& s : cands) {
+        int chosen_gen = 0;
+        if (!from_shadow && !from_donation) {
+          for (const auto& [gen, s] : disk.snaps) {
             if (static_cast<double>(s.step) == agreed) {
               chosen = &s;
+              chosen_gen = gen;
               break;
             }
           }
         }
         const double all_can = rank.allreduce_min(
-            agreed >= 1.0 && (from_shadow || chosen != nullptr) ? 1.0 : 0.0);
+            agreed >= 1.0 && (from_shadow || from_donation || chosen != nullptr)
+                ? 1.0
+                : 0.0);
+        if (all_can == 1.0 && recovering) {
+          // Donors need to know which revived ranks restore by donation:
+          // rank (v+1)%R streams what it holds when v asks for it.
+          const std::vector<double> wants =
+              rank.allgather(from_donation ? 1.0 : 0.0);
+          if (donate_on && wants[static_cast<std::size_t>(pred)] == 1.0) {
+            rank.send(pred, kDonationTag, held.state);
+            obs::counter_add("par/donations_served", 1);
+          }
+        }
         agree_scope.reset();
         if (all_can == 1.0) {
           std::optional<obs::ScopeTimer> restore_scope;
@@ -520,21 +671,14 @@ ParallelResult ParallelSetup::Impl::run(
               result.receiver_histories[static_cast<std::size_t>(ri)].resize(
                   static_cast<std::size_t>(k0));
             }
+          } else if (from_donation) {
+            restore_from_donation(k0);
           } else {
-            const auto su = chosen->field("u");
-            const auto sp = chosen->field("u_prev");
-            const auto sd = chosen->field("dku_prev");
-            std::copy(su.begin(), su.end(), u.begin());
-            std::copy(sp.begin(), sp.end(), u_prev.begin());
-            std::copy(sd.begin(), sd.end(), dku_prev.begin());
-            for (const auto& [ri, ln] : RV) {
-              const auto flat = chosen->field("recv" + std::to_string(ri));
-              auto& hist =
-                  result.receiver_histories[static_cast<std::size_t>(ri)];
-              hist.assign(static_cast<std::size_t>(k0), {});
-              for (std::size_t s = 0; s < hist.size(); ++s) {
-                hist[s] = {flat[3 * s], flat[3 * s + 1], flat[3 * s + 2]};
-              }
+            restore_from_snapshot(*chosen);
+            if (disk.newest_corrupt && chosen_gen > 0) {
+              // The newest generation existed but failed its CRC; the
+              // rotation chain carried an older intact cut instead.
+              obs::counter_add("checkpoint/generation_fallbacks", 1);
             }
           }
         } else if (recovering) {
@@ -557,7 +701,151 @@ ParallelResult ParallelSetup::Impl::run(
           result.receiver_histories[static_cast<std::size_t>(ri)].clear();
         }
       }
+      has_state = true;
       return k0;
+    };
+
+    // ---- three-tier recovery agreement (see DESIGN.md "Localized
+    // recovery"). Tier 1: the victim restores a donated (or disk) snapshot
+    // and replays forward on logged messages while survivors keep their
+    // state — zero survivor rollback. Tier 2: the log cannot cover the
+    // replay span, so everyone rolls back to the newest common state via
+    // attempt_restore (the victim's proposal still includes the donated
+    // step). Tier 3 is attempt_restore throwing UnrecoverableError into
+    // the full-restart supervisor. Returns this rank's resume step and
+    // fills start_of / frontier. ----
+    const auto attempt_recover = [&]() -> int {
+      const bool victim = !has_state;
+      std::optional<obs::ScopeTimer> agree_scope(std::in_place, "agree");
+      // Round 1: donation inventory. Every rank advertises the step it
+      // holds for its predecessor; victim v reads slot (v+1)%R.
+      const std::vector<double> held_steps =
+          rank.allgather(donate_on ? static_cast<double>(held.step) : -1.0);
+      std::int64_t donated = -1;
+      if (victim && held_steps[static_cast<std::size_t>(buddy)] >= 1.0) {
+        donated = static_cast<std::int64_t>(
+            held_steps[static_cast<std::size_t>(buddy)]);
+      }
+
+      // The victim picks its replay source: the donated snapshot if one is
+      // held, else its newest full disk generation. Survivors resume where
+      // they stopped (k_done + 1) without touching their state.
+      std::int64_t my_start = -1;
+      bool use_donation = false;
+      std::optional<util::Snapshot> disk_pick;
+      bool disk_gen_fallback = false;
+      if (!victim) {
+        my_start = k_done + 1;
+      } else if (log_on) {
+        use_donation = donated >= 1;
+        my_start = donated;
+        if (!use_donation) {
+          DiskCands disk = load_disk_candidates();
+          for (auto& [gen, s] : disk.snaps) {
+            if (s.step > my_start) {
+              my_start = s.step;
+              disk_gen_fallback = disk.newest_corrupt && gen > 0;
+              disk_pick = std::move(s);
+            }
+          }
+        }
+      }
+
+      // Round 2: roles (1 = victim restoring by donation, so its buddy
+      // knows to stream). Round 3: per-rank resume points.
+      const std::vector<double> roles =
+          rank.allgather(victim && use_donation ? 1.0 : 0.0);
+      const std::vector<double> starts =
+          rank.allgather(static_cast<double>(my_start));
+
+      // Tier-1 feasibility: every rank must be able to re-serve, from its
+      // outbound log, every step a behind neighbor will re-consume
+      // (steps [start_of[neighbor], my resume point) per edge).
+      bool ok = log_on && my_start >= 0;
+      for (std::size_t s = 0; ok && s < starts.size(); ++s) {
+        ok = starts[s] >= 0.0;
+      }
+      for (std::size_t nb = 0; ok && nb < L.neighbors.size(); ++nb) {
+        const int m = L.neighbors[nb].rank;
+        const int lo = static_cast<int>(starts[static_cast<std::size_t>(m)]);
+        for (int k = lo; ok && k < static_cast<int>(my_start); ++k) {
+          bool found = false;
+          for (const LogEntry& e : msg_log[nb]) {
+            if (e.step == k) {
+              found = true;
+              break;
+            }
+          }
+          ok = found;
+        }
+      }
+      const bool all_ok = rank.allreduce_min(ok ? 1.0 : 0.0) == 1.0;
+
+      if (!all_ok) {
+        // Tier 2: donation-aware rollback.
+        agree_scope.reset();
+        obs::counter_add("par/replay_fallbacks", 1);
+        const int k0 = attempt_restore(/*recovering=*/true, donated);
+        for (auto& ring : msg_log) ring.clear();
+        std::fill(start_of.begin(), start_of.end(), k0);
+        frontier = k0;
+        return k0;
+      }
+
+      // Tier 1. Donors stream what they hold; the victim restores and will
+      // replay forward; survivors keep their current state.
+      if (donate_on && roles[static_cast<std::size_t>(pred)] == 1.0) {
+        rank.send(pred, kDonationTag, held.state);
+        obs::counter_add("par/donations_served", 1);
+      }
+      agree_scope.reset();
+      {
+        std::optional<obs::ScopeTimer> restore_scope(std::in_place,
+                                                     "restore");
+        if (victim) {
+          if (use_donation) {
+            restore_from_donation(static_cast<int>(my_start));
+          } else {
+            restore_from_snapshot(*disk_pick);
+            if (disk_gen_fallback) {
+              obs::counter_add("checkpoint/generation_fallbacks", 1);
+            }
+          }
+          obs::counter_add("ckpt/restores", 1);
+          obs::counter_add("ckpt/restored_steps",
+                           static_cast<std::int64_t>(my_start));
+          has_state = true;
+        }
+      }
+      {
+        std::optional<obs::ScopeTimer> replay_scope(std::in_place, "replay");
+        for (std::size_t s = 0; s < starts.size(); ++s) {
+          start_of[s] = static_cast<int>(starts[s]);
+        }
+        frontier = 0;
+        for (const int s : start_of) frontier = std::max(frontier, s);
+        // Re-serve the log in ascending step order per edge, before any
+        // live post of this epoch: tagged FIFO delivery plus the epoch
+        // fence hands each behind rank exactly the message sequence it
+        // would have received from an undisturbed peer.
+        for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+          const int m = L.neighbors[nb].rank;
+          for (int k = start_of[static_cast<std::size_t>(m)];
+               k < static_cast<int>(my_start); ++k) {
+            for (const LogEntry& e : msg_log[nb]) {
+              if (e.step == k) {
+                rank.send(m, /*tag=*/0, e.payload);
+                break;
+              }
+            }
+          }
+        }
+        if (victim) {
+          obs::counter_add("par/steps_replayed",
+                           frontier - static_cast<int>(my_start));
+        }
+      }
+      return static_cast<int>(my_start);
     };
 
     auto expand = [&](std::vector<double>& x) {
@@ -673,8 +961,13 @@ ParallelResult ParallelSetup::Impl::run(
 
       // ---- cancellation/deadline agreement (service workloads): each rank
       // evaluates its local stop condition and the max-reduction makes the
-      // decision collective, so every rank leaves at the same step ----
-      if (ctl_active && k % ctl_every == 0) {
+      // decision collective, so every rank leaves at the same step. The
+      // agreement is suppressed below the replay frontier: during tier-1
+      // catch-up ranks execute different step ranges, and the anonymous
+      // count-based collective must only be issued at steps all of them
+      // reach (frontier == k0 on an undisturbed run, so nothing changes
+      // there) ----
+      if (ctl_active && k >= frontier && k % ctl_every == 0) {
         double want_stop = 0.0;
         if (control.cancel != nullptr &&
             control.cancel->load(std::memory_order_relaxed)) {
@@ -734,7 +1027,19 @@ ParallelResult ParallelSetup::Impl::run(
             buf[off + 3 * i + 2] = dku[base + 2];
           }
         }
-        rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
+        // Post only to neighbors that have not already consumed this step
+        // (a catching-up rank must not pollute an ahead neighbor's FIFO);
+        // log unconditionally so a later recovery can re-serve any span.
+        if (k >= start_of[static_cast<std::size_t>(L.neighbors[nb].rank)]) {
+          rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
+        }
+        if (log_on) {
+          auto& ring = msg_log[nb];
+          ring.push_back({k, buf});
+          if (ring.size() > static_cast<std::size_t>(log_cap)) {
+            ring.pop_front();
+          }
+        }
       }
       // Zero the shared entries now; interior work never touches them, and
       // the drain re-accumulates in ascending rank order (sendbuf still
@@ -853,11 +1158,18 @@ ParallelResult ParallelSetup::Impl::run(
       }
       compute_watch.stop();
       }
+      // State and histories now fully describe step k: this is the resume
+      // point a survivor advertises in recovery agreement (k_done + 1).
+      k_done = k;
 
       // ---- periodic snapshot, barrier-bracketed so the per-rank files of
-      // a checkpoint generation form a consistent cut ----
+      // a checkpoint generation form a consistent cut. Suppressed below the
+      // replay frontier: a catching-up rank re-crosses checkpoint steps the
+      // ahead ranks already took, and the barriers only match once all
+      // ranks reach the step together ----
       if (ckpt_on && ft.checkpoint_every > 0 &&
-          (k + 1) % ft.checkpoint_every == 0 && k + 1 < n_steps) {
+          (k + 1) % ft.checkpoint_every == 0 && k + 1 < n_steps &&
+          k >= frontier) {
         QUAKE_OBS_SCOPE("checkpoint");
         rank.barrier();
         util::Snapshot snap;
@@ -876,14 +1188,24 @@ ParallelResult ParallelSetup::Impl::run(
           snap.add("recv" + std::to_string(ri), std::move(flat));
         }
         std::string ckpt_err;
-        if (util::save_snapshot_rotating(path, snap, ckpt_keep, &ckpt_err)) {
+        bool saved = false;
+        // Transient disk pressure often clears within milliseconds; retry
+        // the write twice with a short backoff before declaring it failed.
+        for (int a = 0; a < 3 && !saved; ++a) {
+          if (a > 0) {
+            obs::counter_add("checkpoint/write_retries", 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1 << (a - 1)));
+          }
+          saved = util::save_snapshot_rotating(path, snap, ckpt_keep, &ckpt_err);
+        }
+        if (saved) {
           obs::counter_add("ckpt/writes", 1);
           obs::counter_add("ckpt/bytes_written",
                            static_cast<std::int64_t>(8 * ckpt_doubles));
         } else {
-          // Disk pressure (ENOSPC, permissions) is survivable: the rotation
-          // left the previous generation intact as the restore target, so
-          // count it, say so, and keep solving.
+          // Persistent disk pressure (ENOSPC, permissions) is survivable:
+          // the rotation left the previous generation intact as the restore
+          // target, so count it, say so, and keep solving.
           obs::counter_add("checkpoint/write_failures", 1);
           std::fprintf(stderr,
                        "[quake::par] rank %d: checkpoint write at step %d "
@@ -897,6 +1219,33 @@ ParallelResult ParallelSetup::Impl::run(
         shadow.u = u;
         shadow.u_prev = u_prev;
         shadow.dku_prev = dku_prev;
+        // ---- survivor state donation: every rank streams this cut (state
+        // plus owned histories, so a restore is fully self-contained) to
+        // its buddy (r+1)%R and holds its predecessor's in thread-local
+        // memory. Sends are mailbox posts, so the ring-shift exchange
+        // cannot deadlock; both barriers bracketing this block guarantee
+        // the capture either completes on every rank or on none ----
+        if (donate_on) {
+          std::vector<double> pay;
+          pay.reserve(3 * nd + 3 * static_cast<std::size_t>(k + 1) * rv_count);
+          pay.insert(pay.end(), u.begin(), u.end());
+          pay.insert(pay.end(), u_prev.begin(), u_prev.end());
+          pay.insert(pay.end(), dku_prev.begin(), dku_prev.end());
+          for (const auto& [ri, ln] : RV) {
+            const auto& hist =
+                result.receiver_histories[static_cast<std::size_t>(ri)];
+            for (const auto& s : hist) {
+              pay.insert(pay.end(), s.begin(), s.end());
+            }
+          }
+          rank.send(buddy, kDonationTag, pay);
+          held.state = rank.recv(pred, kDonationTag);
+          held.step = k + 1;
+        }
+        // Message-log ring reset point: everything before this cut can be
+        // restored by donation or disk, so only steps >= k+1 ever need
+        // replaying. (The ring capacity already enforces the bound; no
+        // explicit trim is needed for correctness.)
         rank.barrier();
       }
     }
@@ -986,22 +1335,27 @@ ParallelResult ParallelSetup::Impl::run(
           // INT_MIN + epoch dies during this recovery (see FaultPlan).
           rank.fault_point(std::numeric_limits<int>::min() +
                            static_cast<int>(rank.epoch()));
-          k0 = attempt_restore(/*recovering=*/true);
+          k0 = attempt_recover();
           {
             // Rendezvous before re-entering the step loop; this scope's
             // time is the wait for the slowest rank's restore (usually the
-            // revived rank reading its snapshot back from disk).
+            // revived rank taking its donated snapshot off the wire).
             QUAKE_OBS_SCOPE("resume");
             rank.barrier();
           }
           if (last_fail_step >= 0) {
+            // Zero on the tier-1 replay path by construction: a survivor
+            // resumes at k_done + 1, exactly where it stopped.
             obs::counter_add("par/steps_rolled_back",
                              std::max(0, last_fail_step - k0));
           }
           recovering = false;
         } else {
-          k0 = attempt_restore(/*recovering=*/false);
+          k0 = attempt_restore(/*recovering=*/false, /*donated=*/-1);
+          std::fill(start_of.begin(), start_of.end(), k0);
+          frontier = k0;
         }
+        k_done = k0 - 1;
         k_progress = k0;
         const int stop_k = step_loop(k0);
         finish();
@@ -1032,13 +1386,16 @@ ParallelResult ParallelSetup::Impl::run(
   // rank failure, with exponential backoff; deadlocks are deterministic
   // program errors and surface immediately ----
   int attempt = 0;
+  int revives_total = 0;
   for (;;) {
     try {
       comm.run(spmd_body);
+      revives_total += comm.revives_used();
       break;
     } catch (const DeadlockError&) {
       throw;
     } catch (const RankFailedError&) {
+      revives_total += comm.revives_used();
       if (attempt >= ft.max_retries) throw;
       if (ft.backoff_base_seconds > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -1047,6 +1404,7 @@ ParallelResult ParallelSetup::Impl::run(
       ++attempt;
     }
   }
+  result.revives_used = revives_total;
   if (ckpt_on) {
     // The run completed; its snapshots are obsolete (and would otherwise
     // short-circuit an unrelated future run pointed at the same directory).

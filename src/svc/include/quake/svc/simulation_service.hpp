@@ -72,6 +72,17 @@ struct ScenarioRequest {
   // the FaultPlan pointer must outlive the request). A request whose
   // recovery budget is exhausted fails alone; the service stays up.
   par::FaultToleranceOptions ft;
+
+  // Service-level degradation: when the solve's own revival/restart budget
+  // is spent (ParallelSetup::run throws a rank-failure), the worker retries
+  // the whole request up to `max_attempts` times total, sleeping
+  // `retry_backoff_seconds * 2^(attempt-1)` between attempts. Only
+  // recoverable faults are retried — deadlocks and setup errors are
+  // deterministic and fail immediately. Each extra attempt bumps
+  // `svc/retries` and marks the service degraded until a request completes
+  // on its first attempt.
+  int max_attempts = 1;
+  double retry_backoff_seconds = 0.0;
 };
 
 enum class RequestStatus {
@@ -95,9 +106,35 @@ struct ScenarioResult {
   par::ParallelResult solve;
 
   std::uint64_t exec_index = 0;  // 1-based worker pickup order; 0 = never ran
+  int attempts = 0;              // service-level attempts consumed (>1 = retried)
   double queue_seconds = 0.0;    // admission -> worker pickup
-  double solve_seconds = 0.0;    // the solve call's wall-clock
+  double solve_seconds = 0.0;    // wall-clock across all attempts
   double total_seconds = 0.0;    // admission -> completion (end-to-end)
+};
+
+// Point-in-time health snapshot (see health()): queue pressure, the
+// degraded flag, and the recovery footprint of the last executed request —
+// what an operator polls to decide whether the service is riding out
+// faults or needs intervention.
+struct ServiceHealth {
+  std::size_t queue_depth = 0;   // waiting requests (in-flight not counted)
+  bool in_flight = false;
+  // True after a request needed a service-level retry or failed outright;
+  // cleared when a request completes on its first attempt.
+  bool degraded = false;
+  std::int64_t retries_total = 0;  // svc/retries counter
+  std::int64_t failed_total = 0;   // svc/requests_failed counter
+
+  // Last executed request's recovery footprint.
+  std::uint64_t last_id = 0;          // 0 = nothing executed yet
+  int last_attempts = 0;              // service-level attempts it consumed
+  int last_revives_used = 0;          // in-place revivals its solve consumed
+  int last_revives_budget = 0;        // its ft.max_revives
+  int last_revives_remaining = 0;     // budget - used (never negative)
+  double last_recoveries = 0.0;       // par/recoveries (obs-enabled runs)
+  double last_steps_rolled_back = 0.0;  // par/steps_rolled_back, summed
+  double last_steps_replayed = 0.0;     // par/steps_replayed, summed
+  double last_solve_seconds = 0.0;
 };
 
 struct ServiceOptions {
@@ -153,10 +190,16 @@ class SimulationService {
   [[nodiscard]] double dt() const { return setup_.dt(); }
 
   // Point-in-time service metrics snapshot: the svc/requests_* counters,
-  // the svc/queue_depth gauge, and the svc/latency|queue|solve_seconds
-  // series are always live; scope timings (svc/request/setup|solve|extract)
-  // accumulate only while quake::obs is enabled.
+  // the svc/retries counter, the svc/queue_depth and svc/degraded gauges,
+  // and the svc/latency|queue|solve_seconds series are always live; scope
+  // timings (svc/request/setup|solve|extract) accumulate only while
+  // quake::obs is enabled.
   [[nodiscard]] obs::Registry metrics() const;
+
+  // Structured health snapshot: queue depth, degraded flag, and the last
+  // executed request's recovery footprint (revival budget consumed and
+  // remaining, recoveries, rolled-back/replayed steps).
+  [[nodiscard]] ServiceHealth health() const;
 
  private:
   struct Pending;
@@ -189,6 +232,13 @@ class SimulationService {
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> retries_{0};
+
+  // Degradation state + last executed request's recovery footprint, written
+  // by the worker after each request, read by health()/metrics().
+  mutable std::mutex health_mu_;
+  bool degraded_ = false;
+  ServiceHealth last_exec_;
 
   // Per-request scope/series telemetry, merged from the worker's request-
   // local registry after each request (so metrics() never races the

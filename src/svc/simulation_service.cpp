@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+
+#include "quake/par/communicator.hpp"
 
 namespace quake::svc {
 
@@ -11,6 +14,13 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// Across-rank sum of a merged counter; 0 when the key is absent (obs
+// disabled, or the solve never touched it).
+double counter_sum(const obs::MergedReport& m, const std::string& key) {
+  const auto it = m.counters.find(key);
+  return it == m.counters.end() ? 0.0 : it->second.sum;
 }
 
 }  // namespace
@@ -153,11 +163,33 @@ obs::Registry SimulationService::metrics() const {
   m.counters["svc/requests_deadline_exceeded"] =
       deadline_exceeded_.load(std::memory_order_relaxed);
   m.counters["svc/requests_failed"] = failed_.load(std::memory_order_relaxed);
+  m.counters["svc/retries"] = retries_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lk(mu_);
     m.gauges["svc/queue_depth"] = static_cast<double>(queue_.size());
   }
+  {
+    const std::lock_guard<std::mutex> lk(health_mu_);
+    m.gauges["svc/degraded"] = degraded_ ? 1.0 : 0.0;
+  }
   return m;
+}
+
+ServiceHealth SimulationService::health() const {
+  ServiceHealth h;
+  {
+    const std::lock_guard<std::mutex> lk(health_mu_);
+    h = last_exec_;
+    h.degraded = degraded_;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    h.queue_depth = queue_.size();
+    h.in_flight = running_id_ != 0;
+  }
+  h.retries_total = retries_.load(std::memory_order_relaxed);
+  h.failed_total = failed_.load(std::memory_order_relaxed);
+  return h;
 }
 
 std::deque<std::unique_ptr<SimulationService::Pending>>::iterator
@@ -274,16 +306,50 @@ ScenarioResult SimulationService::execute(Pending& p,
       ctl.check_every = opt_.cancel_check_every;
 
       const Clock::time_point t0 = Clock::now();
-      try {
-        QUAKE_OBS_SCOPE("solve");
-        res.solve = setup_.run(p.req.t_end, src_ptrs, p.req.receivers,
-                               p.req.ft, ctl);
-      } catch (const std::exception& e) {
-        // Request-level failure (rank failure with the recovery budget
-        // exhausted, bad receiver, ...): this request fails, the service —
-        // and the shared setup — keep serving.
-        res.status = RequestStatus::kFailed;
-        res.error = e.what();
+      // Service-level degradation: when the solve's own revival/restart
+      // budget is spent (a rank-failure escapes ParallelSetup::run), retry
+      // the whole request up to req.max_attempts times with exponential
+      // backoff. Only recoverable faults are retried; deadlocks and setup
+      // errors are deterministic and fail immediately. The run leaves the
+      // shared setup reusable after a failure, so a retry starts clean.
+      const int max_attempts = std::max(1, p.req.max_attempts);
+      for (;;) {
+        ++res.attempts;
+        try {
+          QUAKE_OBS_SCOPE("solve");
+          res.solve = setup_.run(p.req.t_end, src_ptrs, p.req.receivers,
+                                 p.req.ft, ctl);
+          break;
+        } catch (const par::DeadlockError& e) {
+          res.status = RequestStatus::kFailed;
+          res.error = e.what();
+          break;
+        } catch (const par::RankFailedError& e) {
+          res.status = RequestStatus::kFailed;
+          res.error = e.what();
+          if (res.attempts >= max_attempts) break;
+          if (p.cancel_flag->load(std::memory_order_relaxed)) break;
+          if (p.req.deadline_seconds > 0.0 &&
+              seconds_between(p.admitted, Clock::now()) >=
+                  p.req.deadline_seconds) {
+            break;  // the end-to-end budget is gone; a retry cannot finish
+          }
+          retries_.fetch_add(1, std::memory_order_relaxed);
+          if (p.req.retry_backoff_seconds > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                p.req.retry_backoff_seconds *
+                std::ldexp(1.0, res.attempts - 1)));
+          }
+          res.status = RequestStatus::kCompleted;  // reset for the retry
+          res.error.clear();
+        } catch (const std::exception& e) {
+          // Request-level failure (bad receiver, unusable checkpoint, ...):
+          // this request fails, the service — and the shared setup — keep
+          // serving.
+          res.status = RequestStatus::kFailed;
+          res.error = e.what();
+          break;
+        }
       }
       res.solve_seconds = seconds_between(t0, Clock::now());
 
@@ -299,6 +365,27 @@ ScenarioResult SimulationService::execute(Pending& p,
       }
     }
     res.total_seconds = seconds_between(p.admitted, Clock::now());
+  }
+
+  if (res.attempts > 0) {
+    // Health bookkeeping for requests that actually ran: the service is
+    // degraded while requests need service-level retries (or fail), and
+    // recovers as soon as one completes on its first attempt.
+    const std::lock_guard<std::mutex> lk(health_mu_);
+    degraded_ = res.attempts > 1 || res.status == RequestStatus::kFailed;
+    last_exec_.last_id = res.id;
+    last_exec_.last_attempts = res.attempts;
+    last_exec_.last_revives_used = res.solve.revives_used;
+    last_exec_.last_revives_budget = p.req.ft.max_revives;
+    last_exec_.last_revives_remaining =
+        std::max(0, p.req.ft.max_revives - res.solve.revives_used);
+    last_exec_.last_recoveries =
+        counter_sum(res.solve.obs_summary, "par/recoveries");
+    last_exec_.last_steps_rolled_back =
+        counter_sum(res.solve.obs_summary, "par/steps_rolled_back");
+    last_exec_.last_steps_replayed =
+        counter_sum(res.solve.obs_summary, "par/steps_replayed");
+    last_exec_.last_solve_seconds = res.solve_seconds;
   }
 
   {

@@ -157,9 +157,11 @@ bool save_snapshot_rotating(const std::string& path, const Snapshot& snap,
   return true;
 }
 
-bool load_snapshot(const std::string& path, Snapshot* out) {
+SnapshotLoadStatus load_snapshot_status(const std::string& path,
+                                        Snapshot* out) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return false;
+  if (!f) return SnapshotLoadStatus::kMissing;
+  // From here on the file exists: any failure to decode it is kCorrupt.
   std::vector<unsigned char> buf;
   unsigned char chunk[1 << 16];
   for (;;) {
@@ -167,42 +169,58 @@ bool load_snapshot(const std::string& path, Snapshot* out) {
     buf.insert(buf.end(), chunk, chunk + n);
     if (n < sizeof(chunk)) break;
   }
-  if (std::ferror(f.get()) != 0) return false;
+  if (std::ferror(f.get()) != 0) return SnapshotLoadStatus::kCorrupt;
 
-  if (buf.size() < sizeof(std::uint32_t)) return false;
+  if (buf.size() < sizeof(std::uint32_t)) return SnapshotLoadStatus::kCorrupt;
   const std::size_t payload = buf.size() - sizeof(std::uint32_t);
   std::uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, buf.data() + payload, sizeof(stored_crc));
-  if (crc32({buf.data(), payload}) != stored_crc) return false;
+  if (crc32({buf.data(), payload}) != stored_crc) {
+    return SnapshotLoadStatus::kCorrupt;
+  }
 
   std::size_t off = 0;
   std::uint32_t magic = 0, version = 0, n_fields = 0;
   Snapshot snap;
   if (!get({buf.data(), payload}, off, &magic) || magic != kMagic) {
-    return false;
+    return SnapshotLoadStatus::kCorrupt;
   }
   if (!get({buf.data(), payload}, off, &version) || version != kVersion) {
-    return false;
+    return SnapshotLoadStatus::kCorrupt;
   }
-  if (!get({buf.data(), payload}, off, &snap.step)) return false;
-  if (!get({buf.data(), payload}, off, &n_fields)) return false;
+  if (!get({buf.data(), payload}, off, &snap.step)) {
+    return SnapshotLoadStatus::kCorrupt;
+  }
+  if (!get({buf.data(), payload}, off, &n_fields)) {
+    return SnapshotLoadStatus::kCorrupt;
+  }
   for (std::uint32_t i = 0; i < n_fields; ++i) {
     std::uint32_t name_len = 0;
-    if (!get({buf.data(), payload}, off, &name_len)) return false;
-    if (off + name_len > payload) return false;
+    if (!get({buf.data(), payload}, off, &name_len)) {
+      return SnapshotLoadStatus::kCorrupt;
+    }
+    if (off + name_len > payload) return SnapshotLoadStatus::kCorrupt;
     std::string name(reinterpret_cast<const char*>(buf.data() + off),
                      name_len);
     off += name_len;
     std::uint64_t count = 0;
-    if (!get({buf.data(), payload}, off, &count)) return false;
-    if (off + count * sizeof(double) > payload) return false;
+    if (!get({buf.data(), payload}, off, &count)) {
+      return SnapshotLoadStatus::kCorrupt;
+    }
+    if (off + count * sizeof(double) > payload) {
+      return SnapshotLoadStatus::kCorrupt;
+    }
     std::vector<double> data(static_cast<std::size_t>(count));
     std::memcpy(data.data(), buf.data() + off, count * sizeof(double));
     off += static_cast<std::size_t>(count) * sizeof(double);
     snap.add(std::move(name), std::move(data));
   }
   *out = std::move(snap);
-  return true;
+  return SnapshotLoadStatus::kOk;
+}
+
+bool load_snapshot(const std::string& path, Snapshot* out) {
+  return load_snapshot_status(path, out) == SnapshotLoadStatus::kOk;
 }
 
 }  // namespace quake::util

@@ -56,4 +56,14 @@ std::string snapshot_generation_path(const std::string& path, int gen);
 // missing, truncated, has a wrong magic/version, or fails CRC verification.
 bool load_snapshot(const std::string& path, Snapshot* out);
 
+// load_snapshot with the failure cause split out: kMissing (no file at
+// `path`) vs kCorrupt (a file exists but is truncated, mis-tagged, or fails
+// CRC verification). Restore agreement uses the distinction to count
+// generation fallbacks — skipping a corrupt newest generation for an older
+// intact one is an event worth surfacing; skipping a file that was never
+// written is not.
+enum class SnapshotLoadStatus { kOk, kMissing, kCorrupt };
+SnapshotLoadStatus load_snapshot_status(const std::string& path,
+                                        Snapshot* out);
+
 }  // namespace quake::util

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <numeric>
 #include <string>
@@ -1034,6 +1035,212 @@ TEST_F(ParallelRecovery, FallsBackToFullRestartWithoutUsableCheckpoint) {
     ASSERT_NE(it, rep.metrics.counters.end());
     EXPECT_EQ(it->second, rep.rank == 1 ? 3 : 2) << "rank " << rep.rank;
   }
+  std::filesystem::remove_all(dir);
+}
+
+double counter_sum(const ParallelResult& pr, const std::string& key) {
+  const auto it = pr.obs_summary.counters.find(key);
+  return it == pr.obs_summary.counters.end() ? 0.0 : it->second.sum;
+}
+
+// Three-tier recovery sweep (tentpole acceptance): at 4 and 8 ranks, every
+// tier produces a result bit-identical to the undisturbed run —
+//  * replay_donation: tier 1 with the buddy-donated snapshot; survivors
+//    roll back ZERO steps and the victim replays on logged messages;
+//  * replay_disk: tier 1 with donation disabled — the victim restores its
+//    newest disk generation and still replays with zero survivor rollback;
+//  * ring_overflow_rollback: a one-step message log cannot cover the replay
+//    span, so recovery falls back to tier-2 rollback (the donated snapshot
+//    still spares the victim the disk read);
+//  * kill_donor_during_recovery: the victim's donor dies during the first
+//    recovery round, leaving two state-less ranks — one restores by
+//    donation from ITS buddy, the other from disk, both then replay.
+TEST_F(ParallelRecovery, ThreeTierKillSweepBitIdenticalAcrossRankCounts) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  constexpr int kDuringRecovery = std::numeric_limits<int>::min() + 1;
+
+  for (const int R : {4, 8}) {
+    const Partition part = partition_sfc(mesh, R);
+    const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+    ASSERT_GT(ref.n_steps, 11);
+    const int n = ref.n_steps;
+    const int every = std::max(2, n / 4);
+    const int victim = R - 1;
+    const int donor = (victim + 1) % R;  // the buddy holding victim's state
+    // Kill strictly between checkpoints so the replay span is non-empty
+    // (a kill exactly at a checkpoint step would replay zero steps).
+    int kill_at = 2 * n / 3;
+    if (kill_at % every == 0) ++kill_at;
+    ASSERT_LT(kill_at, n);
+    ASSERT_GT(kill_at, every);
+
+    struct Scenario {
+      const char* name;
+      bool donation;
+      int log_steps;  // FaultToleranceOptions::message_log_steps
+      std::vector<FaultPlan::Kill> kills;
+      bool zero_rollback;        // par/steps_rolled_back must sum to 0
+      double donation_restores;  // exact expected sum
+      bool fallback;             // tier-2: par/replay_fallbacks on all ranks
+    };
+    const Scenario scenarios[] = {
+        {"replay_donation", true, -1, {{victim, kill_at}}, true, 1.0, false},
+        {"replay_disk", false, -1, {{victim, kill_at}}, true, 0.0, false},
+        {"ring_overflow_rollback",
+         true,
+         1,
+         {{victim, kill_at}},
+         false,
+         1.0,
+         true},
+        {"kill_donor_during_recovery",
+         true,
+         -1,
+         {{victim, kill_at}, {donor, kDuringRecovery}},
+         true,
+         1.0,
+         false},
+    };
+    for (const Scenario& sc : scenarios) {
+      SCOPED_TRACE(std::string(sc.name) + " R=" + std::to_string(R));
+      const std::filesystem::path dir =
+          std::filesystem::temp_directory_path() /
+          ("quake_three_tier_" + std::to_string(R) + "_" + sc.name);
+      std::filesystem::remove_all(dir);
+      FaultPlan plan;
+      plan.kills = sc.kills;
+      FaultToleranceOptions ft;
+      ft.checkpoint_dir = dir.string();
+      ft.checkpoint_every = every;
+      ft.max_retries = 1;
+      ft.max_revives = 4;
+      ft.fault_plan = &plan;
+      ft.state_donation = sc.donation;
+      ft.message_log_steps = sc.log_steps;
+      const ParallelResult pr =
+          run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+      EXPECT_EQ(pr.n_steps, ref.n_steps);
+      ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+      EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                            ref.u_final.size() * sizeof(double)),
+                0);
+      ASSERT_EQ(pr.receiver_histories[0].size(),
+                ref.receiver_histories[0].size());
+      EXPECT_EQ(
+          std::memcmp(pr.receiver_histories[0].data(),
+                      ref.receiver_histories[0].data(),
+                      ref.receiver_histories[0].size() * sizeof(double) * 3),
+          0);
+
+      EXPECT_GE(counter_sum(pr, "par/recoveries"), 1.0);
+      EXPECT_EQ(counter_sum(pr, "par/donation_restores"),
+                sc.donation_restores);
+      if (sc.zero_rollback) {
+        EXPECT_EQ(counter_sum(pr, "par/steps_rolled_back"), 0.0);
+        EXPECT_GE(counter_sum(pr, "par/steps_replayed"), 1.0);
+        ASSERT_TRUE(pr.obs_summary.scopes.count("recover/replay"));
+      }
+      if (sc.fallback) {
+        // Every rank counts the tier-2 downgrade once, and the rollback
+        // really rewinds the survivors.
+        EXPECT_EQ(counter_sum(pr, "par/replay_fallbacks"),
+                  static_cast<double>(R));
+        EXPECT_GE(counter_sum(pr, "par/steps_rolled_back"), 1.0);
+      } else {
+        EXPECT_EQ(counter_sum(pr, "par/replay_fallbacks"), 0.0);
+      }
+      if (sc.donation && !sc.fallback &&
+          std::string(sc.name) == "replay_donation") {
+        EXPECT_EQ(counter_sum(pr, "par/donations_served"), 1.0);
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+// Satellite: a CRC-corrupt newest checkpoint generation must not poison the
+// restore agreement — the next-older intact generation serves instead, the
+// fallback is counted, and the resumed run stays bit-identical.
+TEST_F(ParallelRecovery, CorruptNewestGenerationFallsBackToOlder) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  constexpr int R = 4;
+  const Partition part = partition_sfc(mesh, R);
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  ASSERT_GT(ref.n_steps, 10);
+  const int n = ref.n_steps;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_gen_fallback_test";
+  std::filesystem::remove_all(dir);
+
+  // Phase 1: die with no recovery budget after at least two checkpoint
+  // generations are on disk; the snapshots survive the failed run.
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*step=*/n - 1});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = std::max(1, n / 5);
+  ft.max_retries = 0;
+  ft.fault_plan = &plan;
+  EXPECT_THROW(run_parallel(mesh, part, oo, so, sources, rxs, ft),
+               RankFailedError);
+
+  // Seeded corruption: flip one byte in the middle of every rank's newest
+  // generation so its CRC verification fails.
+  for (int r = 0; r < R; ++r) {
+    const std::filesystem::path p =
+        dir / ("rank" + std::to_string(r) + ".ckpt");
+    ASSERT_TRUE(std::filesystem::exists(p)) << p;
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    const auto size = std::filesystem::file_size(p);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+
+  // Phase 2: resume without faults. The agreement must skip the corrupt
+  // newest generation on every rank, restore the older intact one, and
+  // still finish bit-identically.
+  FaultToleranceOptions ft2;
+  ft2.checkpoint_dir = dir.string();
+  ft2.checkpoint_every = std::max(1, n / 5);
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft2);
+
+  ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.receiver_histories[0].data(),
+                        ref.receiver_histories[0].data(),
+                        ref.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+  EXPECT_EQ(counter_sum(pr, "checkpoint/generation_fallbacks"),
+            static_cast<double>(R));
+  EXPECT_EQ(counter_sum(pr, "ckpt/restores"), static_cast<double>(R));
   std::filesystem::remove_all(dir);
 }
 

@@ -377,6 +377,103 @@ TEST(SimulationService, KilledRequestWithRevivalBudgetCompletes) {
                             cold_a.receiver_histories));
 }
 
+// Service-level degradation: when the in-run recovery budget is spent, the
+// worker retries the whole request with backoff, counts each retry, and
+// flags the service degraded; a later clean request clears the flag.
+TEST(SimulationService, RetriesRecoverableFaultsAndClearsDegraded) {
+  const Fixture f;
+  par::FaultPlan plan;
+  plan.kills.push_back({1, 5});  // refires on every attempt: plan reinstalls
+
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+  svc::ScenarioRequest doomed = f.request(f.src_a);
+  doomed.ft.fault_plan = &plan;
+  doomed.max_attempts = 3;
+  auto t = service.submit(doomed);
+  const svc::ScenarioResult r = t.result.get();
+
+  EXPECT_EQ(r.status, svc::RequestStatus::kFailed);
+  EXPECT_EQ(r.attempts, 3);
+  {
+    const obs::Registry m = service.metrics();
+    EXPECT_EQ(m.counters.at("svc/retries"), 2);
+    EXPECT_EQ(m.gauges.at("svc/degraded"), 1.0);
+    const svc::ServiceHealth h = service.health();
+    EXPECT_TRUE(h.degraded);
+    EXPECT_EQ(h.retries_total, 2);
+    EXPECT_EQ(h.failed_total, 1);
+    EXPECT_EQ(h.last_id, t.id);
+    EXPECT_EQ(h.last_attempts, 3);
+  }
+
+  // A clean first-attempt completion ends the degraded state.
+  auto ok = service.submit(f.request(f.src_b));
+  ASSERT_EQ(ok.result.get().status, svc::RequestStatus::kCompleted);
+  {
+    const obs::Registry m = service.metrics();
+    EXPECT_EQ(m.gauges.at("svc/degraded"), 0.0);
+    const svc::ServiceHealth h = service.health();
+    EXPECT_FALSE(h.degraded);
+    EXPECT_EQ(h.last_attempts, 1);
+    EXPECT_EQ(h.retries_total, 2);  // history, not state
+  }
+}
+
+// Deadlocks are deterministic program errors: no service-level retry.
+TEST(SimulationService, DeadlocksAreNotRetried) {
+  const Fixture f;
+  par::FaultPlan plan;
+  plan.msg_faults.push_back({0, 1, 0, 0, par::FaultPlan::MsgAction::kDrop});
+
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+  svc::ScenarioRequest doomed = f.request(f.src_a);
+  doomed.ft.fault_plan = &plan;
+  doomed.max_attempts = 3;
+  const svc::ScenarioResult r = service.submit(doomed).result.get();
+
+  EXPECT_EQ(r.status, svc::RequestStatus::kFailed);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(service.metrics().counters.at("svc/retries"), 0);
+}
+
+// health() exposes the last request's recovery footprint: a kill absorbed
+// by the revival budget completes on the first service-level attempt (not
+// degraded) and reports the budget consumed — and with tier-1 replay the
+// survivors rolled back zero steps.
+TEST(SimulationService, HealthReportsRevivalFootprint) {
+  obs::set_enabled(true);
+  const Fixture f;
+  par::FaultPlan plan;
+  plan.kills.push_back({1, 5});
+
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so);
+  svc::ScenarioRequest req = f.request(f.src_a);
+  req.ft.fault_plan = &plan;
+  req.ft.max_revives = 2;
+  req.ft.checkpoint_every = 2;
+  req.ft.checkpoint_dir = ::testing::TempDir() + "svc_health_ckpt";
+  auto t = service.submit(req);
+  const svc::ScenarioResult r = t.result.get();
+  service.wait_idle();  // the worker clears in-flight after the promise
+  obs::set_enabled(false);
+
+  ASSERT_EQ(r.status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.solve.revives_used, 1);
+  const svc::ServiceHealth h = service.health();
+  EXPECT_FALSE(h.degraded);
+  EXPECT_EQ(h.last_id, t.id);
+  EXPECT_EQ(h.last_attempts, 1);
+  EXPECT_EQ(h.last_revives_used, 1);
+  EXPECT_EQ(h.last_revives_budget, 2);
+  EXPECT_EQ(h.last_revives_remaining, 1);
+  EXPECT_GE(h.last_recoveries, 1.0);
+  EXPECT_EQ(h.last_steps_rolled_back, 0.0);
+  EXPECT_GE(h.last_steps_replayed, 1.0);
+  EXPECT_FALSE(h.in_flight);
+  EXPECT_EQ(h.queue_depth, 0u);
+}
+
 TEST(SimulationService, ShutdownResolvesQueuedAsCancelled) {
   const Fixture f;
   svc::ServiceOptions opt;

@@ -279,6 +279,40 @@ TEST(Checkpoint, CorruptionAndTruncationRejected) {
   EXPECT_FALSE(load_snapshot(path, &out));
 }
 
+TEST(Checkpoint, LoadStatusSplitsMissingFromCorrupt) {
+  const std::string path = testing::TempDir() + "/quake_snap_status.ckpt";
+  std::remove(path.c_str());
+  Snapshot out;
+
+  // No file at all: kMissing — nothing was ever written here.
+  EXPECT_EQ(load_snapshot_status(path, &out), SnapshotLoadStatus::kMissing);
+
+  Snapshot snap;
+  snap.step = 42;
+  snap.add("u", {1.0, 2.0, 3.0});
+  save_snapshot(path, snap);
+  EXPECT_EQ(load_snapshot_status(path, &out), SnapshotLoadStatus::kOk);
+  EXPECT_EQ(out.step, 42);
+
+  // A flipped byte fails CRC: kCorrupt, not kMissing.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 20, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(load_snapshot_status(path, &out), SnapshotLoadStatus::kCorrupt);
+
+  // Truncation is corruption too — the file exists but cannot be decoded.
+  save_snapshot(path, snap);
+  std::filesystem::resize_file(path, 3);
+  EXPECT_EQ(load_snapshot_status(path, &out), SnapshotLoadStatus::kCorrupt);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, RotatingSaveKeepsLastKGenerations) {
   const std::string path = testing::TempDir() + "/quake_snap_rot.ckpt";
   for (int gen = 0; gen <= 4; ++gen) {

@@ -11,9 +11,12 @@
 // "series.gn/cg_iters" — metric names use '/', so '.' is a safe separator)
 // is present in every row. Bench-specific contracts keyed on the bench
 // name pin evidence obligations: "throughput" (warm A/B numbers, zero
-// failed requests in the clean trial, bitwise kill isolation) and
-// "fig2_1" (per-phase store statistics with sane pool hit rates). Exits 0
-// on success, 1 with a diagnostic on the first violation.
+// failed requests in the clean trial, bitwise kill isolation), "fig2_1"
+// (per-phase store statistics with sane pool hit rates), and "table2_1"
+// (fault-sweep rows carry all four recovery policies with the
+// recover/agree|restore|replay|resume breakdown, a zero-rollback replay
+// row, and a rolled-back rollback row). Exits 0 on success, 1 with a
+// diagnostic on the first violation.
 
 #include <cstdio>
 #include <cstring>
@@ -197,6 +200,64 @@ bool check_throughput_contract(const Json& rows) {
   return true;
 }
 
+// The table2_1 --fault-sweep rows claim a recovery-latency comparison
+// across the three tiers (see DESIGN.md "Localized recovery"); when any
+// row carries a params.mode, all four policies must be present and each
+// must carry the wall-clock numbers plus the recover/agree|restore|replay
+// |resume latency breakdown. The replay row must prove zero survivor
+// rollback (steps_rolled_back == 0, steps_replayed > 0 with the
+// recover/replay scope); the rollback row must prove it actually rolled
+// back. Plain table rows (no params.mode) are exempt, so the contract is
+// inert for runs without --fault-sweep.
+bool check_table2_1_contract(const Json& rows) {
+  const Json* sweep[4] = {nullptr, nullptr, nullptr, nullptr};
+  const char* names[4] = {"clean", "recovery", "rollback", "full_restart"};
+  bool any_mode = false;
+  for (const Json& row : rows.items()) {
+    if (row_param(row, "mode") == nullptr) continue;
+    any_mode = true;
+    for (int m = 0; m < 4; ++m) {
+      if (param_is(row, "mode", names[m])) sweep[m] = &row;
+    }
+  }
+  if (!any_mode) return true;
+  g_context += " (table2_1 fault-sweep contract)";
+  for (int m = 0; m < 4; ++m) {
+    if (sweep[m] == nullptr) {
+      return fail(std::string("no row with params.mode == \"") + names[m] +
+                  "\"");
+    }
+    const Json* mm = sweep[m]->find("metrics");
+    for (const char* key :
+         {"wall_seconds_min", "wall_seconds_mean", "excess_over_clean_seconds",
+          "steps_rolled_back", "steps_replayed", "recover_agree_seconds",
+          "recover_restore_seconds", "recover_replay_seconds",
+          "recover_resume_seconds"}) {
+      if (mm == nullptr || !is_number(mm->find(key))) {
+        return fail(std::string(names[m]) + " row needs numeric metrics." +
+                    key);
+      }
+    }
+  }
+  const Json* rm = sweep[1]->find("metrics");
+  if (rm->find("steps_rolled_back")->as_number() != 0.0) {
+    return fail("recovery (replay) row reports steps_rolled_back != 0");
+  }
+  if (rm->find("steps_replayed")->as_number() <= 0.0) {
+    return fail("recovery (replay) row reports steps_replayed <= 0");
+  }
+  const Json* rranks = sweep[1]->find("ranks");
+  const Json* rscopes = rranks == nullptr ? nullptr : rranks->find("scopes");
+  if (rscopes == nullptr || rscopes->find("recover/replay") == nullptr) {
+    return fail("recovery (replay) row lacks the recover/replay scope");
+  }
+  const Json* bm = sweep[2]->find("metrics");
+  if (bm->find("steps_rolled_back")->as_number() <= 0.0) {
+    return fail("rollback row reports steps_rolled_back <= 0");
+  }
+  return true;
+}
+
 // The fig2_1 bench surfaces per-phase etree buffer-pool statistics; every
 // store-phase row must carry the page accounting and a sane hit rate, and
 // checksum verification must have seen no failures.
@@ -351,6 +412,10 @@ int main(int argc, char** argv) {
   }
   g_context = file;
   if (bench->as_string() == "fig2_1" && !check_fig2_1_contract(*rows)) {
+    return 1;
+  }
+  g_context = file;
+  if (bench->as_string() == "table2_1" && !check_table2_1_contract(*rows)) {
     return 1;
   }
 
