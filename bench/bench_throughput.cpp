@@ -11,12 +11,22 @@
 // the victim fails alone, its neighbors' results stay bit-identical, and
 // the same service keeps serving afterwards.
 //
+// Two scaling sweeps ride on the same scenarios (see docs/BATCHING.md):
+// a lane sweep (requests/sec through L worker lanes, each a full
+// ParallelSetup replica) and a batch sweep (one lane coalescing S requests
+// into a single scenario-batched run_batch solve). Both are checked
+// bitwise against the cold baseline — more lanes or a wider batch must
+// change throughput only, never a single bit of any seismogram.
+//
 //   bench_throughput [--quick] [--json PATH] [--csv PATH]
+//                    [--requests N] [--lanes L1,L2,...] [--batch-sizes S1,...]
 //
 // Emits a "quake.bench/1" report (default BENCH_throughput.json) with rows
-// params.mode = cold | warm | kill; tools/check_bench_schema pins the
-// throughput contract (requests completed, cold-vs-warm wall seconds, zero
-// failed requests in the clean trial, bitwise kill isolation).
+// params.mode = cold | warm | lanes | batch | kill; tools/check_bench_schema
+// pins the throughput contract (requests completed, cold-vs-warm wall
+// seconds, zero failed requests in the clean trial, >= 2 lane counts with
+// bitwise-checked requests/sec, batch rows bitwise-identical to unbatched,
+// bitwise kill isolation).
 
 #include <algorithm>
 #include <array>
@@ -58,6 +68,21 @@ Scenario make_scenario(std::size_t i, double extent) {
   return s;
 }
 
+// "1,2,4" -> {1, 2, 4}; exits via the caller's usage message on garbage.
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string tok = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    out.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 using History = std::vector<std::vector<std::array<double, 3>>>;
 
 bool histories_bitwise_equal(const History& a, const History& b) {
@@ -80,6 +105,9 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string json_path = "BENCH_throughput.json";
   std::string csv_path;
+  int n_requests = 8;                      // requests per batch (--requests)
+  std::vector<int> lane_counts = {1, 2};   // lane sweep (--lanes)
+  std::vector<int> batch_sizes = {1, 2, 4};  // batch sweep (--batch-sizes)
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       quick = true;
@@ -87,8 +115,17 @@ int main(int argc, char** argv) {
       json_path = argv[++a];
     } else if (std::strcmp(argv[a], "--csv") == 0 && a + 1 < argc) {
       csv_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--requests") == 0 && a + 1 < argc) {
+      n_requests = std::stoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--lanes") == 0 && a + 1 < argc) {
+      lane_counts = parse_int_list(argv[++a]);
+    } else if (std::strcmp(argv[a], "--batch-sizes") == 0 && a + 1 < argc) {
+      batch_sizes = parse_int_list(argv[++a]);
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json PATH] [--csv PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--csv PATH] "
+                   "[--requests N] [--lanes L1,L2,...] [--batch-sizes "
+                   "S1,S2,...]\n",
                    argv[0]);
       return 2;
     }
@@ -107,7 +144,7 @@ int main(int argc, char** argv) {
   mopt.max_level = quick ? 6 : 7;
 
   const int R = 2;             // ranks (small: the host serializes threads)
-  const int N = 8;             // requests per batch (the ISSUE's A/B size)
+  const int N = n_requests;    // requests per batch (the ISSUE's A/B size)
   const int target_steps = quick ? 6 : 16;
   const int trials = quick ? 2 : 3;
 
@@ -289,6 +326,160 @@ int main(int argc, char** argv) {
                  obs::to_json(warm_results.back().solve.obs_summary));
   }
 
+  // ---- lane sweep: requests/sec vs worker lanes ---------------------------
+  // Each lane count L gets its own service (L full ParallelSetup replicas,
+  // L shards, L workers); the same N requests drain through it and every
+  // seismogram must stay bitwise identical to the cold single-lane baseline.
+  bool lanes_ok = true;
+  for (const int L : lane_counts) {
+    double lane_min = 1e300, lane_sum = 0.0;
+    std::vector<svc::ScenarioResult> lane_results;
+    long long lane_failed = 0;
+    for (int t = 0; t < trials; ++t) {
+      solver::SolverOptions so = sopt;
+      so.t_end = t_end;
+      svc::ServiceOptions o;
+      o.queue_bound = static_cast<std::size_t>(N) + 4;
+      o.lanes = L;
+      svc::SimulationService service(mesh, part, oopt, so, o);
+      util::Timer timer;
+      std::vector<svc::SimulationService::Ticket> tickets;
+      tickets.reserve(static_cast<std::size_t>(N));
+      for (int i = 0; i < N; ++i) {
+        const Scenario& sc = scenarios[static_cast<std::size_t>(i)];
+        svc::ScenarioRequest req;
+        req.point_sources = {sc.src};
+        req.receivers = sc.receivers;
+        req.t_end = t_end;
+        tickets.push_back(service.submit(std::move(req)));
+      }
+      std::vector<svc::ScenarioResult> results;
+      results.reserve(tickets.size());
+      for (auto& tk : tickets) results.push_back(tk.result.get());
+      const double wall = timer.seconds();
+      lane_min = std::min(lane_min, wall);
+      lane_sum += wall;
+      lane_failed = service.metrics().counters["svc/requests_failed"];
+      lane_results = std::move(results);
+    }
+    int lane_completed = 0;
+    for (const auto& r : lane_results) {
+      if (r.status == svc::RequestStatus::kCompleted) ++lane_completed;
+    }
+    bool lane_bitwise = lane_completed == N;
+    for (int i = 0; i < N && lane_bitwise; ++i) {
+      lane_bitwise = histories_bitwise_equal(
+          lane_results[static_cast<std::size_t>(i)].solve.receiver_histories,
+          cold_results[static_cast<std::size_t>(i)].receiver_histories);
+    }
+    if (!lane_bitwise || lane_failed != 0) lanes_ok = false;
+    const double rps = lane_min > 0.0 ? N / lane_min : 0.0;
+    std::printf("  lanes=%d: %.3f s min (%.2f req/s); bit-identical to "
+                "single-lane: %s\n",
+                L, lane_min, rps, lane_bitwise ? "yes" : "NO (bug!)");
+
+    obs::Json& lane_row = sink.new_row();
+    lane_row.set("params", obs::Json::object()
+                               .set("mode", "lanes")
+                               .set("lanes", L)
+                               .set("ranks", R)
+                               .set("n_requests", N)
+                               .set("t_end", t_end)
+                               .set("trials", trials));
+    lane_row.set("metrics",
+                 obs::Json::object()
+                     .set("wall_seconds_min", lane_min)
+                     .set("wall_seconds_mean", lane_sum / trials)
+                     .set("requests_per_second", rps)
+                     .set("requests_completed", lane_completed)
+                     .set("matches_single_lane_bitwise", lane_bitwise ? 1 : 0)
+                     .set("svc_requests_failed", lane_failed));
+  }
+
+  // ---- batch sweep: warm wall-clock vs scenario-batch width S -------------
+  // One lane, max_batch = S. The service starts paused so the shard fills
+  // before the worker wakes: the worker then coalesces deterministic
+  // batches of width S (run_batch: one element sweep + one exchange round
+  // per step for all S scenarios). Every result must stay bitwise identical
+  // to the unbatched cold baseline — that is the batching guarantee.
+  bool batch_ok = true;
+  for (const int S : batch_sizes) {
+    double batch_min = 1e300, batch_sum = 0.0;
+    std::vector<svc::ScenarioResult> batch_results;
+    long long batches = 0, batched_requests = 0, batch_failed = 0;
+    for (int t = 0; t < trials; ++t) {
+      solver::SolverOptions so = sopt;
+      so.t_end = t_end;
+      svc::ServiceOptions o;
+      o.queue_bound = static_cast<std::size_t>(N) + 4;
+      o.max_batch = S;
+      o.start_paused = true;
+      svc::SimulationService service(mesh, part, oopt, so, o);
+      std::vector<svc::SimulationService::Ticket> tickets;
+      tickets.reserve(static_cast<std::size_t>(N));
+      for (int i = 0; i < N; ++i) {
+        const Scenario& sc = scenarios[static_cast<std::size_t>(i)];
+        svc::ScenarioRequest req;
+        req.point_sources = {sc.src};
+        req.receivers = sc.receivers;
+        req.t_end = t_end;
+        tickets.push_back(service.submit(std::move(req)));
+      }
+      util::Timer timer;
+      service.resume();
+      std::vector<svc::ScenarioResult> results;
+      results.reserve(tickets.size());
+      for (auto& tk : tickets) results.push_back(tk.result.get());
+      const double wall = timer.seconds();
+      batch_min = std::min(batch_min, wall);
+      batch_sum += wall;
+      obs::Registry m = service.metrics();
+      batches = m.counters["svc/batches"];
+      batched_requests = m.counters["svc/batched_requests"];
+      batch_failed = m.counters["svc/requests_failed"];
+      batch_results = std::move(results);
+    }
+    int batch_completed = 0;
+    for (const auto& r : batch_results) {
+      if (r.status == svc::RequestStatus::kCompleted) ++batch_completed;
+    }
+    bool batch_bitwise = batch_completed == N;
+    for (int i = 0; i < N && batch_bitwise; ++i) {
+      batch_bitwise = histories_bitwise_equal(
+          batch_results[static_cast<std::size_t>(i)].solve.receiver_histories,
+          cold_results[static_cast<std::size_t>(i)].receiver_histories);
+    }
+    if (!batch_bitwise || batch_failed != 0) batch_ok = false;
+    const double rps = batch_min > 0.0 ? N / batch_min : 0.0;
+    std::printf("  batch S=%d: %.3f s min (%.2f req/s, %lld batched solves); "
+                "bit-identical to unbatched: %s\n",
+                S, batch_min, rps, static_cast<long long>(batches),
+                batch_bitwise ? "yes" : "NO (bug!)");
+
+    obs::Json& batch_row = sink.new_row();
+    batch_row.set("params", obs::Json::object()
+                                .set("mode", "batch")
+                                .set("batch_size", S)
+                                .set("lanes", 1)
+                                .set("ranks", R)
+                                .set("n_requests", N)
+                                .set("t_end", t_end)
+                                .set("trials", trials));
+    batch_row.set(
+        "metrics",
+        obs::Json::object()
+            .set("wall_seconds_min", batch_min)
+            .set("wall_seconds_mean", batch_sum / trials)
+            .set("requests_per_second", rps)
+            .set("requests_completed", batch_completed)
+            .set("batches", batches)
+            .set("batched_requests", batched_requests)
+            .set("cold_wall_seconds", cold_min)
+            .set("warm_over_cold", cold_min > 0.0 ? batch_min / cold_min : 0.0)
+            .set("batch_matches_unbatched_bitwise", batch_bitwise ? 1 : 0)
+            .set("svc_requests_failed", batch_failed));
+  }
+
   // ---- kill trial: one request dies mid-solve, the rest must not notice --
   // Request 1 carries a FaultPlan that kills rank R-1 mid-step with no
   // recovery budget; it must fail alone. The SAME service then serves a
@@ -369,5 +560,8 @@ int main(int argc, char** argv) {
 
   // Exit nonzero on a correctness violation (wall-clock ratios are noisy on
   // a loaded host, so the <= 0.5 target is reported, not enforced here).
-  return (bitwise && kill_ok && service_survived && warm_failed == 0) ? 0 : 1;
+  return (bitwise && lanes_ok && batch_ok && kill_ok && service_survived &&
+          warm_failed == 0)
+             ? 0
+             : 1;
 }

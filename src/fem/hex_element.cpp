@@ -1,5 +1,6 @@
 #include "quake/fem/hex_element.hpp"
 
+#include <cassert>
 #include <cmath>
 
 namespace quake::fem {
@@ -88,6 +89,40 @@ void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
     const double v = scale_lambda * sl + scale_mu * sm;
     y_e[r] += v;
     if (y_damp != nullptr) y_damp[r] += beta_e * v;
+  }
+}
+
+void hex_apply_batch(const HexReference& ref, const double* u_e, int n_lanes,
+                     double scale_lambda, double scale_mu, double* y_e,
+                     double beta_e, double* y_damp) {
+  // Lane s must see the exact operation sequence of hex_apply on its own
+  // data: the column loop stays outermost and the lane loop runs innermost,
+  // so each lane's accumulators take the same adds in the same order while
+  // the inner loop is unit-stride across lanes.
+  assert(n_lanes >= 1 && n_lanes <= kMaxBatchLanes);
+  double sl[kMaxBatchLanes], sm[kMaxBatchLanes];
+  for (int r = 0; r < kHexDofs; ++r) {
+    const double* kl = &ref.k_lambda[static_cast<std::size_t>(r) * kHexDofs];
+    const double* km = &ref.k_mu[static_cast<std::size_t>(r) * kHexDofs];
+    for (int s = 0; s < n_lanes; ++s) sl[s] = sm[s] = 0.0;
+    for (int c = 0; c < kHexDofs; ++c) {
+      const double* uc = u_e + static_cast<std::size_t>(c) * n_lanes;
+      const double klc = kl[c];
+      const double kmc = km[c];
+      for (int s = 0; s < n_lanes; ++s) {
+        sl[s] += klc * uc[s];
+        sm[s] += kmc * uc[s];
+      }
+    }
+    double* yr = y_e + static_cast<std::size_t>(r) * n_lanes;
+    double* dr =
+        y_damp != nullptr ? y_damp + static_cast<std::size_t>(r) * n_lanes
+                          : nullptr;
+    for (int s = 0; s < n_lanes; ++s) {
+      const double v = scale_lambda * sl[s] + scale_mu * sm[s];
+      yr[s] += v;
+      if (dr != nullptr) dr[s] += beta_e * v;
+    }
   }
 }
 

@@ -20,6 +20,10 @@ namespace quake::fem {
 inline constexpr int kHexNodes = 8;
 inline constexpr int kHexDofs = 24;
 
+// Upper bound on the scenario-batch width the batched kernels accept (their
+// per-row accumulators live on the stack). Callers clamp batch sizes to it.
+inline constexpr int kMaxBatchLanes = 16;
+
 using HexMatrix = std::array<double, kHexDofs * kHexDofs>;       // row-major
 using ScalarHexMatrix = std::array<double, kHexNodes * kHexNodes>;
 
@@ -42,6 +46,17 @@ struct HexReference {
 // reusing the same products.
 void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
                double scale_mu, double* y_e, double beta_e, double* y_damp);
+
+// Batched (scenario-major) variant: u_e / y_e (/ y_damp) carry `n_lanes`
+// independent right-hand sides interleaved per dof — lane s of dof d lives
+// at index d * n_lanes + s. Lane s undergoes exactly the floating-point
+// operation sequence hex_apply would perform on it alone (the lane loop is
+// innermost), so batched results are bitwise identical per lane; the layout
+// makes the inner loop unit-stride across lanes, which is what lets the
+// kernel vectorize across scenarios.
+void hex_apply_batch(const HexReference& ref, const double* u_e, int n_lanes,
+                     double scale_lambda, double scale_mu, double* y_e,
+                     double beta_e, double* y_damp);
 
 // Diagonal of K_e = h (lambda K_lambda + mu K_mu), 24 entries.
 void hex_diagonal(const HexReference& ref, double scale_lambda,

@@ -156,6 +156,14 @@ struct RunControl {
   }
 };
 
+// One scenario of a batched solve (see ParallelSetup::run_batch and
+// docs/BATCHING.md): its sources and receiver positions. Sources are
+// non-owning and must outlive the solve.
+struct BatchScenario {
+  std::vector<const solver::SourceModel*> sources;
+  std::vector<std::array<double, 3>> receivers;
+};
+
 // The reusable setup phase of the parallel solver — everything run_parallel
 // builds before the SPMD launch, amortized across many solves (the paper's
 // point: mesh/setup is expensive, each solve is O(N) per step). Holds the
@@ -194,6 +202,23 @@ class ParallelSetup {
                      std::span<const std::array<double, 3>> receiver_positions,
                      const FaultToleranceOptions& ft = {},
                      const RunControl& control = {});
+
+  // S scenarios on the shared setup, advanced in lockstep: one element
+  // sweep, one constraint fold, and one ghost-exchange round per step
+  // service every scenario, with state scenario-major (lane s of dof d at
+  // index d * S + s) and each per-neighbor message carrying all S partial
+  // sums. Scenario s's result is bitwise identical to run() with that
+  // scenario's sources and receivers — the lane loop is innermost
+  // everywhere, so per-lane floating-point order never changes (see
+  // docs/BATCHING.md). At most fem::kMaxBatchLanes scenarios per call.
+  //
+  // Fault tolerance is deliberately unsupported (checkpoint state would be
+  // S-entangled); the serving layer only batches requests that carry no FT
+  // options. RunControl cancellation/deadline applies to the whole batch:
+  // either every scenario runs to completion or all stop at the same step.
+  std::vector<ParallelResult> run_batch(
+      double t_end, std::span<const BatchScenario> scenarios,
+      const RunControl& control = {});
 
  private:
   struct Impl;

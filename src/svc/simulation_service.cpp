@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "quake/fem/hex_element.hpp"
 #include "quake/par/communicator.hpp"
 
 namespace quake::svc {
@@ -23,6 +24,18 @@ double counter_sum(const obs::MergedReport& m, const std::string& key) {
   return it == m.counters.end() ? 0.0 : it->second.sum;
 }
 
+// A request may join a scenario batch only when nothing about it needs the
+// per-request machinery the batched path does not carry: no end-to-end
+// deadline (the whole batch would inherit the tightest one), no
+// service-level retry budget, and no fault tolerance of any kind
+// (run_batch deliberately supports none — see docs/BATCHING.md for the
+// coalescing contract). Batch partners must additionally share t_end.
+bool batchable(const ScenarioRequest& r) {
+  return r.deadline_seconds == 0.0 && r.max_attempts <= 1 &&
+         r.ft.checkpoint_dir.empty() && r.ft.fault_plan == nullptr &&
+         r.ft.max_retries == 0 && r.ft.max_revives == 0;
+}
+
 }  // namespace
 
 struct SimulationService::Pending {
@@ -35,14 +48,64 @@ struct SimulationService::Pending {
   std::shared_ptr<std::atomic<bool>> cancel_flag;
 };
 
+// One worker lane: a ParallelSetup replica, its shard of the admission
+// queue, and what it is currently running. `queue` and the running_* state
+// are guarded by the service-wide mu_; the counters are atomics so
+// metrics() reads them without blocking admission.
+struct SimulationService::Lane {
+  int index = 0;
+  par::ParallelSetup* setup = nullptr;
+  std::deque<std::unique_ptr<Pending>> queue;
+
+  // In-flight request ids and their per-request cancel flags (parallel
+  // vectors; empty = idle). For a batch, batch_cancel is a separate flag
+  // that fires only when EVERY member has been cancelled — the batch
+  // advances in lockstep, so stopping it early on one member's cancel
+  // would kill its partners' solves too. For a single run, batch_cancel
+  // aliases the member's own flag.
+  std::vector<std::uint64_t> running_ids;
+  std::vector<std::shared_ptr<std::atomic<bool>>> running_flags;
+  std::shared_ptr<std::atomic<bool>> running_batch_cancel;
+
+  std::atomic<std::int64_t> requests{0};  // requests this lane picked up
+  std::atomic<std::int64_t> batches{0};   // width > 1 solves it launched
+  std::atomic<std::int64_t> rejected{0};  // shed at admission to this shard
+
+  std::thread worker;
+};
+
 SimulationService::SimulationService(const mesh::HexMesh& mesh,
                                      const par::Partition& part,
                                      const solver::OperatorOptions& op_opt,
                                      const solver::SolverOptions& base,
                                      Options opt)
     : setup_(mesh, part, op_opt, base), opt_(opt) {
+  if (opt_.lanes < 1) {
+    throw std::invalid_argument("SimulationService: lanes must be >= 1");
+  }
+  if (opt_.max_batch < 1 || opt_.max_batch > fem::kMaxBatchLanes) {
+    throw std::invalid_argument(
+        "SimulationService: max_batch must be in [1, " +
+        std::to_string(fem::kMaxBatchLanes) + "]");
+  }
   paused_ = opt_.start_paused;
-  worker_ = std::thread([this] { worker_loop(); });
+  replica_setups_.reserve(static_cast<std::size_t>(opt_.lanes - 1));
+  for (int k = 1; k < opt_.lanes; ++k) {
+    replica_setups_.push_back(
+        std::make_unique<par::ParallelSetup>(mesh, part, op_opt, base));
+  }
+  lanes_.reserve(static_cast<std::size_t>(opt_.lanes));
+  for (int k = 0; k < opt_.lanes; ++k) {
+    auto lane = std::make_unique<Lane>();
+    lane->index = k;
+    lane->setup =
+        k == 0 ? &setup_ : replica_setups_[static_cast<std::size_t>(k - 1)].get();
+    lanes_.push_back(std::move(lane));
+  }
+  for (auto& lane : lanes_) {
+    Lane* l = lane.get();
+    l->worker = std::thread([this, l] { worker_loop(*l); });
+  }
 }
 
 SimulationService::~SimulationService() {
@@ -50,9 +113,17 @@ SimulationService::~SimulationService() {
   {
     const std::lock_guard<std::mutex> lk(mu_);
     shutdown_ = true;
-    orphans.swap(queue_);
-    if (running_cancel_) {
-      running_cancel_->store(true, std::memory_order_relaxed);
+    for (auto& lane : lanes_) {
+      for (auto& p : lane->queue) orphans.push_back(std::move(p));
+      lane->queue.clear();
+      // Cancel whatever is in flight: every member flag, then the
+      // whole-batch flag (the all-members-cancelled invariant holds).
+      for (auto& f : lane->running_flags) {
+        f->store(true, std::memory_order_relaxed);
+      }
+      if (lane->running_batch_cancel) {
+        lane->running_batch_cancel->store(true, std::memory_order_relaxed);
+      }
     }
   }
   work_cv_.notify_all();
@@ -64,7 +135,9 @@ SimulationService::~SimulationService() {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
     p->promise.set_value(std::move(r));
   }
-  if (worker_.joinable()) worker_.join();
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
 }
 
 SimulationService::Ticket SimulationService::submit(ScenarioRequest req) {
@@ -79,20 +152,29 @@ SimulationService::Ticket SimulationService::submit(ScenarioRequest req) {
     if (shutdown_) {
       throw std::runtime_error("SimulationService: submit after shutdown");
     }
-    if (queue_.size() >= opt_.queue_bound) {
+    // Route to the shallowest shard, ties to the lowest lane index. The
+    // bound is per shard; because routing picks the minimum, admission only
+    // sheds when every shard is full.
+    Lane* shard = lanes_.front().get();
+    for (auto& lane : lanes_) {
+      if (lane->queue.size() < shard->queue.size()) shard = lane.get();
+    }
+    if (shard->queue.size() >= opt_.queue_bound) {
+      shard->rejected.fetch_add(1, std::memory_order_relaxed);
       rejected_.fetch_add(1, std::memory_order_relaxed);
       throw QueueFullError("SimulationService: admission queue full (" +
                            std::to_string(opt_.queue_bound) +
-                           " requests waiting)");
+                           " requests waiting on shard " +
+                           std::to_string(shard->index) + ")");
     }
     id = next_id_.fetch_add(1, std::memory_order_relaxed);
     p->id = id;
     p->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     p->admitted = Clock::now();
     admitted_.fetch_add(1, std::memory_order_relaxed);
-    queue_.push_back(std::move(p));
+    shard->queue.push_back(std::move(p));
   }
-  work_cv_.notify_one();
+  work_cv_.notify_all();
   return Ticket{id, std::move(fut)};
 }
 
@@ -100,18 +182,36 @@ bool SimulationService::cancel(std::uint64_t id) {
   std::unique_ptr<Pending> victim;
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    if (running_id_ == id && running_cancel_) {
-      // In flight: flip the cooperative flag; the ranks agree to stop at
-      // the next step boundary and the request completes with kCancelled.
-      running_cancel_->store(true, std::memory_order_relaxed);
-      return true;
+    for (auto& lane : lanes_) {
+      // In flight on this lane: flip the member's cooperative flag. A solo
+      // run stops at its next step-boundary agreement (batch_cancel aliases
+      // the member flag); a batch stops early only once every member has
+      // been cancelled.
+      for (std::size_t i = 0; i < lane->running_ids.size(); ++i) {
+        if (lane->running_ids[i] != id) continue;
+        lane->running_flags[i]->store(true, std::memory_order_relaxed);
+        bool all = true;
+        for (const auto& f : lane->running_flags) {
+          if (!f->load(std::memory_order_relaxed)) {
+            all = false;
+            break;
+          }
+        }
+        if (all && lane->running_batch_cancel) {
+          lane->running_batch_cancel->store(true, std::memory_order_relaxed);
+        }
+        return true;
+      }
+      const auto it = std::find_if(
+          lane->queue.begin(), lane->queue.end(),
+          [id](const std::unique_ptr<Pending>& p) { return p->id == id; });
+      if (it != lane->queue.end()) {
+        victim = std::move(*it);
+        lane->queue.erase(it);
+        break;
+      }
     }
-    const auto it = std::find_if(
-        queue_.begin(), queue_.end(),
-        [id](const std::unique_ptr<Pending>& p) { return p->id == id; });
-    if (it == queue_.end()) return false;
-    victim = std::move(*it);
-    queue_.erase(it);
+    if (!victim) return false;
   }
   ScenarioResult r;
   r.id = id;
@@ -138,12 +238,19 @@ void SimulationService::resume() {
 
 void SimulationService::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return queue_.empty() && running_id_ == 0; });
+  idle_cv_.wait(lk, [&] {
+    for (const auto& lane : lanes_) {
+      if (!lane->queue.empty() || !lane->running_ids.empty()) return false;
+    }
+    return true;
+  });
 }
 
 std::size_t SimulationService::queue_depth() const {
   const std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+  std::size_t depth = 0;
+  for (const auto& lane : lanes_) depth += lane->queue.size();
+  return depth;
 }
 
 obs::Registry SimulationService::metrics() const {
@@ -164,9 +271,28 @@ obs::Registry SimulationService::metrics() const {
       deadline_exceeded_.load(std::memory_order_relaxed);
   m.counters["svc/requests_failed"] = failed_.load(std::memory_order_relaxed);
   m.counters["svc/retries"] = retries_.load(std::memory_order_relaxed);
+  m.counters["svc/batches"] = batches_.load(std::memory_order_relaxed);
+  m.counters["svc/batched_requests"] =
+      batched_requests_.load(std::memory_order_relaxed);
+  m.gauges["svc/lanes"] = static_cast<double>(opt_.lanes);
+  m.gauges["svc/batch_size"] =
+      static_cast<double>(last_batch_width_.load(std::memory_order_relaxed));
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    m.gauges["svc/queue_depth"] = static_cast<double>(queue_.size());
+    std::size_t depth = 0;
+    for (const auto& lane : lanes_) {
+      const std::string prefix = "svc/lane" + std::to_string(lane->index);
+      m.gauges[prefix + "/queue_depth"] =
+          static_cast<double>(lane->queue.size());
+      m.counters[prefix + "/requests"] =
+          lane->requests.load(std::memory_order_relaxed);
+      m.counters[prefix + "/batches"] =
+          lane->batches.load(std::memory_order_relaxed);
+      m.counters[prefix + "/rejected"] =
+          lane->rejected.load(std::memory_order_relaxed);
+      depth += lane->queue.size();
+    }
+    m.gauges["svc/queue_depth"] = static_cast<double>(depth);
   }
   {
     const std::lock_guard<std::mutex> lk(health_mu_);
@@ -184,68 +310,149 @@ ServiceHealth SimulationService::health() const {
   }
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    h.queue_depth = queue_.size();
-    h.in_flight = running_id_ != 0;
+    h.queue_depth = 0;
+    h.in_flight = false;
+    for (const auto& lane : lanes_) {
+      h.queue_depth += lane->queue.size();
+      if (!lane->running_ids.empty()) h.in_flight = true;
+    }
   }
   h.retries_total = retries_.load(std::memory_order_relaxed);
   h.failed_total = failed_.load(std::memory_order_relaxed);
   return h;
 }
 
-std::deque<std::unique_ptr<SimulationService::Pending>>::iterator
-SimulationService::pick_next_locked() {
-  auto best = queue_.begin();
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if ((*it)->priority > (*best)->priority ||
-        ((*it)->priority == (*best)->priority && (*it)->seq < (*best)->seq)) {
-      best = it;
-    }
-  }
-  return best;
-}
-
-void SimulationService::worker_loop() {
+void SimulationService::worker_loop(Lane& lane) {
   for (;;) {
-    std::unique_ptr<Pending> p;
+    std::vector<std::unique_ptr<Pending>> batch;
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(
-          lk, [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+          lk, [&] { return shutdown_ || (!paused_ && !lane.queue.empty()); });
       if (shutdown_) return;
-      const auto it = pick_next_locked();
-      p = std::move(*it);
-      queue_.erase(it);
-      running_id_ = p->id;
-      running_cancel_ = p->cancel_flag;
+      // Priority order within the shard: higher priority first, FIFO
+      // within a level (admission seq as the tiebreak).
+      const auto pick_best = [](std::deque<std::unique_ptr<Pending>>& q) {
+        auto best = q.begin();
+        for (auto qi = q.begin(); qi != q.end(); ++qi) {
+          if ((*qi)->priority > (*best)->priority ||
+              ((*qi)->priority == (*best)->priority &&
+               (*qi)->seq < (*best)->seq)) {
+            best = qi;
+          }
+        }
+        return best;
+      };
+      auto it = pick_best(lane.queue);
+      std::unique_ptr<Pending> head = std::move(*it);
+      lane.queue.erase(it);
+      const bool can_batch = opt_.max_batch > 1 && batchable(head->req);
+      const double head_t_end = head->req.t_end;
+      // The head is in flight from this point — registering it before any
+      // aggregation wait keeps cancel() able to reach it.
+      lane.running_ids = {head->id};
+      lane.running_flags = {head->cancel_flag};
+      lane.running_batch_cancel = head->cancel_flag;
+      batch.push_back(std::move(head));
+
+      if (can_batch) {
+        const auto gather = [&] {
+          while (batch.size() < static_cast<std::size_t>(opt_.max_batch)) {
+            auto best = lane.queue.end();
+            for (auto qi = lane.queue.begin(); qi != lane.queue.end(); ++qi) {
+              if (!batchable((*qi)->req) || (*qi)->req.t_end != head_t_end) {
+                continue;
+              }
+              if (best == lane.queue.end() ||
+                  (*qi)->priority > (*best)->priority ||
+                  ((*qi)->priority == (*best)->priority &&
+                   (*qi)->seq < (*best)->seq)) {
+                best = qi;
+              }
+            }
+            if (best == lane.queue.end()) break;
+            lane.running_ids.push_back((*best)->id);
+            lane.running_flags.push_back((*best)->cancel_flag);
+            batch.push_back(std::move(*best));
+            lane.queue.erase(best);
+          }
+        };
+        gather();
+        if (batch.size() < static_cast<std::size_t>(opt_.max_batch) &&
+            opt_.batch_window_seconds > 0.0) {
+          // Hold the underfull batch open for late arrivals. Spurious and
+          // submit() wakeups re-gather; the window closes on time or when
+          // the batch fills.
+          const auto window_end =
+              Clock::now() +
+              std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(opt_.batch_window_seconds));
+          while (batch.size() < static_cast<std::size_t>(opt_.max_batch) &&
+                 !shutdown_) {
+            if (work_cv_.wait_until(lk, window_end) ==
+                std::cv_status::timeout) {
+              gather();
+              break;
+            }
+            gather();
+          }
+        }
+        if (batch.size() > 1) {
+          // The whole-batch flag: a fresh atomic that fires only when every
+          // member is cancelled. Members flagged during the window count.
+          auto bc = std::make_shared<std::atomic<bool>>(false);
+          bool all = true;
+          for (const auto& f : lane.running_flags) {
+            if (!f->load(std::memory_order_relaxed)) {
+              all = false;
+              break;
+            }
+          }
+          if (all || shutdown_) bc->store(true, std::memory_order_relaxed);
+          lane.running_batch_cancel = bc;
+        }
+      }
     }
-    const std::uint64_t exec_index =
-        exec_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-    ScenarioResult res = execute(*p, exec_index);
-    switch (res.status) {
-      case RequestStatus::kCompleted:
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case RequestStatus::kCancelled:
-        cancelled_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case RequestStatus::kDeadlineExceeded:
-        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case RequestStatus::kFailed:
-        failed_.fetch_add(1, std::memory_order_relaxed);
-        break;
+
+    if (batch.size() == 1) {
+      std::unique_ptr<Pending> p = std::move(batch.front());
+      batch.clear();
+      const std::uint64_t exec_index =
+          exec_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+      lane.requests.fetch_add(1, std::memory_order_relaxed);
+      last_batch_width_.store(1, std::memory_order_relaxed);
+      ScenarioResult res = execute(*lane.setup, *p, exec_index);
+      switch (res.status) {
+        case RequestStatus::kCompleted:
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RequestStatus::kCancelled:
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RequestStatus::kDeadlineExceeded:
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RequestStatus::kFailed:
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      p->promise.set_value(std::move(res));
+    } else {
+      execute_batch(lane, std::move(batch));
     }
-    p->promise.set_value(std::move(res));
+
     {
       const std::lock_guard<std::mutex> lk(mu_);
-      running_id_ = 0;
-      running_cancel_.reset();
+      lane.running_ids.clear();
+      lane.running_flags.clear();
+      lane.running_batch_cancel.reset();
     }
     idle_cv_.notify_all();
   }
 }
 
-ScenarioResult SimulationService::execute(Pending& p,
+ScenarioResult SimulationService::execute(par::ParallelSetup& setup,
+                                          Pending& p,
                                           std::uint64_t exec_index) {
   ScenarioResult res;
   res.id = p.id;
@@ -288,12 +495,12 @@ ScenarioResult SimulationService::execute(Pending& p,
                         p.req.fault_sources.size());
         for (const PointSourceSpec& s : p.req.point_sources) {
           sources.push_back(std::make_unique<solver::PointSource>(
-              setup_.mesh(), s.position, s.direction, s.amplitude, s.fp,
+              setup.mesh(), s.position, s.direction, s.amplitude, s.fp,
               s.tc));
         }
         for (const solver::FaultSource::Spec& s : p.req.fault_sources) {
           sources.push_back(
-              std::make_unique<solver::FaultSource>(setup_.mesh(), s));
+              std::make_unique<solver::FaultSource>(setup.mesh(), s));
         }
       }
       std::vector<const solver::SourceModel*> src_ptrs;
@@ -317,8 +524,8 @@ ScenarioResult SimulationService::execute(Pending& p,
         ++res.attempts;
         try {
           QUAKE_OBS_SCOPE("solve");
-          res.solve = setup_.run(p.req.t_end, src_ptrs, p.req.receivers,
-                                 p.req.ft, ctl);
+          res.solve = setup.run(p.req.t_end, src_ptrs, p.req.receivers,
+                                p.req.ft, ctl);
           break;
         } catch (const par::DeadlockError& e) {
           res.status = RequestStatus::kFailed;
@@ -396,6 +603,148 @@ ScenarioResult SimulationService::execute(Pending& p,
     agg_.series["svc/solve_seconds"].push_back(res.solve_seconds);
   }
   return res;
+}
+
+// One coalesced solve for `batch.size()` requests. Members advance through
+// ParallelSetup::run_batch in lockstep; each member's result is bitwise
+// identical to what a solo run would have produced (docs/BATCHING.md). All
+// members are batchable by construction: no deadlines, no retries, no FT.
+void SimulationService::execute_batch(Lane& lane,
+                                      std::vector<std::unique_ptr<Pending>> batch) {
+  const std::size_t B = batch.size();
+  const std::uint64_t exec_base =
+      exec_counter_.fetch_add(B, std::memory_order_relaxed) + 1;
+  lane.requests.fetch_add(static_cast<std::int64_t>(B),
+                          std::memory_order_relaxed);
+  lane.batches.fetch_add(1, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(static_cast<std::int64_t>(B),
+                              std::memory_order_relaxed);
+  last_batch_width_.store(static_cast<std::int64_t>(B),
+                          std::memory_order_relaxed);
+
+  const Clock::time_point picked = Clock::now();
+  std::vector<ScenarioResult> results(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    results[i].id = batch[i]->id;
+    results[i].exec_index = exec_base + i;  // consecutive pickup order
+    results[i].queue_seconds = seconds_between(batch[i]->admitted, picked);
+  }
+
+  obs::Registry req_reg;
+  {
+    const obs::ScopedRegistry install(req_reg);
+    QUAKE_OBS_SCOPE("svc/request");
+
+    bool all_cancelled = true;
+    for (const auto& p : batch) {
+      if (!p->cancel_flag->load(std::memory_order_relaxed)) {
+        all_cancelled = false;
+        break;
+      }
+    }
+    if (all_cancelled) {
+      for (auto& r : results) r.status = RequestStatus::kCancelled;
+    } else {
+      // Materialize every member's sources; each becomes one scenario lane.
+      std::vector<std::vector<std::unique_ptr<solver::SourceModel>>> owned(B);
+      std::vector<par::BatchScenario> scenarios(B);
+      {
+        QUAKE_OBS_SCOPE("setup");
+        for (std::size_t i = 0; i < B; ++i) {
+          const ScenarioRequest& req = batch[i]->req;
+          owned[i].reserve(req.point_sources.size() +
+                           req.fault_sources.size());
+          for (const PointSourceSpec& s : req.point_sources) {
+            owned[i].push_back(std::make_unique<solver::PointSource>(
+                lane.setup->mesh(), s.position, s.direction, s.amplitude,
+                s.fp, s.tc));
+          }
+          for (const solver::FaultSource::Spec& s : req.fault_sources) {
+            owned[i].push_back(
+                std::make_unique<solver::FaultSource>(lane.setup->mesh(), s));
+          }
+          scenarios[i].sources.reserve(owned[i].size());
+          for (const auto& s : owned[i]) {
+            scenarios[i].sources.push_back(s.get());
+          }
+          scenarios[i].receivers = req.receivers;
+        }
+      }
+
+      par::RunControl ctl;
+      ctl.cancel = lane.running_batch_cancel.get();
+      ctl.check_every = opt_.cancel_check_every;
+
+      const Clock::time_point t0 = Clock::now();
+      try {
+        QUAKE_OBS_SCOPE("solve");
+        std::vector<par::ParallelResult> solves =
+            lane.setup->run_batch(batch.front()->req.t_end, scenarios, ctl);
+        for (std::size_t i = 0; i < B; ++i) {
+          // The batch stops early only when every member was cancelled; a
+          // member flagged after the solve finished completes normally,
+          // mirroring the solo cancel race.
+          results[i].status = solves[i].cancelled ? RequestStatus::kCancelled
+                                                  : RequestStatus::kCompleted;
+          results[i].solve = std::move(solves[i]);
+        }
+      } catch (const std::exception& e) {
+        // One failure fails the whole batch: the members shared one solve.
+        for (auto& r : results) {
+          r.status = RequestStatus::kFailed;
+          r.error = e.what();
+        }
+      }
+      const double solve_s = seconds_between(t0, Clock::now());
+      for (std::size_t i = 0; i < B; ++i) {
+        results[i].attempts = 1;
+        results[i].solve_seconds = solve_s;
+      }
+    }
+    const Clock::time_point done = Clock::now();
+    for (std::size_t i = 0; i < B; ++i) {
+      results[i].total_seconds = seconds_between(batch[i]->admitted, done);
+    }
+  }
+
+  {
+    // Health bookkeeping: batched runs carry no FT, so the recovery
+    // footprint is empty; the head member stands for the batch.
+    const std::lock_guard<std::mutex> lk(health_mu_);
+    degraded_ = results.front().status == RequestStatus::kFailed;
+    last_exec_ = ServiceHealth{};
+    last_exec_.last_id = results.front().id;
+    last_exec_.last_attempts = results.front().attempts;
+    last_exec_.last_solve_seconds = results.front().solve_seconds;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(agg_mu_);
+    agg_.merge_from(req_reg);
+    for (const ScenarioResult& r : results) {
+      agg_.series["svc/latency_seconds"].push_back(r.total_seconds);
+      agg_.series["svc/queue_seconds"].push_back(r.queue_seconds);
+      agg_.series["svc/solve_seconds"].push_back(r.solve_seconds);
+    }
+  }
+
+  for (std::size_t i = 0; i < B; ++i) {
+    switch (results[i].status) {
+      case RequestStatus::kCompleted:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kDeadlineExceeded:
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kFailed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    batch[i]->promise.set_value(std::move(results[i]));
+  }
 }
 
 }  // namespace quake::svc

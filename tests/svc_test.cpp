@@ -487,4 +487,282 @@ TEST(SimulationService, ShutdownResolvesQueuedAsCancelled) {
   EXPECT_EQ(r.status, svc::RequestStatus::kCancelled);
 }
 
+// ---- multi-lane serving (sharded queues, one worker per lane) -------------
+
+// Two lanes draining concurrently must produce exactly the single-lane
+// (cold) results: each lane's ParallelSetup replica is a full, independent
+// copy of the shared discretization.
+TEST(MultiLane, ResultsMatchSingleLaneBitwise) {
+  const Fixture f;
+  const par::ParallelResult cold_a = f.cold(f.src_a);
+  const par::ParallelResult cold_b = f.cold(f.src_b);
+
+  svc::ServiceOptions opt;
+  opt.lanes = 2;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+  EXPECT_EQ(service.lanes(), 2);
+
+  std::vector<svc::SimulationService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(
+        service.submit(f.request(i % 2 == 0 ? f.src_a : f.src_b)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const svc::ScenarioResult r = tickets[static_cast<std::size_t>(i)]
+                                      .result.get();
+    ASSERT_EQ(r.status, svc::RequestStatus::kCompleted);
+    const par::ParallelResult& cold = i % 2 == 0 ? cold_a : cold_b;
+    EXPECT_TRUE(bitwise_equal(r.solve.receiver_histories,
+                              cold.receiver_histories));
+    EXPECT_TRUE(bitwise_equal(r.solve.u_final, cold.u_final));
+  }
+  service.wait_idle();
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.gauges.at("svc/lanes"), 2.0);
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 4);
+  // Per-lane accounting covers every request exactly once.
+  EXPECT_EQ(m.counters.at("svc/lane0/requests") +
+                m.counters.at("svc/lane1/requests"),
+            4);
+}
+
+// Admission routes to the shallowest shard and sheds per shard: with a
+// bound of 1 and two paused lanes, the first two requests land one per
+// shard, and every further submit is rejected against the shallowest
+// (lowest-index) full shard — counted on THAT shard, not globally smeared.
+TEST(MultiLane, PerShardBoundAndRejectionAccounting) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.lanes = 2;
+  opt.queue_bound = 1;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  auto t1 = service.submit(f.request(f.src_a));
+  auto t2 = service.submit(f.request(f.src_b));
+  EXPECT_EQ(service.queue_depth(), 2u);
+  EXPECT_THROW(service.submit(f.request(f.src_a)), svc::QueueFullError);
+  EXPECT_THROW(service.submit(f.request(f.src_b)), svc::QueueFullError);
+
+  {
+    const obs::Registry m = service.metrics();
+    EXPECT_EQ(m.gauges.at("svc/lane0/queue_depth"), 1.0);
+    EXPECT_EQ(m.gauges.at("svc/lane1/queue_depth"), 1.0);
+    EXPECT_EQ(m.gauges.at("svc/queue_depth"), 2.0);
+    EXPECT_EQ(m.counters.at("svc/requests_rejected"), 2);
+    // Both rejections hit the tie-broken shallowest shard: lane 0.
+    EXPECT_EQ(m.counters.at("svc/lane0/rejected"), 2);
+    EXPECT_EQ(m.counters.at("svc/lane1/rejected"), 0);
+  }
+
+  service.resume();
+  EXPECT_EQ(t1.result.get().status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t2.result.get().status, svc::RequestStatus::kCompleted);
+  service.wait_idle();
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.gauges.at("svc/queue_depth"), 0.0);
+  EXPECT_EQ(m.counters.at("svc/lane0/requests"), 1);
+  EXPECT_EQ(m.counters.at("svc/lane1/requests"), 1);
+}
+
+// Destroying a multi-lane service with queued and possibly in-flight work
+// resolves every future (queued -> kCancelled, running -> cooperative
+// cancel); nothing hangs and nothing leaks. Exercised under TSan in CI.
+TEST(MultiLane, ShutdownResolvesAllLanes) {
+  const Fixture f;
+  std::vector<std::future<svc::ScenarioResult>> futures;
+  {
+    svc::ServiceOptions opt;
+    opt.lanes = 2;
+    svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+    for (int i = 0; i < 6; ++i) {
+      svc::ScenarioRequest req = f.request(f.src_a);
+      req.t_end = 400.0 * service.dt();  // long enough to still be busy
+      futures.push_back(service.submit(std::move(req)).result);
+    }
+    // Destructor races the two workers mid-drain.
+  }
+  for (auto& fut : futures) {
+    const svc::ScenarioResult r = fut.get();
+    EXPECT_TRUE(r.status == svc::RequestStatus::kCancelled ||
+                r.status == svc::RequestStatus::kCompleted);
+  }
+}
+
+// Cancellation and deadlines keep working when two lanes race: cancelled
+// requests stop at a step boundary on whichever lane picked them up, and
+// a blown deadline on one lane never disturbs the other lane's solve.
+TEST(MultiLane, CancelAndDeadlineRaceAcrossLanes) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.lanes = 2;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  svc::ScenarioRequest doomed = f.request(f.src_a);
+  doomed.t_end = 4000.0 * service.dt();
+  doomed.deadline_seconds = 0.05;
+  auto t_dead = service.submit(doomed);
+
+  svc::ScenarioRequest slow = f.request(f.src_b);
+  slow.t_end = 400.0 * service.dt();
+  auto t_cancel = service.submit(slow);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.cancel(t_cancel.id);
+
+  auto t_ok = service.submit(f.request(f.src_b));
+
+  EXPECT_EQ(t_dead.result.get().status,
+            svc::RequestStatus::kDeadlineExceeded);
+  const svc::ScenarioResult rc = t_cancel.result.get();
+  EXPECT_TRUE(rc.status == svc::RequestStatus::kCancelled ||
+              rc.status == svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t_ok.result.get().status, svc::RequestStatus::kCompleted);
+}
+
+// ---- scenario batching (run_batch coalescing, docs/BATCHING.md) -----------
+
+// A paused shard filled with batchable requests drains as coalesced
+// run_batch solves — counted as such, and bitwise identical to the cold
+// one-at-a-time baseline.
+TEST(ScenarioBatching, BatchedResultsMatchColdBitwise) {
+  const Fixture f;
+  const par::ParallelResult cold_a = f.cold(f.src_a);
+  const par::ParallelResult cold_b = f.cold(f.src_b);
+
+  svc::ServiceOptions opt;
+  opt.max_batch = 2;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  std::vector<svc::SimulationService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(
+        service.submit(f.request(i % 2 == 0 ? f.src_a : f.src_b)));
+  }
+  service.resume();
+  for (int i = 0; i < 4; ++i) {
+    const svc::ScenarioResult r = tickets[static_cast<std::size_t>(i)]
+                                      .result.get();
+    ASSERT_EQ(r.status, svc::RequestStatus::kCompleted);
+    const par::ParallelResult& cold = i % 2 == 0 ? cold_a : cold_b;
+    EXPECT_TRUE(bitwise_equal(r.solve.receiver_histories,
+                              cold.receiver_histories));
+    EXPECT_TRUE(bitwise_equal(r.solve.u_final, cold.u_final));
+  }
+  service.wait_idle();
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/batches"), 2);          // two width-2 solves
+  EXPECT_EQ(m.counters.at("svc/batched_requests"), 4);
+  EXPECT_EQ(m.gauges.at("svc/batch_size"), 2.0);       // last solve's width
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 4);
+}
+
+// Batch members get consecutive pickup order: the coalesced requests share
+// one worker dequeue.
+TEST(ScenarioBatching, BatchMembersGetConsecutiveExecIndices) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.max_batch = 2;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+  auto t1 = service.submit(f.request(f.src_a));
+  auto t2 = service.submit(f.request(f.src_b));
+  service.resume();
+  const svc::ScenarioResult r1 = t1.result.get();
+  const svc::ScenarioResult r2 = t2.result.get();
+  EXPECT_EQ(r1.exec_index, 1u);
+  EXPECT_EQ(r2.exec_index, 2u);
+}
+
+// The batchability contract: requests carrying a deadline, a retry budget,
+// or any fault-tolerance options never join a batch (their per-request
+// control could not apply batch-wide), and partners must share t_end.
+TEST(ScenarioBatching, NonBatchableRequestsRunSolo) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.max_batch = 4;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  svc::ScenarioRequest with_deadline = f.request(f.src_a);
+  with_deadline.deadline_seconds = 60.0;  // generous: completes normally
+  svc::ScenarioRequest with_retries = f.request(f.src_b);
+  with_retries.max_attempts = 2;
+  svc::ScenarioRequest other_t_end = f.request(f.src_a);
+  other_t_end.t_end = 0.5 * f.so.t_end;  // batchable, but no matching partner
+  svc::ScenarioRequest plain = f.request(f.src_b);
+
+  auto t1 = service.submit(std::move(with_deadline));
+  auto t2 = service.submit(std::move(with_retries));
+  auto t3 = service.submit(std::move(other_t_end));
+  auto t4 = service.submit(std::move(plain));
+  service.resume();
+
+  EXPECT_EQ(t1.result.get().status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t2.result.get().status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t3.result.get().status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t4.result.get().status, svc::RequestStatus::kCompleted);
+  service.wait_idle();
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/batches"), 0);
+  EXPECT_EQ(m.counters.at("svc/batched_requests"), 0);
+  EXPECT_EQ(m.counters.at("svc/requests_completed"), 4);
+}
+
+// The aggregation window holds an underfull batch open: a second batchable
+// request arriving within the window joins the first one's solve.
+TEST(ScenarioBatching, AggregationWindowCoalescesLateArrival) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.max_batch = 2;
+  opt.batch_window_seconds = 5.0;  // generous; closes early once full
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  auto t1 = service.submit(f.request(f.src_a));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto t2 = service.submit(f.request(f.src_b));
+
+  EXPECT_EQ(t1.result.get().status, svc::RequestStatus::kCompleted);
+  EXPECT_EQ(t2.result.get().status, svc::RequestStatus::kCompleted);
+  service.wait_idle();
+
+  const obs::Registry m = service.metrics();
+  EXPECT_EQ(m.counters.at("svc/batches"), 1);
+  EXPECT_EQ(m.counters.at("svc/batched_requests"), 2);
+}
+
+// Cancelling EVERY member of a running batch stops the whole batched solve
+// at one step boundary; all members come back kCancelled with the same
+// partial step count.
+TEST(ScenarioBatching, CancellingAllMembersStopsBatch) {
+  const Fixture f;
+  svc::ServiceOptions opt;
+  opt.max_batch = 2;
+  opt.start_paused = true;
+  svc::SimulationService service(f.mesh, f.part, f.oo, f.so, opt);
+
+  svc::ScenarioRequest a = f.request(f.src_a);
+  a.t_end = 800.0 * service.dt();
+  svc::ScenarioRequest b = f.request(f.src_b);
+  b.t_end = 800.0 * service.dt();
+  auto t1 = service.submit(std::move(a));
+  auto t2 = service.submit(std::move(b));
+  service.resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.cancel(t1.id);
+  service.cancel(t2.id);
+
+  const svc::ScenarioResult r1 = t1.result.get();
+  const svc::ScenarioResult r2 = t2.result.get();
+  EXPECT_EQ(r1.status, svc::RequestStatus::kCancelled);
+  EXPECT_EQ(r2.status, svc::RequestStatus::kCancelled);
+  if (r1.exec_index != 0 && r2.exec_index != 0) {
+    EXPECT_EQ(r1.solve.steps_completed, r2.solve.steps_completed);
+    EXPECT_LT(r1.solve.steps_completed, r1.solve.n_steps);
+  }
+}
+
 }  // namespace
