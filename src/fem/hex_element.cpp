@@ -1,7 +1,8 @@
 #include "quake/fem/hex_element.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace quake::fem {
 namespace {
@@ -31,6 +32,8 @@ HexReference compute_reference() {
   HexReference ref;
   ref.k_lambda.fill(0.0);
   ref.k_mu.fill(0.0);
+  ref.k_lambda_t.fill(0.0);
+  ref.k_mu_t.fill(0.0);
   ref.k_scalar.fill(0.0);
 
   // 2x2 Gauss points on [0,1].
@@ -66,7 +69,23 @@ HexReference compute_reference() {
       }
     }
   }
+  for (int r = 0; r < kHexDofs; ++r) {
+    for (int c = 0; c < kHexDofs; ++c) {
+      const std::size_t rc = static_cast<std::size_t>(r) * kHexDofs +
+                             static_cast<std::size_t>(c);
+      const std::size_t cr = static_cast<std::size_t>(c) * kHexDofs +
+                             static_cast<std::size_t>(r);
+      ref.k_lambda_t[cr] = ref.k_lambda[rc];
+      ref.k_mu_t[cr] = ref.k_mu[rc];
+    }
+  }
   return ref;
+}
+
+void throw_bad_lane_count(int n_lanes) {
+  throw std::invalid_argument(
+      "hex_apply_batch: n_lanes must be in [1, " +
+      std::to_string(kMaxBatchLanes) + "], got " + std::to_string(n_lanes));
 }
 
 }  // namespace
@@ -78,6 +97,42 @@ const HexReference& HexReference::get() {
 
 void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
                double scale_mu, double* y_e, double beta_e, double* y_damp) {
+  // Row-blocked form of the fused dual matvec. A block of kRowBlock output
+  // rows accumulates side by side; input dof c contributes to all of them
+  // with one broadcast of u_e[c] against contiguous runs of the transposed
+  // matrices (k_*_t[c * 24 + r0 ...]). Those entries are bitwise copies of
+  // k_*[r * 24 + c], and each accumulator still sums in ascending c — the
+  // exact operation sequence of hex_apply_ref per row — so the blocked
+  // kernel is bitwise identical to the reference while the compiler gets
+  // independent unit-stride accumulators to vectorize.
+  constexpr int kRowBlock = 8;
+  static_assert(kHexDofs % kRowBlock == 0);
+  for (int r0 = 0; r0 < kHexDofs; r0 += kRowBlock) {
+    double sl[kRowBlock] = {0.0}, sm[kRowBlock] = {0.0};
+    for (int c = 0; c < kHexDofs; ++c) {
+      const double uc = u_e[c];
+      const double* klc = &ref.k_lambda_t[static_cast<std::size_t>(c) *
+                                              kHexDofs +
+                                          static_cast<std::size_t>(r0)];
+      const double* kmc =
+          &ref.k_mu_t[static_cast<std::size_t>(c) * kHexDofs +
+                      static_cast<std::size_t>(r0)];
+      for (int i = 0; i < kRowBlock; ++i) {
+        sl[i] += klc[i] * uc;
+        sm[i] += kmc[i] * uc;
+      }
+    }
+    for (int i = 0; i < kRowBlock; ++i) {
+      const double v = scale_lambda * sl[i] + scale_mu * sm[i];
+      y_e[r0 + i] += v;
+      if (y_damp != nullptr) y_damp[r0 + i] += beta_e * v;
+    }
+  }
+}
+
+void hex_apply_ref(const HexReference& ref, const double* u_e,
+                   double scale_lambda, double scale_mu, double* y_e,
+                   double beta_e, double* y_damp) {
   for (int r = 0; r < kHexDofs; ++r) {
     const double* kl = &ref.k_lambda[static_cast<std::size_t>(r) * kHexDofs];
     const double* km = &ref.k_mu[static_cast<std::size_t>(r) * kHexDofs];
@@ -92,14 +147,31 @@ void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
   }
 }
 
+void hex_apply_elems(const HexReference& ref, const double* u_e, int n_elems,
+                     const double* scale_lambda, const double* scale_mu,
+                     double* y_e, const double* beta_e, double* y_damp) {
+  for (int e = 0; e < n_elems; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * kHexDofs;
+    hex_apply(ref, u_e + off, scale_lambda[e], scale_mu[e], y_e + off,
+              beta_e != nullptr ? beta_e[e] : 0.0,
+              y_damp != nullptr ? y_damp + off : nullptr);
+  }
+}
+
 void hex_apply_batch(const HexReference& ref, const double* u_e, int n_lanes,
                      double scale_lambda, double scale_mu, double* y_e,
                      double beta_e, double* y_damp) {
-  // Lane s must see the exact operation sequence of hex_apply on its own
-  // data: the column loop stays outermost and the lane loop runs innermost,
-  // so each lane's accumulators take the same adds in the same order while
-  // the inner loop is unit-stride across lanes.
-  assert(n_lanes >= 1 && n_lanes <= kMaxBatchLanes);
+  // Lane s must see the exact operation sequence of hex_apply_ref on its
+  // own data: the column loop stays outermost and the lane loop runs
+  // innermost, so each lane's accumulators take the same adds in the same
+  // order while the inner loop is unit-stride across lanes. The lane loop
+  // keeps its runtime bound on purpose: fixed-width clones get fully
+  // unrolled, need 2*n_lanes live accumulators, and spill — the runtime
+  // vector loop measures at a multiple of their throughput (bench_micro
+  // BM_HexApplyBatch* rows). A real bounds check (not an assert): the
+  // per-row accumulators are stack arrays of kMaxBatchLanes, and release
+  // callers must not be able to overflow them.
+  if (n_lanes < 1 || n_lanes > kMaxBatchLanes) throw_bad_lane_count(n_lanes);
   double sl[kMaxBatchLanes], sm[kMaxBatchLanes];
   for (int r = 0; r < kHexDofs; ++r) {
     const double* kl = &ref.k_lambda[static_cast<std::size_t>(r) * kHexDofs];
@@ -122,6 +194,34 @@ void hex_apply_batch(const HexReference& ref, const double* u_e, int n_lanes,
       const double v = scale_lambda * sl[s] + scale_mu * sm[s];
       yr[s] += v;
       if (dr != nullptr) dr[s] += beta_e * v;
+    }
+  }
+}
+
+void hex_apply_batch_ref(const HexReference& ref, const double* u_e,
+                         int n_lanes, double scale_lambda, double scale_mu,
+                         double* y_e, double beta_e, double* y_damp) {
+  // Ground truth by definition: deinterleave each lane, run the solo
+  // reference kernel on it, reinterleave. This is what a caller without a
+  // batched kernel would do, so the bench_micro batch A/B measures exactly
+  // what the scenario-major interleaved layout buys.
+  if (n_lanes < 1 || n_lanes > kMaxBatchLanes) throw_bad_lane_count(n_lanes);
+  double us[kHexDofs], ys[kHexDofs], ds[kHexDofs];
+  for (int s = 0; s < n_lanes; ++s) {
+    for (int d = 0; d < kHexDofs; ++d) {
+      const std::size_t idx = static_cast<std::size_t>(d) * n_lanes +
+                              static_cast<std::size_t>(s);
+      us[d] = u_e[idx];
+      ys[d] = y_e[idx];
+      if (y_damp != nullptr) ds[d] = y_damp[idx];
+    }
+    hex_apply_ref(ref, us, scale_lambda, scale_mu, ys, beta_e,
+                  y_damp != nullptr ? ds : nullptr);
+    for (int d = 0; d < kHexDofs; ++d) {
+      const std::size_t idx = static_cast<std::size_t>(d) * n_lanes +
+                              static_cast<std::size_t>(s);
+      y_e[idx] = ys[d];
+      if (y_damp != nullptr) y_damp[idx] = ds[d];
     }
   }
 }

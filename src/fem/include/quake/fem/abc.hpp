@@ -17,6 +17,7 @@
 // available as a fallback.
 
 #include <array>
+#include <cstdint>
 
 #include "quake/mesh/hex_mesh.hpp"
 #include "quake/vel/material.hpp"
@@ -51,6 +52,20 @@ std::array<double, 3> face_dashpot_coeffs(const vel::Material& m, double h,
 void face_stacey_apply(const vel::Material& m, double h,
                        mesh::BoundarySide side, const double* u_face,
                        double* y_face);
+
+// Exact flop count of one face_stacey_apply call, for the Mflop/s
+// accounting in the solver step loops and ElasticOperator::flops_per_apply
+// (replaces an old ~200 placeholder that skewed measured_mflops). Counted
+// off the kernel, sqrt = 1 flop:
+//   c1   = -2 mu + sqrt(mu (lambda + 2 mu))          ->  6
+//   s    = sign * c1 * h                             ->  2
+//   per face node i (x4):
+//     j loop (x4): acc_n += dxi*u + det*u  (4)
+//                  acc_p += dxi*u          (2)
+//                  acc_q += det*u          (2)       -> 32
+//     three scatter accumulates (+-s * acc)          ->  6
+//   total: 8 + 4 * 38 = 160
+[[nodiscard]] constexpr std::uint64_t face_stacey_flops() { return 160; }
 
 // Axes bookkeeping for a boundary side: normal axis, outward sign, and the
 // two tangential axes (in the order used by the face-node orderings).

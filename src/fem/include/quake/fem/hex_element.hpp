@@ -32,6 +32,13 @@ using ScalarHexMatrix = std::array<double, kHexNodes * kHexNodes>;
 struct HexReference {
   HexMatrix k_lambda;  // from the lambda (div u)(div v) term
   HexMatrix k_mu;      // from the mu strain-strain term
+  // Exact transposed copies of k_lambda / k_mu. The blocked hex_apply walks
+  // a *column* of the matrix per input dof (so a row-block of output
+  // accumulators sees contiguous loads); storing the transpose keeps those
+  // loads unit-stride. Entries are bitwise copies of the row-major
+  // originals, so the blocked kernel multiplies the identical values.
+  HexMatrix k_lambda_t;
+  HexMatrix k_mu_t;
   ScalarHexMatrix k_scalar;  // scalar Laplacian (grad u . grad v), for the
                              // SH / scalar-wave solvers
 
@@ -44,8 +51,33 @@ struct HexReference {
 // `y_damp` is non-null it additionally accumulates
 // beta_e * (K_e u_e) into it (the element's Rayleigh stiffness damping),
 // reusing the same products.
+//
+// Blocked for SIMD: a block of output rows accumulates side by side, each
+// input dof broadcast against a contiguous run of the transposed reference
+// matrices. Every accumulator still takes its adds in ascending input-dof
+// order — the exact sequence of hex_apply_ref — so results are bitwise
+// identical to the reference kernel (asserted in fem_test).
 void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
                double scale_mu, double* y_e, double beta_e, double* y_damp);
+
+// Straight-line reference implementation (row-major dot products). Kept as
+// the floating-point ground truth for the blocked kernel's equivalence
+// tests and the bench_micro A/B; not used on the hot path.
+void hex_apply_ref(const HexReference& ref, const double* u_e,
+                   double scale_lambda, double scale_mu, double* y_e,
+                   double beta_e, double* y_damp);
+
+// Element-batch entry point: `n_elems` elements packed back to back
+// (element e's 24-vector at u_e + e*24, likewise y_e / y_damp) with
+// per-element scale factors. Each element undergoes exactly the hex_apply
+// operation sequence — the batch exists so gather/scatter call sites can
+// hand the kernel a contiguous run of elements (composing with the
+// scenario-major lane layout, which batches *within* an element) and so the
+// per-call dispatch cost is amortized over the block. `y_damp` may be
+// nullptr when no caller lane wants the damping accumulator.
+void hex_apply_elems(const HexReference& ref, const double* u_e, int n_elems,
+                     const double* scale_lambda, const double* scale_mu,
+                     double* y_e, const double* beta_e, double* y_damp);
 
 // Batched (scenario-major) variant: u_e / y_e (/ y_damp) carry `n_lanes`
 // independent right-hand sides interleaved per dof — lane s of dof d lives
@@ -53,10 +85,26 @@ void hex_apply(const HexReference& ref, const double* u_e, double scale_lambda,
 // operation sequence hex_apply would perform on it alone (the lane loop is
 // innermost), so batched results are bitwise identical per lane; the layout
 // makes the inner loop unit-stride across lanes, which is what lets the
-// kernel vectorize across scenarios.
+// kernel vectorize across scenarios. The lane bound stays a runtime value
+// on purpose: fixed-trip-count clones fully unroll the lane loop, need
+// 2 * n_lanes live accumulators, and spill — measurably slower than the
+// runtime loop (see the bench_micro batch A/B).
+//
+// Throws std::invalid_argument unless 1 <= n_lanes <= kMaxBatchLanes: the
+// per-row accumulators live on the stack, and an unchecked oversized width
+// would silently overflow them in release builds.
 void hex_apply_batch(const HexReference& ref, const double* u_e, int n_lanes,
                      double scale_lambda, double scale_mu, double* y_e,
                      double beta_e, double* y_damp);
+
+// Reference implementation of hex_apply_batch: deinterleaves each lane,
+// applies the straight-line solo reference (hex_apply_ref), reinterleaves.
+// Ground truth by definition — lane s literally undergoes the solo
+// operation sequence — and the per-lane baseline the bench_micro batch A/B
+// measures the interleaved layout against. Same bounds check.
+void hex_apply_batch_ref(const HexReference& ref, const double* u_e,
+                         int n_lanes, double scale_lambda, double scale_mu,
+                         double* y_e, double beta_e, double* y_damp);
 
 // Diagonal of K_e = h (lambda K_lambda + mu K_mu), 24 entries.
 void hex_diagonal(const HexReference& ref, double scale_lambda,

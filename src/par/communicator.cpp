@@ -90,6 +90,16 @@ void Rank::recv_into(int src, int tag, std::span<double> out,
                    static_cast<std::int64_t>(8 * out.size()));
 }
 
+bool Rank::try_recv_into(int src, int tag, std::span<double> out) {
+  std::vector<double> spent;
+  if (!comm_->try_take_into(src, id_, tag, out, spent)) return false;
+  pool_.push_back(std::move(spent));
+  obs::counter_add("comm/msgs_recv", 1);
+  obs::counter_add("comm/bytes_recv",
+                   static_cast<std::int64_t>(8 * out.size()));
+  return true;
+}
+
 void Rank::barrier(double timeout_sec) {
   comm_->barrier_wait(id_, timeout_sec);
 }
@@ -458,6 +468,37 @@ std::vector<double> Communicator::take_into(int src, int dst, int tag,
   }
   std::copy(msg.begin(), msg.end(), out.begin());
   return msg;  // spent storage, for the caller's pool
+}
+
+bool Communicator::try_take_into(int src, int dst, int tag,
+                                 std::span<double> out,
+                                 std::vector<double>& spent) {
+  std::vector<double> msg;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    throw_if_down_locked();
+    const auto it = boxes_.find(std::tuple<int, int, int>{src, dst, tag});
+    if (it == boxes_.end()) return false;
+    const std::size_t stale = drop_stale_locked(it->second);
+    if (stale != 0) {
+      obs::counter_add("comm/stale_msgs_discarded",
+                       static_cast<std::int64_t>(stale));
+    }
+    if (it->second.messages.empty()) return false;
+    msg = std::move(it->second.messages.front().data);
+    it->second.messages.pop();
+  }
+  if (msg.size() != out.size()) {
+    throw CommError("try_recv_into size mismatch on rank " +
+                    std::to_string(dst) +
+                    ": recv(src=" + std::to_string(src) +
+                    ", tag=" + std::to_string(tag) + ") got " +
+                    std::to_string(msg.size()) + " doubles, caller buffer " +
+                    std::to_string(out.size()));
+  }
+  std::copy(msg.begin(), msg.end(), out.begin());
+  spent = std::move(msg);
+  return true;
 }
 
 void Communicator::barrier_wait(int rank, double timeout_sec) {

@@ -166,6 +166,16 @@ class Rank {
   void recv_into(int src, int tag, std::span<double> out,
                  double timeout_sec = 0.0);
 
+  // Non-blocking variant of recv_into: returns true and fills `out` if a
+  // message is already waiting on (src, tag), false immediately otherwise
+  // (never registers in the deadlock detector's blocked table — callers
+  // polling several edges must eventually fall back to a blocking
+  // recv_into so a genuinely stuck exchange is diagnosed as a deadlock and
+  // planned kDelay messages get flushed rather than spun on forever).
+  // Same poisoning, stale-epoch, and size-mismatch semantics as recv_into;
+  // drained storage is pooled the same way.
+  [[nodiscard]] bool try_recv_into(int src, int tag, std::span<double> out);
+
   void barrier(double timeout_sec = 0.0);
   double allreduce_sum(double v);
   double allreduce_max(double v);
@@ -305,6 +315,12 @@ class Communicator {
   // the caller to recycle (Rank::recv_into feeds it to the rank's pool).
   std::vector<double> take_into(int src, int dst, int tag,
                                 std::span<double> out, double timeout_sec);
+  // Non-blocking sibling of take_into: pops and copies a waiting message
+  // (returning its spent storage through `spent`) or returns false without
+  // blocking. Checks poison/deadlock state and drops stale-epoch messages
+  // exactly like the blocking path, but never calls block_locked.
+  bool try_take_into(int src, int dst, int tag, std::span<double> out,
+                     std::vector<double>& spent);
   // Waits until a message on (src, dst, tag) is available (or the run is
   // down / the deadline expires). Shared blocking logic of take/take_into;
   // requires `lock` held, returns with it held.

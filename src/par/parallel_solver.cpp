@@ -84,6 +84,11 @@ struct RankLocal {
   // shared * S on each run_batch call (S varies per batch; resizing
   // happens under run_mutex before the SPMD launch).
   std::vector<std::vector<double>> sendbuf_b, recvbuf_b;
+
+  // Per-neighbor arrival flags for the arrival-order drain, reset each
+  // step; lives here (not on the step-loop stack) so the steady-state step
+  // performs no allocation.
+  std::vector<std::uint8_t> nb_arrived;
 };
 
 // ForceSink that keeps only this rank's nodes.
@@ -366,6 +371,7 @@ struct ParallelSetup::Impl {
 
       L.sendbuf.resize(L.neighbors.size());
       L.recvbuf.resize(L.neighbors.size());
+      L.nb_arrived.resize(L.neighbors.size());
       L.own_first.resize(L.neighbors.size());
       L.nb_of_rank.assign(static_cast<std::size_t>(R), -1);
       std::vector<std::uint8_t> seen(L.nodes.size(), 0);
@@ -980,7 +986,7 @@ ParallelResult ParallelSetup::Impl::run(
           ku[base + 1] += yf[3 * i + 1];
           ku[base + 2] += yf[3 * i + 2];
         }
-        flops += 200;
+        flops += fem::face_stacey_flops();
       }
     };
 
@@ -1106,10 +1112,12 @@ ParallelResult ParallelSetup::Impl::run(
       compute_watch.stop();
       }
 
-      // ---- drain: accumulate contributions in ascending rank order so
-      // every copy of a shared node computes the identical floating-point
-      // sum; the own partial (recovered from the send buffers) is inserted
-      // at this rank's position in the order ----
+      // ---- drain: park each neighbor's payload as it arrives (any
+      // order), then accumulate in ascending rank order once every edge
+      // has landed, so every copy of a shared node computes the identical
+      // floating-point sum no matter which neighbor was slow; the own
+      // partial (recovered from the send buffers) is inserted at this
+      // rank's position in the order ----
       {
       QUAKE_OBS_SCOPE("exchange");
       exchange_watch.start();
@@ -1117,6 +1125,49 @@ ParallelResult ParallelSetup::Impl::run(
       {
         QUAKE_OBS_SCOPE("drain");
         rank.fault_point(-k - 1);  // mid-exchange fault point (see FaultPlan)
+        {
+          // Wait phase: poll every pending edge and park whatever is
+          // already there. A fruitless pass yields and re-polls — blocking
+          // right away would commit to the lowest pending neighbor and
+          // re-serialize the drain on rank order whenever the scheduler
+          // simply hadn't run the senders yet. Only after kIdlePassLimit
+          // fruitless passes does the drain fall back to a blocking
+          // receive: that wait is then genuinely unavoidable, and the
+          // blocking receive is what registers this rank in the deadlock
+          // detector (diagnosing a stuck exchange, and letting a planned
+          // kDelay message flush instead of spinning forever).
+          QUAKE_OBS_SCOPE("wait");
+          constexpr int kIdlePassLimit = 64;
+          std::fill(L.nb_arrived.begin(), L.nb_arrived.end(), 0);
+          std::size_t n_pending = L.neighbors.size();
+          int idle_passes = 0;
+          while (n_pending > 0) {
+            std::size_t progressed = 0;
+            std::size_t first_pending = L.neighbors.size();
+            for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+              if (L.nb_arrived[nb] != 0) continue;
+              if (rank.try_recv_into(L.neighbors[nb].rank, /*tag=*/0,
+                                     L.recvbuf[nb])) {
+                L.nb_arrived[nb] = 1;
+                --n_pending;
+                ++progressed;
+              } else if (first_pending == L.neighbors.size()) {
+                first_pending = nb;
+              }
+            }
+            if (n_pending == 0 || progressed > 0) {
+              idle_passes = 0;
+            } else if (++idle_passes < kIdlePassLimit) {
+              std::this_thread::yield();
+            } else {
+              rank.recv_into(L.neighbors[first_pending].rank, /*tag=*/0,
+                             L.recvbuf[first_pending]);
+              L.nb_arrived[first_pending] = 1;
+              --n_pending;
+              idle_passes = 0;
+            }
+          }
+        }
         for (int s = 0; s < R; ++s) {
           if (s == rank.id()) {
             // Own partials: first occurrence across the neighbor lists,
@@ -1142,8 +1193,7 @@ ParallelResult ParallelSetup::Impl::run(
           }
           const int nbi = L.nb_of_rank[static_cast<std::size_t>(s)];
           if (nbi < 0) continue;
-          auto& msg = L.recvbuf[static_cast<std::size_t>(nbi)];
-          rank.recv_into(s, /*tag=*/0, msg);
+          const auto& msg = L.recvbuf[static_cast<std::size_t>(nbi)];
           const auto& sh = L.neighbors[static_cast<std::size_t>(nbi)].shared;
           for (std::size_t i = 0; i < sh.size(); ++i) {
             const std::size_t base = 3 * static_cast<std::size_t>(sh[i]);
@@ -1179,7 +1229,10 @@ ParallelResult ParallelSetup::Impl::run(
         u_next[d] = rhs * L.inv_lhs[d];
       }
       expand(u_next);
-      flops += nd * 14ull;
+      // Update arithmetic per dof (counted off the expression above):
+      // 14 flops for the undamped eq. 2.4 rhs + divide-by-lhs, 6 more on
+      // the Rayleigh branch.
+      flops += nd * (rayleigh ? 20ull : 14ull);
 
       std::swap(dku_prev, dku);
       std::swap(u_prev, u);
@@ -1681,7 +1734,7 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
             ku[base + S + s] += yf[3 * i + 1];
             ku[base + 2 * S + s] += yf[3 * i + 2];
           }
-          flops += 200;
+          flops += fem::face_stacey_flops();
         }
       }
     };
@@ -1780,14 +1833,52 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
       compute_watch.stop();
       }
 
-      // ---- drain: ascending rank order, 3*S contiguous doubles per shared
-      // node, so each lane's shared sum takes the scalar path's order ----
+      // ---- drain: park payloads in arrival order, then accumulate in
+      // ascending rank order, 3*S contiguous doubles per shared node, so
+      // each lane's shared sum takes the scalar path's order ----
       {
       QUAKE_OBS_SCOPE("exchange");
       exchange_watch.start();
       drain_watch.start();
       {
         QUAKE_OBS_SCOPE("drain");
+        {
+          // Wait phase: identical protocol to run()'s drain (poll all
+          // pending edges, park arrivals, yield and re-poll on a fruitless
+          // pass, block on the lowest pending neighbor only after
+          // kIdlePassLimit passes in a row made no progress).
+          QUAKE_OBS_SCOPE("wait");
+          constexpr int kIdlePassLimit = 64;
+          std::fill(L.nb_arrived.begin(), L.nb_arrived.end(), 0);
+          std::size_t n_pending = L.neighbors.size();
+          int idle_passes = 0;
+          while (n_pending > 0) {
+            std::size_t progressed = 0;
+            std::size_t first_pending = L.neighbors.size();
+            for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+              if (L.nb_arrived[nb] != 0) continue;
+              if (rank.try_recv_into(L.neighbors[nb].rank, /*tag=*/0,
+                                     L.recvbuf_b[nb])) {
+                L.nb_arrived[nb] = 1;
+                --n_pending;
+                ++progressed;
+              } else if (first_pending == L.neighbors.size()) {
+                first_pending = nb;
+              }
+            }
+            if (n_pending == 0 || progressed > 0) {
+              idle_passes = 0;
+            } else if (++idle_passes < kIdlePassLimit) {
+              std::this_thread::yield();
+            } else {
+              rank.recv_into(L.neighbors[first_pending].rank, /*tag=*/0,
+                             L.recvbuf_b[first_pending]);
+              L.nb_arrived[first_pending] = 1;
+              --n_pending;
+              idle_passes = 0;
+            }
+          }
+        }
         for (int s = 0; s < R; ++s) {
           if (s == rank.id()) {
             for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
@@ -1813,8 +1904,7 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
           }
           const int nbi = L.nb_of_rank[static_cast<std::size_t>(s)];
           if (nbi < 0) continue;
-          auto& msg = L.recvbuf_b[static_cast<std::size_t>(nbi)];
-          rank.recv_into(s, /*tag=*/0, msg);
+          const auto& msg = L.recvbuf_b[static_cast<std::size_t>(nbi)];
           const auto& sh = L.neighbors[static_cast<std::size_t>(nbi)].shared;
           for (std::size_t i = 0; i < sh.size(); ++i) {
             const std::size_t base = 3 * static_cast<std::size_t>(sh[i]) * S;
@@ -1855,7 +1945,8 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
         }
       }
       expand_b(u_next);
-      flops += S * nd * 14ull;
+      // Same per-dof update count as run(), times the S lanes.
+      flops += S * nd * (rayleigh ? 20ull : 14ull);
 
       std::swap(dku_prev, dku);
       std::swap(u_prev, u);

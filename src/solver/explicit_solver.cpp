@@ -176,7 +176,9 @@ void ExplicitSolver::step(int k) {
   std::swap(u_prev_, u_);
   std::swap(u_, u_next_);
 
-  flops_.add(op_->flops_per_apply() + nd * 14ull);
+  // Update cost per dof: 14 flops for the undamped eq. 2.4 recurrence, plus
+  // 6 for the Rayleigh off-diagonal correction when damping is on.
+  flops_.add(op_->flops_per_apply() + nd * (rayleigh ? 20ull : 14ull));
 }
 
 void ExplicitSolver::step_batched(int k) {
@@ -242,7 +244,7 @@ void ExplicitSolver::step_batched(int k) {
   std::swap(u_, u_next_);
 
   flops_.add(static_cast<std::uint64_t>(lanes_) *
-             (op_->flops_per_apply() + nd * 14ull));
+             (op_->flops_per_apply() + nd * (rayleigh ? 20ull : 14ull)));
 }
 
 int ExplicitSolver::restore_checkpoint() {

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -388,6 +389,220 @@ TEST(FaultInjection, DelayedMessageFlushedInsteadOfDeadlock) {
   });
 }
 
+TEST(Communicator, TryRecvIntoNonBlocking) {
+  Communicator comm(2);
+  comm.run([](Rank& r) {
+    if (r.id() == 0) {
+      std::vector<double> buf(2, 0.0);
+      // Nothing posted yet: must return false immediately, not block.
+      EXPECT_FALSE(r.try_recv_into(1, /*tag=*/5, buf));
+      r.barrier();  // rank 1 posts before this barrier completes
+      EXPECT_TRUE(r.try_recv_into(1, /*tag=*/5, buf));
+      EXPECT_DOUBLE_EQ(buf[0], 4.0);
+      EXPECT_DOUBLE_EQ(buf[1], -1.5);
+      // Edge drained: polling again is false again.
+      EXPECT_FALSE(r.try_recv_into(1, /*tag=*/5, buf));
+    } else {
+      const std::vector<double> msg = {4.0, -1.5};
+      r.send(0, /*tag=*/5, msg);
+      r.barrier();
+    }
+  });
+}
+
+TEST(Communicator, TryRecvIntoSizeMismatchThrows) {
+  Communicator comm(2);
+  std::atomic<bool> threw{false};
+  try {
+    comm.run([&](Rank& r) {
+      if (r.id() == 0) {
+        const std::vector<double> msg = {1.0, 2.0};
+        r.send(1, 0, msg);
+        r.barrier();
+      } else {
+        r.barrier();  // ensure the message is posted
+        std::vector<double> buf(5, 0.0);
+        try {
+          (void)r.try_recv_into(0, 0, buf);
+        } catch (const CommError&) {
+          threw = true;
+          throw;
+        }
+      }
+    });
+  } catch (const RankFailedError&) {
+  }
+  EXPECT_TRUE(threw);
+}
+
+// The solver's arrival-order drain protocol, distilled: every rank sends a
+// deterministic partial to every peer, parks payloads in whatever order
+// they arrive (polling with try_recv_into, falling back to a blocking
+// recv_into on the lowest pending edge when a pass makes no progress), and
+// only then accumulates in ascending rank order. The resulting sums must be
+// bitwise identical to a strict ascending-rank blocking drain — regardless
+// of arrival order, including a seeded delay fault that makes the lowest
+// rank's payload arrive last.
+class ArrivalOrderDrain : public ::testing::TestWithParam<int> {};
+
+namespace drain_protocol {
+
+constexpr int kWidth = 7;  // doubles per edge payload
+
+double payload(int src, int dst, int i) {
+  // Non-symmetric, magnitude-varied values so accumulation order shows up
+  // in the low bits if the protocol got it wrong.
+  return std::sin(1.0 + 13.0 * src + 31.0 * dst + 7.0 * i) *
+         std::pow(10.0, (src + i) % 5);
+}
+
+// Reference: ascending-rank accumulation, computed without any exchange.
+std::vector<double> expected_sums_for(int dst, int R) {
+  std::vector<double> sums(kWidth, 0.0);
+  for (int src = 0; src < R; ++src) {
+    for (int i = 0; i < kWidth; ++i) {
+      sums[static_cast<std::size_t>(i)] += payload(src, dst, i);
+    }
+  }
+  return sums;
+}
+
+// One exchange round with the solver's wait-then-accumulate protocol.
+// Returns the order in which the R-1 peer payloads were parked (peer rank
+// ids), for asserting who arrived last. With sync_before_drain, ranks
+// handshake on tag 1 after posting payloads, so every non-delayed payload
+// is already queued when the poll loop starts — that makes the arrival
+// position of a delayed edge deterministic instead of scheduler-dependent.
+std::vector<int> drain_round(Rank& r, std::vector<double>& sums,
+                             bool sync_before_drain = false) {
+  const int R = r.size();
+  std::vector<double> mine(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    mine[static_cast<std::size_t>(i)] = payload(r.id(), r.id(), i);
+  }
+  for (int dst = 0; dst < R; ++dst) {
+    if (dst == r.id()) continue;
+    std::vector<double> msg(kWidth);
+    for (int i = 0; i < kWidth; ++i) {
+      msg[static_cast<std::size_t>(i)] = payload(r.id(), dst, i);
+    }
+    r.send(dst, /*tag=*/0, msg);
+  }
+  if (sync_before_drain) {
+    const std::vector<double> ready = {1.0};
+    for (int dst = 0; dst < R; ++dst) {
+      if (dst != r.id()) r.send(dst, /*tag=*/1, ready);
+    }
+    std::vector<double> ack(1);
+    for (int s = 0; s < R; ++s) {
+      if (s != r.id()) r.recv_into(s, /*tag=*/1, ack);
+    }
+  }
+  std::vector<std::vector<double>> parked(static_cast<std::size_t>(R),
+                                          std::vector<double>(kWidth, 0.0));
+  std::vector<std::uint8_t> arrived(static_cast<std::size_t>(R), 0);
+  std::vector<int> order;
+  constexpr int kIdlePassLimit = 64;
+  int n_pending = R - 1;
+  int idle_passes = 0;
+  while (n_pending > 0) {
+    int progressed = 0;
+    int first_pending = -1;
+    for (int s = 0; s < R; ++s) {
+      if (s == r.id() || arrived[static_cast<std::size_t>(s)] != 0) continue;
+      if (r.try_recv_into(s, /*tag=*/0,
+                          parked[static_cast<std::size_t>(s)])) {
+        arrived[static_cast<std::size_t>(s)] = 1;
+        order.push_back(s);
+        --n_pending;
+        ++progressed;
+      } else if (first_pending < 0) {
+        first_pending = s;
+      }
+    }
+    if (n_pending == 0 || progressed > 0) {
+      idle_passes = 0;
+    } else if (++idle_passes < kIdlePassLimit) {
+      std::this_thread::yield();
+    } else {
+      r.recv_into(first_pending, /*tag=*/0,
+                  parked[static_cast<std::size_t>(first_pending)]);
+      arrived[static_cast<std::size_t>(first_pending)] = 1;
+      order.push_back(first_pending);
+      --n_pending;
+      idle_passes = 0;
+    }
+  }
+  // Deferred ascending-rank accumulation, own partial at own position.
+  sums.assign(kWidth, 0.0);
+  for (int s = 0; s < R; ++s) {
+    const std::vector<double>& src =
+        s == r.id() ? mine : parked[static_cast<std::size_t>(s)];
+    for (int i = 0; i < kWidth; ++i) {
+      sums[static_cast<std::size_t>(i)] += src[static_cast<std::size_t>(i)];
+    }
+  }
+  return order;
+}
+
+}  // namespace drain_protocol
+
+TEST_P(ArrivalOrderDrain, BitwiseMatchesRankOrderedSums) {
+  const int R = GetParam();
+  Communicator comm(R);
+  comm.run([R](Rank& r) {
+    std::vector<double> sums;
+    (void)drain_protocol::drain_round(r, sums);
+    const std::vector<double> want =
+        drain_protocol::expected_sums_for(r.id(), R);
+    for (int i = 0; i < drain_protocol::kWidth; ++i) {
+      EXPECT_EQ(sums[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)])
+          << "rank " << r.id() << " i=" << i;
+    }
+    r.barrier();
+  });
+}
+
+TEST_P(ArrivalOrderDrain, DelayedLowRankArrivesLastSameSums) {
+  const int R = GetParam();
+  Communicator comm(R);
+  // Hold back rank 0's payload to rank R-1: every other edge lands first,
+  // and the delayed one is only flushed once the receiver has parked all
+  // other peers and blocked on rank 0 (all live ranks blocked). The
+  // deferred rank-ordered accumulation must erase the arrival order from
+  // the result.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.msg_faults.push_back(
+      {/*src=*/0, /*dst=*/R - 1, /*tag=*/0, /*occurrence=*/0,
+       FaultPlan::MsgAction::kDelay});
+  comm.install_fault_plan(plan);
+  comm.run([R](Rank& r) {
+    std::vector<double> sums;
+    const std::vector<int> order =
+        drain_protocol::drain_round(r, sums, /*sync_before_drain=*/true);
+    const std::vector<double> want =
+        drain_protocol::expected_sums_for(r.id(), R);
+    for (int i = 0; i < drain_protocol::kWidth; ++i) {
+      EXPECT_EQ(sums[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)])
+          << "rank " << r.id() << " i=" << i;
+    }
+    if (r.id() == R - 1) {
+      // The delayed low-rank edge really was the last to arrive.
+      ASSERT_EQ(order.size(), static_cast<std::size_t>(R - 1));
+      EXPECT_EQ(order.back(), 0);
+    }
+    // Keep every rank alive until the delayed message has been flushed:
+    // the flush fires only while all live ranks are blocked.
+    r.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ArrivalOrderDrain,
+                         ::testing::Values(2, 4, 8));
+
 mesh::HexMesh small_basin_mesh() {
   const vel::BasinModel basin = vel::BasinModel::demo(20000.0);
   mesh::MeshOptions opt;
@@ -618,6 +833,41 @@ TEST(ParallelDeterminism, RepeatedRunsBitIdentical) {
                         b.receiver_histories[0].data(),
                         a.receiver_histories[0].size() * sizeof(double) * 3),
             0);
+}
+
+// The full solver's arrival-order drain must be as deterministic as the old
+// strict ascending-rank drain: repeated runs at each rank count are bitwise
+// identical even though thread scheduling shuffles arrival order per step.
+TEST(ParallelDeterminism, ArrivalOrderDrainRepeatedRunsBitIdenticalPerRankCount) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  oo.rayleigh = true;
+  oo.damping_f_min = 0.01;
+  oo.damping_f_max = 0.05;
+  solver::SolverOptions so;
+  so.t_end = 1.0;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+
+  for (const int R : {2, 4, 8}) {
+    SCOPED_TRACE("ranks=" + std::to_string(R));
+    const Partition part = partition_sfc(mesh, R);
+    const ParallelResult a = run_parallel(mesh, part, oo, so, sources, rxs);
+    const ParallelResult b = run_parallel(mesh, part, oo, so, sources, rxs);
+    ASSERT_EQ(a.u_final.size(), b.u_final.size());
+    EXPECT_EQ(std::memcmp(a.u_final.data(), b.u_final.data(),
+                          a.u_final.size() * sizeof(double)),
+              0);
+    ASSERT_EQ(a.receiver_histories[0].size(), b.receiver_histories[0].size());
+    EXPECT_EQ(std::memcmp(a.receiver_histories[0].data(),
+                          b.receiver_histories[0].data(),
+                          a.receiver_histories[0].size() * sizeof(double) * 3),
+              0);
+  }
 }
 
 // Across rank counts the element contributions regroup (each rank pre-folds

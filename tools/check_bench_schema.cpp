@@ -91,12 +91,15 @@ bool check_ranks(const Json& ranks) {
     }
   }
   // A report that times the ghost exchange must also carry the overlap
-  // instrumentation: the post/drain sub-scopes, the hidden-fraction gauge,
-  // and byte-level send accounting. This pins the exchange telemetry
-  // contract so a refactor cannot silently drop it.
+  // instrumentation: the post/drain sub-scopes (including the drain's wait
+  // phase, which separates blocked-on-neighbors time from the rank-ordered
+  // accumulation), the hidden-fraction gauge, and byte-level send
+  // accounting. This pins the exchange telemetry contract so a refactor
+  // cannot silently drop it.
   const Json* exchange = scopes->find("step/exchange");
   if (exchange != nullptr) {
-    for (const char* sub : {"step/exchange/post", "step/exchange/drain"}) {
+    for (const char* sub : {"step/exchange/post", "step/exchange/drain",
+                            "step/exchange/drain/wait"}) {
       if (scopes->find(sub) == nullptr) {
         return fail(std::string("scopes has step/exchange but no \"") + sub +
                     "\"");
