@@ -417,16 +417,68 @@ int main(int argc, char** argv) {
       bool kill;
       int max_revives;
       int log_steps;  // FaultToleranceOptions::message_log_steps
+      bool async;     // FaultToleranceOptions::async_donation
+      int victims;    // 0 = no kill, 1 = single, 2 = disjoint pair
     };
     // "recovery" is the full tier-1 path (donation + message-log replay);
     // "rollback" disables the message log so the same kill lands on the
     // tier-2 donation-aware rollback (the PR 4 behaviour); "full_restart"
-    // spends no revives and falls through to the supervisor.
-    const Mode modes[] = {{"clean", false, 0, 0},
-                          {"recovery", true, 2, -1},
-                          {"rollback", true, 2, 0},
-                          {"full_restart", true, 0, 0}};
-    constexpr int kModes = 4;
+    // spends no revives and falls through to the supervisor. The
+    // "donation_sync"/"donation_async" pair are fault-free A/B controls
+    // isolating the donation-stream cost at each checkpoint cut: sync
+    // blocks on the buddy snapshot before the cut barrier, async posts
+    // fire-and-forget and drains opportunistically (recover/donate/wait
+    // is the measured difference). "multi_victim" kills a ghost-disjoint
+    // victim pair at the same checkpoint-aligned step so both restore
+    // from donations and replay concurrently in one recovery epoch.
+    const Mode modes[] = {{"clean", false, 0, 0, true, 0},
+                          {"recovery", true, 2, -1, true, 1},
+                          {"rollback", true, 2, 0, true, 1},
+                          {"full_restart", true, 0, 0, true, 1},
+                          {"donation_sync", false, 2, -1, false, 0},
+                          {"donation_async", false, 2, -1, true, 0},
+                          {"multi_victim", true, 2, -1, true, 2}};
+    constexpr int kModes = 7;
+
+    // The multi-victim row needs a victim pair that shares no ghost edge
+    // (so every victim-victim replay span is survivor-served) and is
+    // non-consecutive in the buddy ring (so both donors survive). Small
+    // partitions can be too coupled to admit one; escalate the rank count
+    // for that row until a pair exists.
+    const int kill_mv = 3 * every;  // checkpoint-aligned => simultaneous
+    int R_mv = R;
+    par::Partition part_mv = part;
+    std::vector<int> victims_mv;
+    for (const int cand : {R, 12, 16}) {
+      if (cand < R) continue;
+      par::Partition p =
+          cand == R ? part : par::partition_sfc(mesh, cand);
+      const auto adj = par::ParallelSetup(mesh, p, oopt, sopt)
+                           .neighbor_ranks();
+      for (int i = 0; i < cand && victims_mv.empty(); ++i) {
+        for (int j = i + 2; j < cand; ++j) {
+          if ((j + 1) % cand == i) continue;  // buddy-ring neighbours
+          if (std::find(adj[static_cast<std::size_t>(i)].begin(),
+                        adj[static_cast<std::size_t>(i)].end(),
+                        j) != adj[static_cast<std::size_t>(i)].end()) {
+            continue;
+          }
+          victims_mv = {i, j};
+          break;
+        }
+      }
+      if (!victims_mv.empty()) {
+        R_mv = cand;
+        part_mv = std::move(p);
+        break;
+      }
+    }
+    if (victims_mv.empty()) {
+      std::fprintf(stderr,
+                   "fault sweep: no disjoint victim pair up to 16 ranks; "
+                   "multi_victim row falls back to a single victim\n");
+      victims_mv = {R - 1};
+    }
     struct Acc {
       double sum = 0.0;
       double min = 1e300;
@@ -439,6 +491,13 @@ int main(int argc, char** argv) {
       double rec_replay = 0.0;
       double rec_resume = 0.0;
       double overlap = 0.0;
+      double donate_wait_mean = 0.0;
+      double donate_wait_max = 0.0;
+      double log_bytes = 0.0;
+      double log_raw_bytes = 0.0;
+      double donation_restores = 0.0;
+      double donations_served = 0.0;
+      double multi_victim_replays = 0.0;
       par::ParallelResult last;
     };
     Acc acc[kModes];
@@ -448,22 +507,63 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t) {
       for (int m = 0; m < kModes; ++m) {
         std::filesystem::remove_all(ckpt_dir);
+        const bool mv = modes[m].victims >= 2;
         par::FaultPlan plan;
-        if (modes[m].kill) plan.kills.push_back({R - 1, kill_step});
+        if (modes[m].kill) {
+          if (mv) {
+            for (const int v : victims_mv) plan.kills.push_back({v, kill_mv});
+          } else {
+            plan.kills.push_back({R - 1, kill_step});
+          }
+        }
         par::FaultToleranceOptions ft;
         ft.checkpoint_dir = ckpt_dir.string();
         ft.checkpoint_every = every;
         ft.max_retries = 2;
         ft.max_revives = modes[m].max_revives;
         ft.message_log_steps = modes[m].log_steps;
+        ft.async_donation = modes[m].async;
         ft.fault_plan = modes[m].kill ? &plan : nullptr;
         util::Timer timer;
-        par::ParallelResult pr =
-            par::run_parallel(mesh, part, oopt, sopt, sources, {}, ft);
+        par::ParallelResult pr = par::run_parallel(
+            mesh, mv ? part_mv : part, oopt, sopt, sources, {}, ft);
         const double secs = timer.seconds();
         acc[m].sum += secs;
         acc[m].min = std::min(acc[m].min, secs);
         acc[m].last = std::move(pr);
+        // Counters accumulate across trials: the schema pins assert each
+        // recovery path was exercised, and per-trial scheduling skew can
+        // legitimately leave a single trial's replay or rollback span
+        // empty (everyone caught exactly at the cut). Scope latencies
+        // keep the max observed across trials and ranks.
+        Acc& a = acc[m];
+        const auto& ctr = a.last.obs_summary.counters;
+        const auto csum = [&](const char* key) {
+          const auto it = ctr.find(key);
+          return it == ctr.end() ? 0.0 : it->second.sum;
+        };
+        const auto& scp = a.last.obs_summary.scopes;
+        const auto smax = [&](const char* key) {
+          const auto it = scp.find(key);
+          return it == scp.end() ? 0.0 : it->second.seconds.max;
+        };
+        a.recoveries += csum("par/recoveries");
+        a.ranks_revived += csum("par/ranks_revived");
+        a.steps_rolled_back += csum("par/steps_rolled_back");
+        a.steps_replayed += csum("par/steps_replayed");
+        a.donation_restores += csum("par/donation_restores");
+        a.donations_served += csum("par/donations_served");
+        a.multi_victim_replays += csum("par/multi_victim_replays");
+        a.rec_agree = std::max(a.rec_agree, smax("recover/agree"));
+        a.rec_restore = std::max(a.rec_restore, smax("recover/restore"));
+        a.rec_replay = std::max(a.rec_replay, smax("recover/replay"));
+        a.rec_resume = std::max(a.rec_resume, smax("recover/resume"));
+        const auto dw = scp.find("recover/donate/wait");
+        if (dw != scp.end()) {
+          a.donate_wait_mean += dw->second.seconds.mean / trials;
+          a.donate_wait_max =
+              std::max(a.donate_wait_max, dw->second.seconds.max);
+        }
       }
     }
     std::filesystem::remove_all(ckpt_dir);
@@ -472,33 +572,26 @@ int main(int argc, char** argv) {
         "\nFault sweep: rank %d killed at step %d of %d (checkpoint every "
         "%d), %d interleaved trials at %d ranks\n",
         R - 1, kill_step, n, every, trials, R);
+    std::printf("multi-victim row: ranks {");
+    for (std::size_t v = 0; v < victims_mv.size(); ++v) {
+      std::printf("%s%d", v ? ", " : "", victims_mv[v]);
+    }
+    std::printf("} killed at checkpoint-aligned step %d of %d ranks\n",
+                kill_mv, R_mv);
     std::printf("%14s %12s %12s %11s %9s %12s %9s %8s %8s %8s %8s\n", "mode",
                 "wall min s", "wall mean s", "recoveries", "revived",
                 "rolled back", "replayed", "agree s", "restor s", "replay s",
                 "resume s");
     for (int m = 0; m < kModes; ++m) {
       Acc& a = acc[m];
-      const auto& ctr = a.last.obs_summary.counters;
-      const auto get_sum = [&](const char* key) {
-        const auto it = ctr.find(key);
-        return it == ctr.end() ? 0.0 : it->second.sum;
-      };
-      // Recovery-phase latency breakdown: max across ranks = the critical
-      // path each phase contributed to the stall (scope time nests, so
-      // recover/* children partition the recover parent).
-      const auto& scp = a.last.obs_summary.scopes;
-      const auto get_scope_max = [&](const char* key) {
-        const auto it = scp.find(key);
-        return it == scp.end() ? 0.0 : it->second.seconds.max;
-      };
-      a.recoveries = get_sum("par/recoveries");
-      a.ranks_revived = get_sum("par/ranks_revived");
-      a.steps_rolled_back = get_sum("par/steps_rolled_back");
-      a.steps_replayed = get_sum("par/steps_replayed");
-      a.rec_agree = get_scope_max("recover/agree");
-      a.rec_restore = get_scope_max("recover/restore");
-      a.rec_replay = get_scope_max("recover/replay");
-      a.rec_resume = get_scope_max("recover/resume");
+      // Gauges merge by replacement, not addition: total the per-rank
+      // reports (last trial) for the ring-memory accounting.
+      for (const auto& rep : a.last.obs_reports) {
+        const auto s = rep.metrics.gauges.find("par/log_bytes");
+        const auto r = rep.metrics.gauges.find("par/log_raw_bytes");
+        if (s != rep.metrics.gauges.end()) a.log_bytes += s->second;
+        if (r != rep.metrics.gauges.end()) a.log_raw_bytes += r->second;
+      }
       for (const auto& s : a.last.rank_stats) a.overlap += s.overlap_fraction;
       a.overlap /= static_cast<double>(a.last.rank_stats.size());
       std::printf(
@@ -508,17 +601,22 @@ int main(int argc, char** argv) {
           a.steps_rolled_back, a.steps_replayed, a.rec_agree, a.rec_restore,
           a.rec_replay, a.rec_resume);
 
+      const bool mv = modes[m].victims >= 2;
       obs::Json& jrow = sink.new_row();
-      jrow.set("params", obs::Json::object()
-                             .set("mode", modes[m].name)
-                             .set("ranks", R)
-                             .set("model", "BAS10S")
-                             .set("f_max", mopt.f_max)
-                             .set("max_level", mopt.max_level)
-                             .set("t_end", sopt.t_end)
-                             .set("kill_step", modes[m].kill ? kill_step : 0)
-                             .set("checkpoint_every", every)
-                             .set("trials", trials));
+      jrow.set("params",
+               obs::Json::object()
+                   .set("mode", modes[m].name)
+                   .set("ranks", mv ? R_mv : R)
+                   .set("model", "BAS10S")
+                   .set("f_max", mopt.f_max)
+                   .set("max_level", mopt.max_level)
+                   .set("t_end", sopt.t_end)
+                   .set("kill_step",
+                        !modes[m].kill ? 0 : (mv ? kill_mv : kill_step))
+                   .set("victims", modes[m].kill ? modes[m].victims : 0)
+                   .set("async_donation", modes[m].async ? 1 : 0)
+                   .set("checkpoint_every", every)
+                   .set("trials", trials));
       jrow.set("metrics", obs::Json::object()
                               .set("n_steps", n)
                               .set("wall_seconds_min", a.min)
@@ -536,6 +634,20 @@ int main(int argc, char** argv) {
                               .set("recover_restore_seconds", a.rec_restore)
                               .set("recover_replay_seconds", a.rec_replay)
                               .set("recover_resume_seconds", a.rec_resume)
+                              .set("donate_wait_mean_seconds",
+                                   a.donate_wait_mean)
+                              .set("donate_wait_max_seconds",
+                                   a.donate_wait_max)
+                              .set("donation_restores", a.donation_restores)
+                              .set("donations_served", a.donations_served)
+                              .set("multi_victim_replays",
+                                   a.multi_victim_replays)
+                              .set("log_bytes", a.log_bytes)
+                              .set("log_raw_bytes", a.log_raw_bytes)
+                              .set("log_compression_ratio",
+                                   a.log_bytes > 0.0
+                                       ? a.log_raw_bytes / a.log_bytes
+                                       : 1.0)
                               .set("overlap_fraction", a.overlap));
       jrow.set("ranks", obs::to_json(a.last.obs_summary));
     }
@@ -544,6 +656,14 @@ int main(int argc, char** argv) {
                 "%.4f s vs %.4f s min-over-trials)\n",
                 rec < roll && rec < full ? "beats" : "does NOT beat", rec,
                 roll, full);
+    std::printf("(donation wait per cut, sync vs async: %.6f s vs %.6f s "
+                "mean; recovery log rings %.0f B stored / %.0f B raw = "
+                "%.2fx compression)\n",
+                acc[4].donate_wait_mean, acc[5].donate_wait_mean,
+                acc[1].log_bytes, acc[1].log_raw_bytes,
+                acc[1].log_bytes > 0.0
+                    ? acc[1].log_raw_bytes / acc[1].log_bytes
+                    : 1.0);
   }
 
   sink.write_json(json_path);

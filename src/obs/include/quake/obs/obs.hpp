@@ -89,6 +89,7 @@ void scope_exit(std::size_t prev_len, double seconds);
 void counter_add_slow(const char* name, std::int64_t v);
 void gauge_set_slow(const char* name, double v);
 void series_append_slow(const char* name, double v);
+void scope_record_slow(const char* path, double seconds);
 }  // namespace detail
 
 // Adds `v` to the named counter of this thread's registry.
@@ -105,6 +106,16 @@ inline void gauge_set(const char* name, double v) {
 // outer iteration).
 inline void series_append(const char* name, double v) {
   if (enabled()) detail::series_append_slow(name, v);
+}
+
+// Records one completed interval under an *absolute* scope path, ignoring
+// this thread's current scope nesting. For phase costs that logically
+// belong to another subsystem's scope tree than the one they are measured
+// in — e.g. the recovery donation-absorb wait ("recover/donate/wait"),
+// which is timed inside the step loop's checkpoint scope but reported next
+// to the other recover/* phases.
+inline void scope_record(const char* path, double seconds) {
+  if (enabled()) detail::scope_record_slow(path, seconds);
 }
 
 // RAII hierarchical timer; use through QUAKE_OBS_SCOPE. Nesting is tracked

@@ -80,6 +80,12 @@ void series_append_slow(const char* name, double v) {
   current().series[name].push_back(v);
 }
 
+void scope_record_slow(const char* path, double seconds) {
+  ScopeStats& s = current().scopes[path];
+  ++s.calls;
+  s.seconds += seconds;
+}
+
 }  // namespace detail
 
 }  // namespace quake::obs

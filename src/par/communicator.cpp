@@ -90,6 +90,14 @@ void Rank::recv_into(int src, int tag, std::span<double> out,
                    static_cast<std::int64_t>(8 * out.size()));
 }
 
+bool Rank::try_recv(int src, int tag, std::vector<double>& out) {
+  if (!comm_->try_take(src, id_, tag, out)) return false;
+  obs::counter_add("comm/msgs_recv", 1);
+  obs::counter_add("comm/bytes_recv",
+                   static_cast<std::int64_t>(8 * out.size()));
+  return true;
+}
+
 bool Rank::try_recv_into(int src, int tag, std::span<double> out) {
   std::vector<double> spent;
   if (!comm_->try_take_into(src, id_, tag, out, spent)) return false;
@@ -470,6 +478,27 @@ std::vector<double> Communicator::take_into(int src, int dst, int tag,
   return msg;  // spent storage, for the caller's pool
 }
 
+bool Communicator::try_take(int src, int dst, int tag,
+                            std::vector<double>& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Deliberately no poison check: a parked message is complete and valid
+  // even if its sender has since died (the epoch fence already discards
+  // stale generations).  Donation absorbs must be able to drain a buddy
+  // snapshot that landed just before the donor's death; aborting here
+  // would let the revival flush wipe the freshest generation.
+  const auto it = boxes_.find(std::tuple<int, int, int>{src, dst, tag});
+  if (it == boxes_.end()) return false;
+  const std::size_t stale = drop_stale_locked(it->second);
+  if (stale != 0) {
+    obs::counter_add("comm/stale_msgs_discarded",
+                     static_cast<std::int64_t>(stale));
+  }
+  if (it->second.messages.empty()) return false;
+  out = std::move(it->second.messages.front().data);
+  it->second.messages.pop();
+  return true;
+}
+
 bool Communicator::try_take_into(int src, int dst, int tag,
                                  std::span<double> out,
                                  std::vector<double>& spent) {
@@ -526,7 +555,13 @@ void Communicator::barrier_wait(int rank, double timeout_sec) {
                        " after " + std::to_string(t) + " s");
   }
   unblock_locked(rank);
-  throw_if_down_locked();
+  // The barrier completed iff the generation advanced; a poison landing
+  // after the last arrival must not retroactively fail waiters that were
+  // merely slow to wake. Otherwise two planned kills just downstream of
+  // the same barrier would be split across two recovery epochs: the first
+  // victim's poison would knock the second out of the completed barrier
+  // before it could reach its own fault point.
+  if (barrier_gen_ == gen) throw_if_down_locked();
 }
 
 double Communicator::reduce(int rank, double v, ReduceMode mode) {
@@ -554,7 +589,8 @@ double Communicator::reduce(int rank, double v, ReduceMode mode) {
     return poisoned_ || deadlocked_ || reduce_gen_ != gen;
   });
   unblock_locked(rank);
-  throw_if_down_locked();
+  // Completed collective wins over a concurrent poison (see barrier_wait).
+  if (reduce_gen_ == gen) throw_if_down_locked();
   return reduce_result_;
 }
 
@@ -576,7 +612,8 @@ std::vector<double> Communicator::gather_all(int rank, double v) {
     return poisoned_ || deadlocked_ || gather_gen_ != gen;
   });
   unblock_locked(rank);
-  throw_if_down_locked();
+  // Completed collective wins over a concurrent poison (see barrier_wait).
+  if (gather_gen_ == gen) throw_if_down_locked();
   return gather_result_;
 }
 

@@ -176,6 +176,14 @@ class Rank {
   // drained storage is pooled the same way.
   [[nodiscard]] bool try_recv_into(int src, int tag, std::span<double> out);
 
+  // Non-blocking variable-size receive: moves a waiting message on
+  // (src, tag) into `out` and returns true, or returns false immediately.
+  // For streams whose length the receiver cannot know up front (the
+  // buddy-snapshot donation absorb, whose payload grows with the receiver
+  // histories it carries). Same poisoning and stale-epoch semantics as
+  // try_recv_into; never registers in the deadlock detector.
+  [[nodiscard]] bool try_recv(int src, int tag, std::vector<double>& out);
+
   void barrier(double timeout_sec = 0.0);
   double allreduce_sum(double v);
   double allreduce_max(double v);
@@ -319,6 +327,8 @@ class Communicator {
   // (returning its spent storage through `spent`) or returns false without
   // blocking. Checks poison/deadlock state and drops stale-epoch messages
   // exactly like the blocking path, but never calls block_locked.
+  // Variable-size non-blocking pop: moves the waiting message into `out`.
+  bool try_take(int src, int dst, int tag, std::vector<double>& out);
   bool try_take_into(int src, int dst, int tag, std::span<double> out,
                      std::vector<double>& spent);
   // Waits until a message on (src, dst, tag) is available (or the run is

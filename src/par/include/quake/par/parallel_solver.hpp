@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,17 @@
 namespace quake::par {
 
 struct FaultPlan;  // communicator.hpp
+
+// A buddy-snapshot donation the victim could not use: the stream never
+// arrived within the recovery deadline (donor dead or stalled mid-
+// donation) or its payload failed the size/step integrity check. Handled
+// inside the recovery protocol — the victim votes its restore failed and
+// every rank falls back to tier-2 rollback — so a broken donation degrades
+// the recovery by one tier instead of aborting it into a full restart.
+class DonationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ParallelResult {
   std::vector<double> u_final;  // gathered full-length displacement
@@ -99,15 +111,19 @@ struct ParallelResult {
 // rank threads park with their partition, ghost plans, and exchange
 // buffers intact; only the dead rank's thread is respawned:
 //
-//  * Tier 1 (replay, the common path): the revived rank restores the
+//  * Tier 1 (replay, the common path): each revived rank restores the
 //    newest donated buddy snapshot (or its newest disk generation) and
-//    replays forward using the per-neighbor outbound message logs the
-//    survivors kept since the last checkpoint barrier. Survivors keep
-//    their current state, re-serve the log, and roll back ZERO steps.
+//    replays forward using the delta-compressed per-neighbor outbound
+//    message logs the survivors kept. Survivors keep their current state,
+//    re-serve the log, and roll back ZERO steps. Several simultaneously
+//    failed ranks recover concurrently on this tier as long as no two
+//    victims share a ghost edge (disjoint victims — survivors serve each
+//    victim's log independently; `par/multi_victim_replays` counts these).
 //  * Tier 2 (donation + rollback): when the log cannot cover the replay
-//    span (ring overflow, fault during recovery), every rank rolls back
-//    to the newest common state — in-memory shadows for survivors, the
-//    donated buddy snapshot or a disk generation for the revived rank.
+//    span (ring overflow, overlapping victims, a donation that timed out
+//    or failed its integrity check), every rank rolls back to the newest
+//    common state — in-memory shadows for survivors, the donated buddy
+//    snapshot or a disk generation for the revived rank.
 //  * Tier 3 (full restart): when no common state exists or the revival
 //    budget is spent, the supervisor rewinds every rank to the last
 //    agreed snapshot and re-runs, up to `max_retries` times with
@@ -133,10 +149,22 @@ struct FaultToleranceOptions {
   // Only meaningful with in-place recovery armed (max_revives > 0).
   bool state_donation = true;
 
+  // Donation exchange mode. true (default): the snapshot stream is posted
+  // fire-and-forget at the checkpoint barrier and absorbed non-blockingly
+  // (the barrier bracketing the capture guarantees it is already in the
+  // mailbox), so donation adds no synchronous wait to the step loop — the
+  // `recover/donate/wait` scope records the (near-zero) absorb time.
+  // false: the pre-PR-9 blocking ring exchange, kept for A/B measurement
+  // (bench_table2_1's donation_sync/donation_async rows).
+  bool async_donation = true;
+
   // Outbound message log retained per neighbor for tier-1 replay, in steps:
-  // -1 = auto (checkpoint_every + 8, covering one checkpoint interval plus
-  // exchange slack), 0 = logging off (every in-place recovery falls back to
-  // tier-2 rollback), > 0 = explicit ring capacity.
+  // -1 = auto (2 * checkpoint_every + 8: two checkpoint intervals plus
+  // exchange slack — the delta-compressed rings make the longer span cost
+  // about what one uncompressed interval did, and it keeps replay feasible
+  // when a donation generation is lost with the thread holding it), 0 =
+  // logging off (every in-place recovery falls back to tier-2 rollback),
+  // > 0 = explicit ring capacity.
   int message_log_steps = -1;
 };
 
@@ -193,6 +221,13 @@ class ParallelSetup {
   [[nodiscard]] const mesh::HexMesh& mesh() const;
   // Steps a scenario of duration `t_end` will take on the shared dt.
   [[nodiscard]] int n_steps(double t_end) const;
+
+  // The ghost-exchange adjacency: neighbor_ranks()[r] lists the ranks rank
+  // r exchanges shared-node partials with each step (sorted ascending).
+  // This is the edge set the multi-victim recovery agreement calls
+  // "disjoint" over — fault-injection tests and the fault-sweep bench use
+  // it to pick victim sets that provably do or do not share an edge.
+  [[nodiscard]] std::vector<std::vector<int>> neighbor_ranks() const;
 
   // One forward solve on the shared setup. A failed run (rank failure with
   // retries exhausted) throws exactly as run_parallel does and leaves the

@@ -20,6 +20,7 @@
 #include "quake/obs/report.hpp"
 #include "quake/par/communicator.hpp"
 #include "quake/util/checkpoint.hpp"
+#include "quake/util/delta_codec.hpp"
 #include "quake/util/timer.hpp"
 
 namespace quake::par {
@@ -465,10 +466,17 @@ ParallelResult ParallelSetup::Impl::run(
   // the per-neighbor outbound message log. Both only pay their cost when
   // in-place recovery is armed.
   const bool donate_on = in_place && ft.state_donation && R > 1;
+  const bool donate_async = donate_on && ft.async_donation;
+  // Auto capacity spans TWO checkpoint intervals: delta compression (see
+  // util::DeltaRing) keeps the longer ring near the memory cost of one
+  // uncompressed interval, and the extra reach keeps tier-1 feasible even
+  // when a buddy's held donation generation is one interval stale (its
+  // absorb was cut short by the failure itself).
   const int log_cap =
       !in_place ? 0
-                : (ft.message_log_steps >= 0 ? ft.message_log_steps
-                                             : std::max(1, ft.checkpoint_every) + 8);
+                : (ft.message_log_steps >= 0
+                       ? ft.message_log_steps
+                       : 2 * std::max(1, ft.checkpoint_every) + 8);
   const bool log_on = log_cap > 0;
 
   // Cancellation/deadline agreement cadence (see RunControl).
@@ -517,27 +525,61 @@ ParallelResult ParallelSetup::Impl::run(
     const std::string path = ckpt_path(ft.checkpoint_dir, rank.id());
 
     // Buddy-held donation state: at each checkpoint barrier rank r streams
-    // [u | u_prev | dku_prev | flattened owned histories] to rank (r+1)%R,
-    // which holds it HERE — in this thread's frame, so a buddy that dies
-    // loses what it held, exactly like remote node memory. On revival the
-    // buddy donates it back and the revived rank restores the newest
-    // checkpoint without touching disk.
+    // [step | u | u_prev | dku_prev | flattened owned histories] to rank
+    // (r+1)%R, which holds it HERE — in this thread's frame, so a buddy
+    // that dies loses what it held, exactly like remote node memory. On
+    // revival the buddy donates it back and the revived rank restores the
+    // newest checkpoint without touching disk. With async donation the
+    // stream is posted fire-and-forget and absorbed non-blockingly (the
+    // barrier bracketing the capture guarantees it has landed); the step
+    // header is what lets the absorber date a payload it did not wait for,
+    // and the communicator's epoch fence discards any donation posted
+    // before a revival, so a stale pre-failure generation can never be
+    // absorbed after one (the absorb falls back to the previous absorbed
+    // generation, which the two-interval log ring still covers).
     struct BuddyHeld {
       std::int64_t step = -1;  // -1 = holding nothing
-      std::vector<double> state;
+      std::vector<double> state;  // headered payload, streamed back as-is
     } held;
     const int buddy = (rank.id() + 1) % R;          // I donate to buddy
     const int pred = (rank.id() + R - 1) % R;       // I hold pred's state
     const auto rv_count = static_cast<std::size_t>(RV.size());
 
-    // Tier-1 outbound message log: per neighbor, the last `log_cap` posted
-    // coalesced exchange payloads, keyed by step. During a replay recovery
-    // survivors re-serve these so only the revived rank re-executes steps.
-    struct LogEntry {
-      int step;
-      std::vector<double> payload;
+    // Non-blocking absorb of any donation parked on the pred edge; keeps
+    // the newest by header step. Returns true if something was absorbed.
+    std::vector<double> donation_buf;
+    const auto absorb_donations = [&]() -> bool {
+      bool got = false;
+      try {
+        while (rank.try_recv(pred, kDonationTag, donation_buf)) {
+          if (donation_buf.empty()) continue;
+          const auto step = static_cast<std::int64_t>(donation_buf[0]);
+          if (step > held.step) {
+            held.step = step;
+            held.state = std::move(donation_buf);
+            donation_buf.clear();
+          }
+          got = true;
+        }
+      } catch (const RankFailedError&) {
+        // The absorb is opportunistic, never a failure-detection point:
+        // with a peer already down, simultaneous planned kills must still
+        // reach their own fault points, and survivors' next REAL comm op
+        // sees the poison anyway. Whatever was absorbed stands.
+      }
+      return got;
     };
-    std::vector<std::deque<LogEntry>> msg_log(L.neighbors.size());
+
+    // Tier-1 outbound message log: per neighbor, the last `log_cap` posted
+    // coalesced exchange payloads, keyed by step, delta-compressed against
+    // the previous step on the same edge (util::DeltaRing — XOR + zero-run
+    // coding, bit-exact). During a replay recovery survivors re-serve
+    // these so only the revived ranks re-execute steps.
+    std::vector<util::DeltaRing> msg_log;
+    msg_log.reserve(L.neighbors.size());
+    for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+      msg_log.emplace_back(L.sendbuf[nb].size(), log_cap);
+    }
 
     // Per-rank resume points of the last recovery agreement: rank s will
     // re-enter the step loop at start_of[s]; frontier = max(start_of). A
@@ -604,26 +646,68 @@ ParallelResult ParallelSetup::Impl::run(
 
     // Receive the donated buddy snapshot from rank (r+1)%R and restore
     // state + owned histories from it. The payload layout mirrors the
-    // capture in the checkpoint block: [u | u_prev | dku_prev | flattened
-    // owned histories]; a size mismatch means the donation protocol itself
-    // broke, which only the full-restart supervisor can fix.
+    // capture in the checkpoint block: [step | u | u_prev | dku_prev |
+    // flattened owned histories]. The wait is a non-blocking poll with a
+    // deadline rather than a blocking recv: a donor that dies mid-stream
+    // poisons the communicator and the poll throws RankFailedError, while
+    // a donor whose stream silently never arrives (dropped message, donor
+    // wedged) runs the poll into the deadline — the victim can no longer
+    // hang here. The deadline and any size/step mismatch throw
+    // DonationError, which the recovery agreement's confirmation round
+    // turns into a collective tier-2 fallback instead of aborting the
+    // recovery outright.
     const auto restore_from_donation = [&](int step) {
-      const std::vector<double> pay = rank.recv(buddy, kDonationTag);
+      constexpr double kDonationWaitSeconds = 2.0;
+      constexpr int kDonationYieldPasses = 64;
+      std::vector<double> pay;
+      const auto t0 = std::chrono::steady_clock::now();
+      int passes = 0;
+      for (;;) {
+        if (rank.try_recv(buddy, kDonationTag, pay)) {
+          if (!pay.empty() && static_cast<std::int64_t>(pay[0]) == step) {
+            break;
+          }
+          // A leftover generation on this edge (the epoch fence already
+          // dropped anything from before the revival): discard, keep
+          // draining — the donor streams the advertised step behind it.
+          continue;
+        }
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        if (waited > kDonationWaitSeconds) {
+          obs::scope_record("recover/donate/wait", waited);
+          throw DonationError(
+              "state donation to rank " + std::to_string(rank.id()) +
+              " from donor " + std::to_string(buddy) + " missed the " +
+              std::to_string(kDonationWaitSeconds) + " s recovery deadline");
+        }
+        if (++passes < kDonationYieldPasses) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      obs::scope_record(
+          "recover/donate/wait",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
       const std::size_t want =
-          3 * nd + 3 * static_cast<std::size_t>(step) * rv_count;
+          1 + 3 * nd + 3 * static_cast<std::size_t>(step) * rv_count;
       if (pay.size() != want) {
-        throw UnrecoverableError(
+        throw DonationError(
             "state donation payload mismatch on rank " +
             std::to_string(rank.id()) + ": got " +
             std::to_string(pay.size()) + " doubles, expected " +
             std::to_string(want));
       }
-      const auto b = pay.begin();
+      const auto b = pay.begin() + 1;
       const auto n = static_cast<std::ptrdiff_t>(nd);
       std::copy(b, b + n, u.begin());
       std::copy(b + n, b + 2 * n, u_prev.begin());
       std::copy(b + 2 * n, b + 3 * n, dku_prev.begin());
-      std::size_t off = 3 * nd;
+      std::size_t off = 1 + 3 * nd;
       for (const auto& [ri, ln] : RV) {
         auto& hist = result.receiver_histories[static_cast<std::size_t>(ri)];
         hist.assign(static_cast<std::size_t>(step), {});
@@ -712,7 +796,15 @@ ParallelResult ParallelSetup::Impl::run(
                   static_cast<std::size_t>(k0));
             }
           } else if (from_donation) {
-            restore_from_donation(k0);
+            try {
+              restore_from_donation(k0);
+            } catch (const DonationError& e) {
+              // Tier 2 already is the fallback: with the donation agreed on
+              // as the only common state, losing it leaves nothing to roll
+              // back to — hand the failure to the full-restart supervisor.
+              throw UnrecoverableError(std::string("rollback restore: ") +
+                                       e.what());
+            }
           } else {
             restore_from_snapshot(*chosen);
             if (disk.newest_corrupt && chosen_gen > 0) {
@@ -756,6 +848,13 @@ ParallelResult ParallelSetup::Impl::run(
     // fills start_of / frontier. ----
     const auto attempt_recover = [&]() -> int {
       const bool victim = !has_state;
+      // A donation posted before the failure may still sit unabsorbed on
+      // the pred edge: absorb it now — try_recv's epoch fence discards
+      // anything stamped before the revival, so only a cut donated in this
+      // epoch (i.e. by a surviving pred re-streaming) can land here, and
+      // the inventory round below advertises whatever newest generation
+      // this rank actually holds.
+      if (donate_on) absorb_donations();
       std::optional<obs::ScopeTimer> agree_scope(std::in_place, "agree");
       // Round 1: donation inventory. Every rank advertises the step it
       // holds for its predecessor; victim v reads slot (v+1)%R.
@@ -767,9 +866,11 @@ ParallelResult ParallelSetup::Impl::run(
             held_steps[static_cast<std::size_t>(buddy)]);
       }
 
-      // The victim picks its replay source: the donated snapshot if one is
-      // held, else its newest full disk generation. Survivors resume where
-      // they stopped (k_done + 1) without touching their state.
+      // Each victim picks its replay source: the donated snapshot if one
+      // is held (a victim whose buddy died with it falls to disk — the
+      // buddy's fresh thread advertises -1), else its newest full disk
+      // generation. Survivors resume where they stopped (k_done + 1)
+      // without touching their state.
       std::int64_t my_start = -1;
       bool use_donation = false;
       std::optional<util::Snapshot> disk_pick;
@@ -791,16 +892,29 @@ ParallelResult ParallelSetup::Impl::run(
         }
       }
 
-      // Round 2: roles (1 = victim restoring by donation, so its buddy
-      // knows to stream). Round 3: per-rank resume points.
+      // Round 2: roles (0 = survivor, 1 = victim restoring by donation —
+      // its buddy must stream — 2 = victim restoring from disk). Round 3:
+      // per-rank resume points. With simultaneous multi-rank failures
+      // every rank learns the whole victim set here, so survivors serve
+      // each victim's replay span independently.
       const std::vector<double> roles =
-          rank.allgather(victim && use_donation ? 1.0 : 0.0);
+          rank.allgather(victim ? (use_donation ? 1.0 : 2.0) : 0.0);
       const std::vector<double> starts =
           rank.allgather(static_cast<double>(my_start));
+      int n_victims = 0;
+      for (const double role : roles) {
+        if (role != 0.0) ++n_victims;
+      }
 
       // Tier-1 feasibility: every rank must be able to re-serve, from its
-      // outbound log, every step a behind neighbor will re-consume
-      // (steps [start_of[neighbor], my resume point) per edge).
+      // outbound log, every step a behind neighbor will re-consume (steps
+      // [start_of[neighbor], my resume point) per edge). This is also
+      // what gates OVERLAPPING victims: a ghost edge between two victims
+      // at the SAME resume step has an empty span on both sides (they
+      // regenerate each other's messages live while marching forward
+      // together), but victims at different resume steps would need a
+      // span no fresh thread's empty log can serve, so those degrade to
+      // tier-2 rollback.
       bool ok = log_on && my_start >= 0;
       for (std::size_t s = 0; ok && s < starts.size(); ++s) {
         ok = starts[s] >= 0.0;
@@ -809,14 +923,7 @@ ParallelResult ParallelSetup::Impl::run(
         const int m = L.neighbors[nb].rank;
         const int lo = static_cast<int>(starts[static_cast<std::size_t>(m)]);
         for (int k = lo; ok && k < static_cast<int>(my_start); ++k) {
-          bool found = false;
-          for (const LogEntry& e : msg_log[nb]) {
-            if (e.step == k) {
-              found = true;
-              break;
-            }
-          }
-          ok = found;
+          ok = msg_log[nb].contains(k);
         }
       }
       const bool all_ok = rank.allreduce_min(ok ? 1.0 : 0.0) == 1.0;
@@ -832,30 +939,53 @@ ParallelResult ParallelSetup::Impl::run(
         return k0;
       }
 
-      // Tier 1. Donors stream what they hold; the victim restores and will
-      // replay forward; survivors keep their current state.
+      // Tier 1. Donors stream what they hold; victims restore; survivors
+      // keep their current state.
       if (donate_on && roles[static_cast<std::size_t>(pred)] == 1.0) {
         rank.send(pred, kDonationTag, held.state);
         obs::counter_add("par/donations_served", 1);
       }
       agree_scope.reset();
+      bool restore_ok = true;
       {
         std::optional<obs::ScopeTimer> restore_scope(std::in_place,
                                                      "restore");
         if (victim) {
-          if (use_donation) {
-            restore_from_donation(static_cast<int>(my_start));
-          } else {
-            restore_from_snapshot(*disk_pick);
-            if (disk_gen_fallback) {
-              obs::counter_add("checkpoint/generation_fallbacks", 1);
+          try {
+            if (use_donation) {
+              restore_from_donation(static_cast<int>(my_start));
+            } else {
+              restore_from_snapshot(*disk_pick);
+              if (disk_gen_fallback) {
+                obs::counter_add("checkpoint/generation_fallbacks", 1);
+              }
             }
+            obs::counter_add("ckpt/restores", 1);
+            obs::counter_add("ckpt/restored_steps",
+                             static_cast<std::int64_t>(my_start));
+            has_state = true;
+          } catch (const DonationError& e) {
+            // Broken donation (missed deadline, bad size/step): vote the
+            // restore down instead of aborting — every rank degrades to
+            // tier-2 together in the confirmation round below.
+            std::fprintf(stderr, "[quake::par] rank %d: %s\n", rank.id(),
+                         e.what());
+            restore_ok = false;
           }
-          obs::counter_add("ckpt/restores", 1);
-          obs::counter_add("ckpt/restored_steps",
-                           static_cast<std::int64_t>(my_start));
-          has_state = true;
         }
+      }
+      // Confirmation round, BEFORE any log is served: had a victim's
+      // restore failed after survivors already re-served their logs, the
+      // replayed messages would sit in FIFO order ahead of the tier-2
+      // resume's live traffic and corrupt it. Only a unanimous restore
+      // lets replay proceed.
+      if (rank.allreduce_min(restore_ok ? 1.0 : 0.0) != 1.0) {
+        obs::counter_add("par/replay_fallbacks", 1);
+        const int k0 = attempt_restore(/*recovering=*/true, /*donated=*/-1);
+        for (auto& ring : msg_log) ring.clear();
+        std::fill(start_of.begin(), start_of.end(), k0);
+        frontier = k0;
+        return k0;
       }
       {
         std::optional<obs::ScopeTimer> replay_scope(std::in_place, "replay");
@@ -867,22 +997,26 @@ ParallelResult ParallelSetup::Impl::run(
         // Re-serve the log in ascending step order per edge, before any
         // live post of this epoch: tagged FIFO delivery plus the epoch
         // fence hands each behind rank exactly the message sequence it
-        // would have received from an undisturbed peer.
+        // would have received from an undisturbed peer. With several
+        // victims each edge's span is decoded and served independently.
         for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
           const int m = L.neighbors[nb].rank;
-          for (int k = start_of[static_cast<std::size_t>(m)];
-               k < static_cast<int>(my_start); ++k) {
-            for (const LogEntry& e : msg_log[nb]) {
-              if (e.step == k) {
-                rank.send(m, /*tag=*/0, e.payload);
-                break;
-              }
-            }
-          }
+          msg_log[nb].for_each(
+              start_of[static_cast<std::size_t>(m)],
+              static_cast<int>(my_start),
+              [&](int /*step*/, std::span<const double> payload) {
+                rank.send(m, /*tag=*/0, payload);
+              });
         }
         if (victim) {
           obs::counter_add("par/steps_replayed",
                            frontier - static_cast<int>(my_start));
+        }
+        // Counted once per recovery event (rank 0 speaks for the
+        // agreement), not per rank, so the summed counter reads as "how
+        // many times did a single tier-1 pass repair several ranks".
+        if (n_victims >= 2 && rank.id() == 0) {
+          obs::counter_add("par/multi_victim_replays", 1);
         }
       }
       return static_cast<int>(my_start);
@@ -1073,13 +1207,7 @@ ParallelResult ParallelSetup::Impl::run(
         if (k >= start_of[static_cast<std::size_t>(L.neighbors[nb].rank)]) {
           rank.send(L.neighbors[nb].rank, /*tag=*/0, buf);
         }
-        if (log_on) {
-          auto& ring = msg_log[nb];
-          ring.push_back({k, buf});
-          if (ring.size() > static_cast<std::size_t>(log_cap)) {
-            ring.pop_front();
-          }
-        }
+        if (log_on) msg_log[nb].push(k, buf);
       }
       // Zero the shared entries now; interior work never touches them, and
       // the drain re-accumulates in ascending rank order (sendbuf still
@@ -1158,6 +1286,10 @@ ParallelResult ParallelSetup::Impl::run(
             if (n_pending == 0 || progressed > 0) {
               idle_passes = 0;
             } else if (++idle_passes < kIdlePassLimit) {
+              // Idle pass: absorb any in-flight buddy donation instead of
+              // pure spinning, so the async stream never backs up behind
+              // a slow neighbor.
+              if (donate_async) absorb_donations();
               std::this_thread::yield();
             } else {
               rank.recv_into(L.neighbors[first_pending].rank, /*tag=*/0,
@@ -1306,15 +1438,17 @@ ParallelResult ParallelSetup::Impl::run(
         shadow.u = u;
         shadow.u_prev = u_prev;
         shadow.dku_prev = dku_prev;
-        // ---- survivor state donation: every rank streams this cut (state
-        // plus owned histories, so a restore is fully self-contained) to
-        // its buddy (r+1)%R and holds its predecessor's in thread-local
+        // ---- survivor state donation: every rank streams this cut
+        // ([step | state | owned histories], self-contained for a restore)
+        // to its buddy (r+1)%R and holds its predecessor's in thread-local
         // memory. Sends are mailbox posts, so the ring-shift exchange
         // cannot deadlock; both barriers bracketing this block guarantee
         // the capture either completes on every rank or on none ----
         if (donate_on) {
           std::vector<double> pay;
-          pay.reserve(3 * nd + 3 * static_cast<std::size_t>(k + 1) * rv_count);
+          pay.reserve(1 + 3 * nd +
+                      3 * static_cast<std::size_t>(k + 1) * rv_count);
+          pay.push_back(static_cast<double>(k + 1));
           pay.insert(pay.end(), u.begin(), u.end());
           pay.insert(pay.end(), u_prev.begin(), u_prev.end());
           pay.insert(pay.end(), dku_prev.begin(), dku_prev.end());
@@ -1326,14 +1460,40 @@ ParallelResult ParallelSetup::Impl::run(
             }
           }
           rank.send(buddy, kDonationTag, pay);
-          held.state = rank.recv(pred, kDonationTag);
-          held.step = k + 1;
+          if (donate_async) {
+            // Asynchronous absorb: the closing barrier below proves pred's
+            // send already landed in this rank's mailbox, so the post-
+            // barrier drain is non-blocking and the measured wait is ~0.
+            // (Absorbing may also have happened opportunistically in the
+            // drain's idle passes.)
+            rank.barrier();
+            util::StopWatch w;
+            w.start();
+            absorb_donations();
+            w.stop();
+            obs::scope_record("recover/donate/wait", w.total_seconds());
+          } else {
+            // Synchronous baseline (A/B reference): block on the stream
+            // before releasing the barrier, charging the full ring-shift
+            // latency to the checkpoint.
+            util::StopWatch w;
+            w.start();
+            std::vector<double> got = rank.recv(pred, kDonationTag);
+            w.stop();
+            obs::scope_record("recover/donate/wait", w.total_seconds());
+            if (!got.empty()) {
+              held.step = static_cast<std::int64_t>(got[0]);
+              held.state = std::move(got);
+            }
+            rank.barrier();
+          }
+        } else {
+          rank.barrier();
         }
         // Message-log ring reset point: everything before this cut can be
         // restored by donation or disk, so only steps >= k+1 ever need
         // replaying. (The ring capacity already enforces the bound; no
         // explicit trim is needed for correctness.)
-        rank.barrier();
       }
     }
     return n_steps;
@@ -1385,6 +1545,19 @@ ParallelResult ParallelSetup::Impl::run(
     obs::gauge_set("par/compute_seconds", compute_watch.total_seconds());
     obs::gauge_set("par/exchange_seconds", exchange_watch.total_seconds());
     obs::gauge_set("par/overlap_fraction", overlap_fraction);
+    if (log_on) {
+      // Compressed vs raw footprint of the tier-1 message-log rings:
+      // stored = delta-encoded bytes actually held, raw = what the same
+      // span would cost uncompressed. The ratio is the compression the
+      // doubled ring capacity is funded by.
+      std::size_t stored = 0, raw = 0;
+      for (const auto& ring : msg_log) {
+        stored += ring.stored_bytes();
+        raw += ring.raw_bytes();
+      }
+      obs::gauge_set("par/log_bytes", static_cast<double>(stored));
+      obs::gauge_set("par/log_raw_bytes", static_cast<double>(raw));
+    }
 
     // ---- telemetry gather: ship every registry to rank 0 and merge ------
     // Registries are snapshotted/encoded BEFORE the gather messages move,
@@ -2045,6 +2218,20 @@ double ParallelSetup::dt() const { return impl_->dt; }
 int ParallelSetup::n_ranks() const { return impl_->R; }
 
 const mesh::HexMesh& ParallelSetup::mesh() const { return impl_->mesh; }
+
+std::vector<std::vector<int>> ParallelSetup::neighbor_ranks() const {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(impl_->R));
+  for (int r = 0; r < impl_->R; ++r) {
+    const auto& nbs = impl_->locals[static_cast<std::size_t>(r)].neighbors;
+    adj[static_cast<std::size_t>(r)].reserve(nbs.size());
+    for (const auto& nb : nbs) {
+      adj[static_cast<std::size_t>(r)].push_back(nb.rank);
+    }
+    std::sort(adj[static_cast<std::size_t>(r)].begin(),
+              adj[static_cast<std::size_t>(r)].end());
+  }
+  return adj;
+}
 
 int ParallelSetup::n_steps(double t_end) const {
   return static_cast<int>(std::ceil(t_end / impl_->dt));

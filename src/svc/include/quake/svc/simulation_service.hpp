@@ -139,6 +139,11 @@ struct ServiceHealth {
   double last_recoveries = 0.0;       // par/recoveries (obs-enabled runs)
   double last_steps_rolled_back = 0.0;  // par/steps_rolled_back, summed
   double last_steps_replayed = 0.0;     // par/steps_replayed, summed
+  // Tier-1 detail: how many victims restored straight from a buddy's
+  // donated snapshot, and whether any recovery replayed several
+  // simultaneously failed ranks at once.
+  double last_donation_restores = 0.0;   // par/donation_restores, summed
+  double last_multi_victim_replays = 0.0;  // par/multi_victim_replays
   double last_solve_seconds = 0.0;
 };
 

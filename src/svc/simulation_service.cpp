@@ -592,6 +592,10 @@ ScenarioResult SimulationService::execute(par::ParallelSetup& setup,
         counter_sum(res.solve.obs_summary, "par/steps_rolled_back");
     last_exec_.last_steps_replayed =
         counter_sum(res.solve.obs_summary, "par/steps_replayed");
+    last_exec_.last_donation_restores =
+        counter_sum(res.solve.obs_summary, "par/donation_restores");
+    last_exec_.last_multi_victim_replays =
+        counter_sum(res.solve.obs_summary, "par/multi_victim_replays");
     last_exec_.last_solve_seconds = res.solve_seconds;
   }
 

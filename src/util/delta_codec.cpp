@@ -1,0 +1,146 @@
+#include "quake/util/delta_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace quake::util {
+
+namespace {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> code, std::size_t& i) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (i >= code.size() || shift > 63) {
+      throw std::runtime_error("delta_decode: truncated varint");
+    }
+    const std::uint8_t b = code[i++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::uint64_t word_bits(double d) {
+  std::uint64_t w;
+  std::memcpy(&w, &d, sizeof(w));
+  return w;
+}
+
+}  // namespace
+
+void delta_encode(std::span<const double> prev, std::span<const double> cur,
+                  std::vector<std::uint8_t>& out) {
+  if (prev.size() != cur.size()) {
+    throw std::runtime_error("delta_encode: payload size mismatch");
+  }
+  out.clear();
+  const std::size_t n = cur.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = word_bits(prev[i]) ^ word_bits(cur[i]);
+    if (x == 0) {
+      std::size_t run = 1;
+      while (i + run < n &&
+             (word_bits(prev[i + run]) ^ word_bits(cur[i + run])) == 0) {
+        ++run;
+      }
+      out.push_back(0x00);
+      put_varint(out, run);
+      i += run - 1;
+      continue;
+    }
+    std::uint8_t mask = 0;
+    std::uint8_t bytes[8];
+    int nb = 0;
+    for (int b = 0; b < 8; ++b) {
+      const auto byte = static_cast<std::uint8_t>(x >> (8 * b));
+      if (byte != 0) {
+        mask |= static_cast<std::uint8_t>(1u << b);
+        bytes[nb++] = byte;
+      }
+    }
+    out.push_back(mask);
+    out.insert(out.end(), bytes, bytes + nb);
+  }
+}
+
+void delta_decode_inplace(std::span<double> buf,
+                          std::span<const std::uint8_t> code) {
+  const std::size_t n = buf.size();
+  std::size_t w = 0;  // next word to fill
+  std::size_t i = 0;  // read cursor in code
+  while (w < n) {
+    if (i >= code.size()) {
+      throw std::runtime_error("delta_decode: truncated code stream");
+    }
+    const std::uint8_t mask = code[i++];
+    if (mask == 0x00) {
+      const std::uint64_t run = get_varint(code, i);
+      if (run == 0 || run > n - w) {
+        throw std::runtime_error("delta_decode: bad zero run");
+      }
+      w += run;  // XOR with zero: words unchanged
+      continue;
+    }
+    std::uint64_t x = 0;
+    for (int b = 0; b < 8; ++b) {
+      if ((mask & (1u << b)) == 0) continue;
+      if (i >= code.size()) {
+        throw std::runtime_error("delta_decode: truncated word bytes");
+      }
+      x |= static_cast<std::uint64_t>(code[i++]) << (8 * b);
+    }
+    const std::uint64_t word = word_bits(buf[w]) ^ x;
+    std::memcpy(&buf[w], &word, sizeof(word));
+    ++w;
+  }
+  if (i != code.size()) {
+    throw std::runtime_error("delta_decode: trailing bytes in code stream");
+  }
+}
+
+void DeltaRing::push(int step, std::span<const double> payload) {
+  if (payload.size() != n_) {
+    throw std::runtime_error("DeltaRing::push: payload size mismatch");
+  }
+  if (cap_ <= 0) return;
+  if (!codes_.empty() &&
+      step != front_step_ + static_cast<int>(codes_.size())) {
+    clear();
+  }
+  std::vector<std::uint8_t> code;
+  delta_encode(last_pay_, payload, code);
+  stored_ += code.size();
+  codes_.push_back(std::move(code));
+  last_pay_.assign(payload.begin(), payload.end());
+  if (codes_.size() == 1) {
+    front_step_ = step;
+    front_pay_.assign(payload.begin(), payload.end());
+  }
+  if (codes_.size() > static_cast<std::size_t>(cap_)) {
+    // Re-anchor: the second entry's delta, applied to the evicted front
+    // payload, is the new front payload.
+    delta_decode_inplace(front_pay_, codes_[1]);
+    stored_ -= codes_.front().size();
+    codes_.pop_front();
+    ++front_step_;
+  }
+}
+
+void DeltaRing::clear() {
+  codes_.clear();
+  stored_ = 0;
+  front_step_ = 0;
+  std::fill(front_pay_.begin(), front_pay_.end(), 0.0);
+  std::fill(last_pay_.begin(), last_pay_.end(), 0.0);
+}
+
+}  // namespace quake::util

@@ -1,0 +1,102 @@
+#pragma once
+
+// Delta compression for step-to-step solver payloads (see DESIGN.md
+// "Localized recovery"): consecutive ghost-exchange payloads on one edge
+// differ little — regions the wavefront has not reached are exactly zero,
+// and where it has, neighboring steps share sign, exponent, and the high
+// mantissa bytes. XOR-ing each 64-bit word against the previous step's
+// word turns both into runs of zero bytes, which a byte-mask + zero-run
+// encoding stores compactly. The transform is exact: decode(prev,
+// encode(prev, cur)) == cur bit for bit, which is what lets the tier-1
+// message-log replay stay bit-identical while the ring spans several
+// checkpoint intervals at the same memory bound.
+//
+// Wire format (per encoded payload, a sequence of word tokens):
+//   0x00, varint(n)     — n consecutive words whose XOR is entirely zero
+//   mask (1..0xff), b.. — one word; bit i of mask set = byte i of the
+//                         XOR'd word is nonzero and stored next (LSB
+//                         first), clear = that byte is zero
+// Varints are LEB128. A payload always encodes size(cur) words; sizes must
+// match between encode and decode.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace quake::util {
+
+// Appends the delta encoding of `cur` against `prev` to `out` (the caller
+// owns framing). prev.size() must equal cur.size().
+void delta_encode(std::span<const double> prev, std::span<const double> cur,
+                  std::vector<std::uint8_t>& out);
+
+// Reconstructs the payload encoded against `prev` in place: on entry `buf`
+// holds prev, on exit it holds cur. Throws std::runtime_error on a
+// malformed or size-mismatched code stream.
+void delta_decode_inplace(std::span<double> buf,
+                          std::span<const std::uint8_t> code);
+
+// Bounded per-neighbor ring of delta-encoded step payloads, the storage
+// behind the tier-1 message log. Entries are keyed by contiguous step
+// numbers; each is stored as a delta against the previous entry (the first
+// against the all-zero payload, exact for the pre-source quiet steps).
+// Popping the oldest entry re-anchors the front by decoding the next entry
+// against it, so eviction is O(payload) like insertion.
+class DeltaRing {
+ public:
+  DeltaRing(std::size_t payload_doubles, int capacity)
+      : n_(payload_doubles),
+        cap_(capacity),
+        front_pay_(payload_doubles, 0.0),
+        last_pay_(payload_doubles, 0.0) {}
+
+  // Appends the payload for `step`. Steps must arrive in increasing
+  // contiguous order (the solver pushes once per step per edge); a
+  // non-contiguous step resets the ring to this single entry.
+  void push(int step, std::span<const double> payload);
+
+  [[nodiscard]] bool empty() const { return codes_.empty(); }
+  [[nodiscard]] bool contains(int step) const {
+    return !codes_.empty() && step >= front_step_ &&
+           step < front_step_ + static_cast<int>(codes_.size());
+  }
+  [[nodiscard]] int front_step() const { return front_step_; }
+  [[nodiscard]] int size() const { return static_cast<int>(codes_.size()); }
+
+  // Decodes entries with step in [lo, hi) in ascending order and calls
+  // f(step, std::span<const double> payload) for each. One cumulative
+  // decode pass over the ring, O(entries * payload).
+  template <class F>
+  void for_each(int lo, int hi, F&& f) const {
+    if (codes_.empty() || hi <= front_step_) return;
+    std::vector<double> cur = front_pay_;
+    int step = front_step_;
+    for (std::size_t i = 1; i <= codes_.size(); ++i, ++step) {
+      if (step >= hi) return;
+      if (step >= lo) f(step, std::span<const double>(cur));
+      if (i < codes_.size()) delta_decode_inplace(cur, codes_[i]);
+    }
+  }
+
+  void clear();
+
+  // Stored (encoded) bytes across all entries, the `par/log_bytes` gauge.
+  [[nodiscard]] std::size_t stored_bytes() const { return stored_; }
+  // Logical payload bytes the same entries would occupy uncompressed, the
+  // `par/log_raw_bytes` gauge; ratio raw/stored is the compression factor.
+  [[nodiscard]] std::size_t raw_bytes() const {
+    return codes_.size() * n_ * sizeof(double);
+  }
+
+ private:
+  std::size_t n_;
+  int cap_;
+  std::deque<std::vector<std::uint8_t>> codes_;  // codes_[i]: step front+i
+  int front_step_ = 0;
+  std::vector<double> front_pay_;  // decoded payload of codes_.front()
+  std::vector<double> last_pay_;   // decoded payload of codes_.back()
+  std::size_t stored_ = 0;
+};
+
+}  // namespace quake::util

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -1492,6 +1493,349 @@ TEST_F(ParallelRecovery, CorruptNewestGenerationFallsBackToOlder) {
   EXPECT_EQ(counter_sum(pr, "checkpoint/generation_fallbacks"),
             static_cast<double>(R));
   EXPECT_EQ(counter_sum(pr, "ckpt/restores"), static_cast<double>(R));
+  std::filesystem::remove_all(dir);
+}
+
+// Victim sets for multi-victim recovery tests: pairwise non-adjacent in the
+// ghost graph (so every victim-victim span is survivor-served) and
+// non-consecutive in the buddy ring (so every victim's donor survives).
+// Backtracking search — greedy first-fit misses sets on dense adjacency.
+bool extend_disjoint_victims(const std::vector<std::vector<int>>& adj, int R,
+                             int want, std::vector<int>& picked) {
+  if (static_cast<int>(picked.size()) == want) return true;
+  const int from = picked.empty() ? 0 : picked.back() + 1;
+  for (int c = from; c < R; ++c) {
+    bool ok = true;
+    for (const int v : picked) {
+      if ((v + 1) % R == c || (c + 1) % R == v) ok = false;
+      if (std::find(adj[static_cast<std::size_t>(v)].begin(),
+                    adj[static_cast<std::size_t>(v)].end(),
+                    c) != adj[static_cast<std::size_t>(v)].end()) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    picked.push_back(c);
+    if (extend_disjoint_victims(adj, R, want, picked)) return true;
+    picked.pop_back();
+  }
+  return false;
+}
+
+std::vector<int> pick_disjoint_victims(
+    const std::vector<std::vector<int>>& adj, int R, int want) {
+  std::vector<int> picked;
+  extend_disjoint_victims(adj, R, want, picked);
+  return picked;
+}
+
+void expect_bit_identical(const ParallelResult& pr, const ParallelResult& ref) {
+  ASSERT_EQ(pr.n_steps, ref.n_steps);
+  ASSERT_EQ(pr.u_final.size(), ref.u_final.size());
+  EXPECT_EQ(std::memcmp(pr.u_final.data(), ref.u_final.data(),
+                        ref.u_final.size() * sizeof(double)),
+            0);
+  ASSERT_EQ(pr.receiver_histories[0].size(), ref.receiver_histories[0].size());
+  EXPECT_EQ(std::memcmp(pr.receiver_histories[0].data(),
+                        ref.receiver_histories[0].data(),
+                        ref.receiver_histories[0].size() * sizeof(double) * 3),
+            0);
+}
+
+// Tentpole acceptance: several ranks killed at the SAME step, with disjoint
+// ghost edges and live buddies, all restore from their donated snapshots
+// and replay concurrently — one tier-1 pass, zero survivor rollback, bit-
+// identical result.
+TEST_F(ParallelRecovery, SimultaneousDisjointVictimsReplayConcurrently) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+
+  // Two victims fit disjointly at 8 ranks; this mesh's 8-rank partition is
+  // too coupled for three (ranks 4-7 form a ghost clique), so the triple
+  // runs at 12 ranks where {0, 4, 10}-style sets exist.
+  const std::pair<int, int> cases[] = {{2, 8}, {3, 12}};
+  for (const auto& [n_victims, R] : cases) {
+    SCOPED_TRACE("n_victims=" + std::to_string(n_victims) +
+                 " R=" + std::to_string(R));
+    const Partition part = partition_sfc(mesh, R);
+    const ParallelSetup setup(mesh, part, oo, so);
+    const auto adj = setup.neighbor_ranks();
+
+    const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+    const int n = ref.n_steps;
+    const int every = std::max(2, n / 4);
+    // The kills must be SIMULTANEOUS to land in one recovery epoch: once a
+    // victim dies, any comm call observes it, so a second victim only
+    // reaches its own fault point first if nothing sits between them. The
+    // step right after a checkpoint barrier is exactly that point — every
+    // rank leaves the barrier and hits fault_point(k) before any other
+    // comm, so pin the kill to a checkpoint-multiple step.
+    const int kill_at = (2 * n / 3) / every * every;
+    ASSERT_GE(kill_at, every);
+    ASSERT_LT(kill_at, n);
+
+    const std::vector<int> victims = pick_disjoint_victims(adj, R, n_victims);
+    ASSERT_EQ(static_cast<int>(victims.size()), n_victims)
+        << "partition too coupled to pick a disjoint victim set";
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("quake_multi_victim_" + std::to_string(n_victims));
+    std::filesystem::remove_all(dir);
+    FaultPlan plan;
+    for (const int v : victims) plan.kills.push_back({v, kill_at});
+    FaultToleranceOptions ft;
+    ft.checkpoint_dir = dir.string();
+    ft.checkpoint_every = every;
+    ft.max_retries = 1;
+    ft.max_revives = 4;
+    ft.fault_plan = &plan;
+    const ParallelResult pr =
+        run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+    expect_bit_identical(pr, ref);
+    // One recovery epoch: every parked survivor counts once (victims enter
+    // the epoch via revival, not the survivor catch path).
+    EXPECT_EQ(counter_sum(pr, "par/recoveries"),
+              static_cast<double>(R - n_victims));
+    EXPECT_EQ(counter_sum(pr, "par/ranks_revived"),
+              static_cast<double>(n_victims));
+    EXPECT_EQ(counter_sum(pr, "par/steps_rolled_back"), 0.0);
+    EXPECT_EQ(counter_sum(pr, "par/replay_fallbacks"), 0.0);
+    EXPECT_EQ(counter_sum(pr, "par/donation_restores"),
+              static_cast<double>(n_victims));
+    EXPECT_EQ(counter_sum(pr, "par/donations_served"),
+              static_cast<double>(n_victims));
+    EXPECT_EQ(counter_sum(pr, "par/multi_victim_replays"), 1.0);
+    // Aligned kill: every rank resumes at the donated cut, so the replay
+    // span is empty — tier-1 with nothing to re-serve, and no rollback.
+    EXPECT_EQ(counter_sum(pr, "par/steps_replayed"), 0.0);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// A donation silently lost in flight (dropped message at the second cut)
+// leaves the buddy holding the PREVIOUS generation; the doubled, delta-
+// compressed log ring still spans that older resume point, so recovery
+// stays tier-1 — the victim just replays a longer span.
+TEST_F(ParallelRecovery, StaleDonationGenerationStillRepairsTier1) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  constexpr int R = 4;
+  const Partition part = partition_sfc(mesh, R);
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  const int n = ref.n_steps;
+  const int every = std::max(2, n / 4);
+  int kill_at = 2 * n / 3;
+  if (kill_at % every == 0) ++kill_at;
+  ASSERT_GT(kill_at, 2 * every) << "need two checkpoint cuts before the kill";
+  ASSERT_LT(kill_at, n);
+  const int victim = R - 1;
+  const int buddy = (victim + 1) % R;
+  const int last_cut_index = kill_at / every;  // 1-based cut ordinal
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_stale_donation";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({victim, kill_at});
+  // Drop the victim's donation at the LAST cut before the kill: the buddy
+  // keeps advertising the generation before it.
+  plan.msg_faults.push_back({victim, buddy, /*tag=*/10,
+                             /*occurrence=*/last_cut_index - 1,
+                             FaultPlan::MsgAction::kDrop});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = every;
+  ft.max_retries = 1;
+  ft.max_revives = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  expect_bit_identical(pr, ref);
+  EXPECT_EQ(counter_sum(pr, "par/steps_rolled_back"), 0.0);
+  EXPECT_EQ(counter_sum(pr, "par/replay_fallbacks"), 0.0);
+  EXPECT_EQ(counter_sum(pr, "par/donation_restores"), 1.0);
+  // The replay span crosses a full checkpoint interval — longer than any
+  // single-interval ring could serve.
+  EXPECT_GE(counter_sum(pr, "par/steps_replayed"),
+            static_cast<double>(every + 1));
+  std::filesystem::remove_all(dir);
+}
+
+// Overlapping victims at DIFFERENT resume steps (one holds a stale donated
+// generation) share a ghost edge whose span no fresh thread's empty log
+// can serve: the three-round agreement votes tier-1 down and the whole
+// job degrades to donation-aware rollback — still bit-identical.
+TEST_F(ParallelRecovery, OverlappingVictimsDegradeToTier2) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  constexpr int R = 8;
+  const Partition part = partition_sfc(mesh, R);
+  const ParallelSetup setup(mesh, part, oo, so);
+  const auto adj = setup.neighbor_ranks();
+  // An adjacent victim pair that is still non-consecutive in the buddy
+  // ring, so both donors survive and the overlap is the only obstacle.
+  int va = -1, vb = -1;
+  for (int v = 0; v < R && va < 0; ++v) {
+    for (const int w : adj[static_cast<std::size_t>(v)]) {
+      if ((v + 1) % R != w && (w + 1) % R != v) {
+        va = v;
+        vb = w;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(va, 0) << "no non-consecutive adjacent pair in this partition";
+
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  const int n = ref.n_steps;
+  const int every = std::max(2, n / 4);
+  int kill_at = 2 * n / 3;
+  if (kill_at % every == 0) ++kill_at;
+  ASSERT_GT(kill_at, 2 * every);
+  ASSERT_LT(kill_at, n);
+  const int last_cut_index = kill_at / every;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_overlap_victims";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({va, kill_at});
+  plan.kills.push_back({vb, kill_at});
+  // Skew va's resume point one generation behind vb's.
+  plan.msg_faults.push_back({va, (va + 1) % R, /*tag=*/10,
+                             /*occurrence=*/last_cut_index - 1,
+                             FaultPlan::MsgAction::kDrop});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = every;
+  ft.max_retries = 1;
+  ft.max_revives = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  expect_bit_identical(pr, ref);
+  EXPECT_EQ(counter_sum(pr, "par/replay_fallbacks"), static_cast<double>(R));
+  EXPECT_GE(counter_sum(pr, "par/steps_rolled_back"), 1.0);
+  EXPECT_EQ(counter_sum(pr, "par/multi_victim_replays"), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+// Regression for the donation-restore wait: a donor whose tier-1 stream
+// never arrives (dropped in flight) must NOT hang the victim — the polled
+// deadline expires, the restore is voted down, and recovery completes on
+// the tier-2 rollback path.
+TEST_F(ParallelRecovery, DroppedDonorStreamTimesOutIntoTier2) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  oo.abc = fem::AbcType::kStacey;
+  solver::SolverOptions so;
+  so.t_end = 1.5;
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  constexpr int R = 4;
+  const Partition part = partition_sfc(mesh, R);
+  const ParallelResult ref = run_parallel(mesh, part, oo, so, sources, rxs);
+  const int n = ref.n_steps;
+  const int every = std::max(2, n / 4);
+  int kill_at = 2 * n / 3;
+  if (kill_at % every == 0) ++kill_at;
+  ASSERT_LT(kill_at, n);
+  const int victim = R - 1;
+  const int buddy = (victim + 1) % R;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_dropped_stream";
+  std::filesystem::remove_all(dir);
+  FaultPlan plan;
+  plan.kills.push_back({victim, kill_at});
+  // The ONLY kDonationTag traffic on the buddy->victim edge is the
+  // recovery stream itself; occurrence 0 kills exactly that.
+  plan.msg_faults.push_back({buddy, victim, /*tag=*/10, /*occurrence=*/0,
+                             FaultPlan::MsgAction::kDrop});
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = every;
+  ft.max_retries = 1;
+  ft.max_revives = 2;
+  ft.fault_plan = &plan;
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+
+  expect_bit_identical(pr, ref);
+  // The stream was served (and lost); the victim's timed-out wait is
+  // visible under the absolute recover/donate/wait scope.
+  EXPECT_EQ(counter_sum(pr, "par/donations_served"), 1.0);
+  EXPECT_EQ(counter_sum(pr, "par/donation_restores"), 0.0);
+  EXPECT_EQ(counter_sum(pr, "par/replay_fallbacks"), static_cast<double>(R));
+  EXPECT_GE(counter_sum(pr, "par/steps_rolled_back"), 1.0);
+  const auto it = pr.obs_summary.scopes.find("recover/donate/wait");
+  ASSERT_NE(it, pr.obs_summary.scopes.end());
+  EXPECT_GE(it->second.seconds.max, 1.0);  // the 2 s deadline actually ran
+  std::filesystem::remove_all(dir);
+}
+
+// Delta-compressed rings carry their claimed span at a fraction of the raw
+// footprint while the wavefront has not yet lit every ghost node: the
+// stored/raw gauges prove >= 2x headroom in the quiet regime the doubled
+// capacity is funded by.
+TEST_F(ParallelRecovery, CompressedLogRingsReportCompression) {
+  const auto mesh = small_basin_mesh();
+  solver::OperatorOptions oo;
+  solver::SolverOptions so;
+  so.t_end = 0.2;  // short run: most ghost nodes still exactly zero
+  so.cfl_fraction = 0.4;
+  const solver::PointSource src(mesh, {10000.0, 10000.0, 4000.0},
+                                {1.0, 0.5, 0.2}, 1e12, 0.03, 40.0);
+  const solver::SourceModel* sources[] = {&src};
+  const std::array<double, 3> rxs[] = {{14000.0, 9000.0, 0.0}};
+  const Partition part = partition_sfc(mesh, 8);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "quake_log_compression";
+  std::filesystem::remove_all(dir);
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = dir.string();
+  ft.checkpoint_every = 4;
+  ft.max_revives = 2;  // arms in-place recovery: donation + log rings on
+  const ParallelResult pr = run_parallel(mesh, part, oo, so, sources, rxs, ft);
+  double stored = 0.0, raw = 0.0;
+  for (const auto& rep : pr.obs_reports) {
+    const auto s = rep.metrics.gauges.find("par/log_bytes");
+    const auto r = rep.metrics.gauges.find("par/log_raw_bytes");
+    ASSERT_NE(s, rep.metrics.gauges.end());
+    ASSERT_NE(r, rep.metrics.gauges.end());
+    stored += s->second;
+    raw += r->second;
+  }
+  EXPECT_GT(raw, 0.0);
+  EXPECT_LE(stored * 2.0, raw)
+      << "compression ratio " << raw / std::max(stored, 1.0);
   std::filesystem::remove_all(dir);
 }
 

@@ -4,10 +4,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <numbers>
 
 #include "quake/util/checkpoint.hpp"
+#include "quake/util/delta_codec.hpp"
 #include "quake/util/filter.hpp"
 #include "quake/util/io.hpp"
 #include "quake/util/rng.hpp"
@@ -362,6 +365,100 @@ TEST(Checkpoint, RotatingSaveFailureLeavesPreviousChainIntact) {
   ASSERT_TRUE(load_snapshot(path, &out));
   EXPECT_EQ(out.step, 11);  // the failed save cost nothing
   std::filesystem::remove_all(dir);
+}
+
+TEST(DeltaCodec, RoundTripIsBitExact) {
+  Rng rng(42);
+  std::vector<double> prev(257), cur(257);
+  for (auto& v : prev) v = rng.normal();
+  // Mix of smooth drift (small mantissa deltas), identical entries (zero
+  // XOR words), sign flips, and specials — everything a ghost payload
+  // stepping through time can produce.
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    switch (i % 5) {
+      case 0: cur[i] = prev[i]; break;
+      case 1: cur[i] = prev[i] * (1.0 + 1e-15); break;
+      case 2: cur[i] = -prev[i]; break;
+      case 3: cur[i] = rng.normal() * 1e12; break;
+      default: cur[i] = 0.0; break;
+    }
+  }
+  cur[7] = std::numeric_limits<double>::infinity();
+  cur[11] = -0.0;
+  std::vector<std::uint8_t> code;
+  delta_encode(prev, cur, code);
+  std::vector<double> rt = prev;
+  delta_decode_inplace(rt, code);
+  EXPECT_EQ(std::memcmp(rt.data(), cur.data(), cur.size() * sizeof(double)),
+            0);
+  // Identical payloads collapse to a single zero-run token.
+  delta_encode(cur, cur, code);
+  EXPECT_LE(code.size(), 3u);
+  rt = cur;
+  delta_decode_inplace(rt, code);
+  EXPECT_EQ(std::memcmp(rt.data(), cur.data(), cur.size() * sizeof(double)),
+            0);
+}
+
+TEST(DeltaCodec, DecodeRejectsMalformedStreams) {
+  const std::vector<double> base = {1.0, 2.0, 3.0};
+  const std::vector<double> next = {1.5, 2.0, 3.0};
+  std::vector<std::uint8_t> code;
+  delta_encode(base, next, code);
+  std::vector<double> buf = base;
+  // Truncation mid-token.
+  std::vector<std::uint8_t> cut(code.begin(), code.end() - 1);
+  EXPECT_THROW(delta_decode_inplace(buf, cut), std::runtime_error);
+  // Zero-run overrunning the payload.
+  buf = base;
+  const std::vector<std::uint8_t> overrun = {0x00, 0x04};
+  EXPECT_THROW(delta_decode_inplace(buf, overrun), std::runtime_error);
+  // Trailing garbage past the last word.
+  std::vector<std::uint8_t> fat = code;
+  fat.insert(fat.end(), {0x00, 0x01});
+  buf = base;
+  EXPECT_THROW(delta_decode_inplace(buf, fat), std::runtime_error);
+}
+
+TEST(DeltaRing, EvictionReanchorsAndForEachDecodes) {
+  constexpr std::size_t kN = 32;
+  Rng rng(7);
+  DeltaRing ring(kN, /*capacity=*/4);
+  std::vector<std::vector<double>> truth;
+  std::vector<double> pay(kN, 0.0);
+  for (int k = 0; k < 10; ++k) {
+    // Wavefront-like evolution: most entries hold their value step to
+    // step (zero XOR words), a few change — the regime the ring's delta
+    // encoding is built for.
+    for (std::size_t i = 0; i < 3; ++i) {
+      pay[(static_cast<std::size_t>(k) * 3 + i) % kN] = rng.normal();
+    }
+    truth.push_back(pay);
+    ring.push(k, pay);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.front_step(), 6);
+  EXPECT_TRUE(ring.contains(6));
+  EXPECT_TRUE(ring.contains(9));
+  EXPECT_FALSE(ring.contains(5));
+  EXPECT_FALSE(ring.contains(10));
+  int seen = 0;
+  ring.for_each(7, 10, [&](int step, std::span<const double> p) {
+    ASSERT_GE(step, 7);
+    ASSERT_LT(step, 10);
+    const auto& want = truth[static_cast<std::size_t>(step)];
+    EXPECT_EQ(std::memcmp(p.data(), want.data(), kN * sizeof(double)), 0);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 3);
+  // Deltas of a smoothly evolving payload must beat raw storage.
+  EXPECT_LT(ring.stored_bytes(), ring.raw_bytes());
+  // A non-contiguous step resets the ring rather than storing a bogus
+  // delta chain.
+  ring.push(20, pay);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.front_step(), 20);
+  EXPECT_FALSE(ring.contains(9));
 }
 
 }  // namespace

@@ -285,27 +285,36 @@ bool check_throughput_contract(const Json& rows) {
 
 // The table2_1 --fault-sweep rows claim a recovery-latency comparison
 // across the three tiers (see DESIGN.md "Localized recovery"); when any
-// row carries a params.mode, all four policies must be present and each
-// must carry the wall-clock numbers plus the recover/agree|restore|replay
-// |resume latency breakdown. The replay row must prove zero survivor
-// rollback (steps_rolled_back == 0, steps_replayed > 0 with the
-// recover/replay scope); the rollback row must prove it actually rolled
-// back. Plain table rows (no params.mode) are exempt, so the contract is
-// inert for runs without --fault-sweep.
+// row carries a params.mode, all seven policies must be present and each
+// must carry the wall-clock numbers, the recover/agree|restore|replay
+// |resume latency breakdown, the donation-wait split, and the compressed
+// log-ring accounting. The replay row must prove zero survivor rollback
+// (steps_rolled_back == 0, steps_replayed > 0 with the recover/replay
+// scope) and a live, compressing message log; the rollback row must
+// prove it actually rolled back; the donation_sync/donation_async pair
+// are fault-free controls (no recoveries, sync shows a nonzero blocking
+// wait); the multi_victim row must prove both victims restored from
+// donations in one concurrent tier-1 pass. Plain table rows (no
+// params.mode) are exempt, so the contract is inert for runs without
+// --fault-sweep.
 bool check_table2_1_contract(const Json& rows) {
-  const Json* sweep[4] = {nullptr, nullptr, nullptr, nullptr};
-  const char* names[4] = {"clean", "recovery", "rollback", "full_restart"};
+  constexpr int kModes = 7;
+  const Json* sweep[kModes] = {};
+  const char* names[kModes] = {"clean",         "recovery",
+                               "rollback",      "full_restart",
+                               "donation_sync", "donation_async",
+                               "multi_victim"};
   bool any_mode = false;
   for (const Json& row : rows.items()) {
     if (row_param(row, "mode") == nullptr) continue;
     any_mode = true;
-    for (int m = 0; m < 4; ++m) {
+    for (int m = 0; m < kModes; ++m) {
       if (param_is(row, "mode", names[m])) sweep[m] = &row;
     }
   }
   if (!any_mode) return true;
   g_context += " (table2_1 fault-sweep contract)";
-  for (int m = 0; m < 4; ++m) {
+  for (int m = 0; m < kModes; ++m) {
     if (sweep[m] == nullptr) {
       return fail(std::string("no row with params.mode == \"") + names[m] +
                   "\"");
@@ -315,7 +324,10 @@ bool check_table2_1_contract(const Json& rows) {
          {"wall_seconds_min", "wall_seconds_mean", "excess_over_clean_seconds",
           "steps_rolled_back", "steps_replayed", "recover_agree_seconds",
           "recover_restore_seconds", "recover_replay_seconds",
-          "recover_resume_seconds"}) {
+          "recover_resume_seconds", "donate_wait_mean_seconds",
+          "donate_wait_max_seconds", "donation_restores", "donations_served",
+          "multi_victim_replays", "log_bytes", "log_raw_bytes",
+          "log_compression_ratio"}) {
       if (mm == nullptr || !is_number(mm->find(key))) {
         return fail(std::string(names[m]) + " row needs numeric metrics." +
                     key);
@@ -329,6 +341,12 @@ bool check_table2_1_contract(const Json& rows) {
   if (rm->find("steps_replayed")->as_number() <= 0.0) {
     return fail("recovery (replay) row reports steps_replayed <= 0");
   }
+  if (rm->find("log_bytes")->as_number() <= 0.0) {
+    return fail("recovery (replay) row reports no message-log memory");
+  }
+  if (rm->find("log_compression_ratio")->as_number() < 1.0) {
+    return fail("recovery (replay) row log_compression_ratio < 1");
+  }
   const Json* rranks = sweep[1]->find("ranks");
   const Json* rscopes = rranks == nullptr ? nullptr : rranks->find("scopes");
   if (rscopes == nullptr || rscopes->find("recover/replay") == nullptr) {
@@ -337,6 +355,28 @@ bool check_table2_1_contract(const Json& rows) {
   const Json* bm = sweep[2]->find("metrics");
   if (bm->find("steps_rolled_back")->as_number() <= 0.0) {
     return fail("rollback row reports steps_rolled_back <= 0");
+  }
+  const Json* sm = sweep[4]->find("metrics");
+  const Json* am = sweep[5]->find("metrics");
+  if (sm->find("recoveries")->as_number() != 0.0 ||
+      am->find("recoveries")->as_number() != 0.0) {
+    return fail("donation A/B rows must be fault-free (recoveries == 0)");
+  }
+  if (sm->find("donate_wait_max_seconds")->as_number() <= 0.0) {
+    return fail("donation_sync row reports no blocking donation wait");
+  }
+  const Json* vm = sweep[6]->find("metrics");
+  if (vm->find("steps_rolled_back")->as_number() != 0.0) {
+    return fail("multi_victim row reports steps_rolled_back != 0");
+  }
+  if (vm->find("ranks_revived")->as_number() < 2.0) {
+    return fail("multi_victim row revived fewer than 2 ranks");
+  }
+  if (vm->find("multi_victim_replays")->as_number() < 1.0) {
+    return fail("multi_victim row reports no concurrent multi-victim replay");
+  }
+  if (vm->find("donation_restores")->as_number() < 2.0) {
+    return fail("multi_victim row reports fewer than 2 donation restores");
   }
   return true;
 }
