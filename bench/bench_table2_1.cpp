@@ -15,10 +15,20 @@
 // line with the experiment parameters, the headline metrics, and the
 // min/mean/max-across-ranks telemetry summary gathered by quake::obs.
 //
-//   bench_table2_1 [--quick] [--fault-sweep] [--json PATH] [--csv PATH]
+//   bench_table2_1 [--quick] [--fault-sweep] [--lts-sweep] [--json PATH]
+//                  [--csv PATH]
 //
 // --quick shrinks the ladder for CI; the default JSON path is
 // BENCH_table2_1.json in the working directory.
+//
+// --lts-sweep appends interleaved local-time-stepping A/B rows (params.lts
+// = off | on, params.scheme = serial | par; see docs/LTS.md). The serial
+// pair reruns the Fig 2.2 layer-over-halfspace verification with the
+// global-dt ExplicitSolver and with LtsSolver on the same two-octree-level
+// mesh, reporting the closed-form error of each plus the measured
+// updates_saved_ratio; the parallel pair drives ParallelSetup::run_lts
+// off/on over the basin mesh and reports the ratio alongside the drift of
+// the final field and seismogram from the global-dt run.
 //
 // --fault-sweep appends a recovery-latency comparison (see DESIGN.md
 // "Localized recovery"): the same seeded mid-run rank kill handled by the
@@ -51,13 +61,18 @@
 
 #include "quake/par/communicator.hpp"
 
+#include "quake/lts/clustering.hpp"
+#include "quake/lts/lts_solver.hpp"
 #include "quake/mesh/meshgen.hpp"
 #include "quake/obs/obs.hpp"
 #include "quake/obs/report.hpp"
 #include "quake/obs/sink.hpp"
 #include "quake/par/parallel_solver.hpp"
 #include "quake/par/partition.hpp"
+#include "quake/solver/explicit_solver.hpp"
+#include "quake/solver/sh1d.hpp"
 #include "quake/solver/source.hpp"
+#include "quake/util/stats.hpp"
 #include "quake/util/timer.hpp"
 
 namespace {
@@ -76,6 +91,7 @@ struct Row {
 int main(int argc, char** argv) {
   bool quick = false;
   bool fault_sweep = false;
+  bool lts_sweep = false;
   std::string json_path = "BENCH_table2_1.json";
   std::string csv_path;
   for (int a = 1; a < argc; ++a) {
@@ -83,15 +99,17 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[a], "--fault-sweep") == 0) {
       fault_sweep = true;
+    } else if (std::strcmp(argv[a], "--lts-sweep") == 0) {
+      lts_sweep = true;
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
       json_path = argv[++a];
     } else if (std::strcmp(argv[a], "--csv") == 0 && a + 1 < argc) {
       csv_path = argv[++a];
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--quick] [--fault-sweep] [--json PATH] [--csv PATH]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--fault-sweep] [--lts-sweep] "
+                   "[--json PATH] [--csv PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -150,11 +168,12 @@ int main(int argc, char** argv) {
     const par::ParallelResult pr =
         par::run_parallel(mesh, part, oopt, sopt, sources, {});
 
-    std::uint64_t flops = 0;
+    std::uint64_t flops = 0, elem_updates = 0;
     std::size_t shared_doubles = 0, shared_nodes = 0, total_rank_nodes = 0;
     double compute = 0.0, overlap = 0.0;
     for (const auto& s : pr.rank_stats) {
       flops += s.flops;
+      elem_updates += s.element_updates;
       shared_doubles += s.doubles_sent_per_step;
       compute = std::max(compute, s.compute_seconds + s.exchange_seconds);
       overlap += s.overlap_fraction;
@@ -176,6 +195,15 @@ int main(int argc, char** argv) {
                                    : 0.0;
     const double kb_per_step =
         static_cast<double>(shared_doubles) * 8.0 / 1024.0;
+    // Global-dt rows do one element-kernel application per element per
+    // step, so the updates-saved ratio is identically 1 here; the
+    // --lts-sweep rows are where it exceeds 1.
+    const std::uint64_t global_updates =
+        static_cast<std::uint64_t>(pr.n_steps) * mesh.n_elements();
+    const double updates_saved =
+        elem_updates > 0 ? static_cast<double>(global_updates) /
+                               static_cast<double>(elem_updates)
+                         : 1.0;
 
     std::printf(
         "%5d %8s %10zu %10zu %9.3f %8.1f%% %10.1f %8.1f%% %11.0f %10.3f\n",
@@ -203,7 +231,9 @@ int main(int argc, char** argv) {
                  .set("overlap_fraction", overlap)
                  .set("measured_mflops", meas_mflops)
                  .set("modeled_efficiency", eff_raw)
-                 .set("modeled_efficiency_normalized", eff));
+                 .set("modeled_efficiency_normalized", eff)
+                 .set("element_updates", static_cast<double>(elem_updates))
+                 .set("updates_saved_ratio", updates_saved));
     jrow.set("ranks", obs::to_json(pr.obs_summary));
   }
   std::printf("\n(paper: efficiency 1.00 -> 0.80 from 1 to 3000 PEs; the "
@@ -369,6 +399,251 @@ int main(int argc, char** argv) {
     std::printf("(arrival-order draining should bank the non-straggler "
                 "edges in ~0 ms even when rank 0 is the straggler; "
                 "rank-ordered draining holds them for the full delay)\n");
+  }
+
+  if (lts_sweep) {
+    // ---- local time stepping A/B sweep (rows with params.lts) ----
+    //
+    // Serial pair: the Fig 2.2 verification problem run off/on on one
+    // adaptive mesh. The soft layer gets a saturated-sediment P velocity
+    // (vp/vs = 4): wavelength refinement sizes h to vs while the CFL bound
+    // follows h / vp, so the layer's stable step is genuinely below the
+    // halfspace's and the mesh clusters into two rate classes — while the
+    // SH physics never reads vp, leaving the closed form untouched.
+    const double Lc = 800.0, Hc = 150.0;
+    const double vs1 = 800.0, vp1 = 3200.0, rho1 = 2000.0;
+    const double vs2 = 1600.0, vp2 = 1.732 * 1600.0, rho2 = 2400.0;
+    const vel::LayeredModel lmodel(
+        {{Hc, vel::Material::from_velocities(vp1, vs1, rho1)},
+         {0.0, vel::Material::from_velocities(vp2, vs2, rho2)}});
+    mesh::MeshOptions lopt;
+    lopt.domain_size = Lc;
+    lopt.f_max = 4.0;
+    lopt.n_lambda = 8.0;
+    lopt.min_level = 3;
+    lopt.max_level = 6;
+    const mesh::HexMesh lmesh = mesh::generate_mesh(lmodel, lopt);
+    int lv_min = 255, lv_max = 0;
+    for (const std::uint8_t lv : lmesh.elem_level) {
+      lv_min = std::min<int>(lv_min, lv);
+      lv_max = std::max<int>(lv_max, lv);
+    }
+    const int octree_levels = lv_max - lv_min + 1;
+
+    solver::OperatorOptions labc;
+    labc.abc = fem::AbcType::kLysmer;
+    labc.absorbing_sides = {false, false, false, false, false, true};
+    const solver::ElasticOperator lop(lmesh, labc);
+    solver::SolverOptions lsopt;
+    lsopt.t_end = quick ? 0.9 : 1.4;
+    lsopt.cfl_fraction = 0.35;
+    const int kMaxRate = 32;
+
+    // Upgoing displacement pulse in the halfspace (see bench_fig2_2).
+    const double zc = 500.0, sigma = 150.0;
+    const auto pulse = [&](double z) {
+      return std::exp(-std::pow((z - zc) / sigma, 2));
+    };
+    std::vector<double> u0(lop.n_dofs(), 0.0), v0(lop.n_dofs(), 0.0);
+    for (std::size_t n = 0; n < lmesh.n_nodes(); ++n) {
+      const double z = lmesh.node_coords[n][2];
+      u0[3 * n + 1] = pulse(z);
+      v0[3 * n + 1] = vs2 * (-2.0 * (z - zc) / (sigma * sigma)) * pulse(z);
+    }
+    const solver::ShLayerParams sp{Hc, rho1, vs1, rho2, vs2};
+    const auto incident = [&](double t) { return pulse(Hc + vs2 * t); };
+    const auto exact_for = [&](std::size_t n_samples, double dt) {
+      // The solver records u^{k+1} at t = (k+1) dt; sample the closed form
+      // on the same staggered instants.
+      std::vector<double> all = sh_layer_surface_response(
+          sp, incident, static_cast<int>(n_samples) + 1, dt);
+      return std::vector<double>(all.begin() + 1, all.end());
+    };
+
+    std::printf("\nLTS sweep: serial Fig 2.2 verification off/on "
+                "(%zu elements, octree levels %d..%d)\n",
+                lmesh.n_elements(), lv_min, lv_max);
+    std::printf("%8s %8s %12s %12s %10s %10s\n", "scheme", "lts",
+                "rel L2 err", "correlation", "saved", "classes");
+
+    std::vector<double> rec_off;
+    double err_off = 0.0;
+    for (int on = 0; on <= 1; ++on) {
+      std::vector<double> rec;
+      double ratio = 1.0, predicted = 1.0, elem_updates = 0.0;
+      int n_classes = 1, n_steps = 0;
+      double dt = 0.0;
+      if (on == 0) {
+        solver::ExplicitSolver s(lop, lsopt);
+        s.set_fixed_components({true, false, true});
+        s.set_initial_conditions(u0, v0);
+        s.add_receiver({Lc / 2, Lc / 2, 0.0});
+        s.run();
+        rec = s.receiver_component(0, 1);
+        dt = s.dt();
+        n_steps = static_cast<int>(rec.size());
+        elem_updates = static_cast<double>(n_steps) *
+                       static_cast<double>(lmesh.n_elements());
+      } else {
+        lts::LtsOptions lo;
+        lo.enabled = true;
+        lo.max_rate = kMaxRate;
+        lts::LtsSolver s(lop, lsopt, lo);
+        s.set_fixed_components({true, false, true});
+        s.set_initial_conditions(u0, v0);
+        s.add_receiver({Lc / 2, Lc / 2, 0.0});
+        s.run();
+        rec = s.receiver_component(0, 1);
+        dt = s.dt();
+        n_steps = s.n_steps();
+        ratio = s.updates_saved_ratio();
+        predicted = s.clustering().predicted_updates_saved();
+        n_classes = s.clustering().n_classes;
+        elem_updates = static_cast<double>(s.element_updates());
+      }
+      const std::vector<double> exact = exact_for(rec.size(), dt);
+      const double err = util::rel_l2(rec, exact);
+      const double corr = util::correlation(rec, exact);
+      std::printf("%8s %8s %12.4f %12.6f %10.4f %10d\n", "serial",
+                  on ? "on" : "off", err, corr, ratio, n_classes);
+
+      obs::Json& jrow = sink.new_row();
+      jrow.set("params", obs::Json::object()
+                             .set("lts", on ? "on" : "off")
+                             .set("scheme", "serial")
+                             .set("model", "LAY2R")
+                             .set("ranks", 1)
+                             .set("f_max", lopt.f_max)
+                             .set("max_level", lopt.max_level)
+                             .set("max_rate", kMaxRate)
+                             .set("t_end", lsopt.t_end));
+      obs::Json metrics =
+          obs::Json::object()
+              .set("n_steps", n_steps)
+              .set("octree_levels", octree_levels)
+              .set("n_classes", n_classes)
+              .set("rel_l2_err", err)
+              .set("correlation", corr)
+              .set("element_updates", elem_updates)
+              .set("updates_saved_ratio", ratio)
+              .set("predicted_updates_saved", predicted);
+      if (on == 0) {
+        rec_off = rec;
+        err_off = err;
+      } else {
+        // The equivalence-tier evidence: LTS drifts from the global-dt
+        // seismogram only through the coarse nodes' larger step, and the
+        // closed-form error stays at the off-row's level.
+        metrics.set("seis_rel_diff_vs_global", util::rel_l2(rec, rec_off))
+            .set("rel_l2_err_off", err_off);
+      }
+      jrow.set("metrics", metrics);
+    }
+
+    // Parallel pair: the basin demo mesh (three rate classes: the
+    // min-level cap leaves deep fast rock coarse, and sediments carry a
+    // higher vp/vs than rock) through ParallelSetup::run_lts off/on.
+    mesh::MeshOptions bopt;
+    bopt.domain_size = extent;
+    bopt.f_max = 0.2;
+    bopt.n_lambda = 8.0;
+    bopt.min_level = 3;
+    bopt.max_level = 6;
+    const mesh::HexMesh bmesh = mesh::generate_mesh(model, bopt);
+    int blv_min = 255, blv_max = 0;
+    for (const std::uint8_t lv : bmesh.elem_level) {
+      blv_min = std::min<int>(blv_min, lv);
+      blv_max = std::max<int>(blv_max, lv);
+    }
+
+    solver::FaultSource::Spec fs;
+    fs.y = 0.55 * extent;
+    fs.x0 = 0.3 * extent;
+    fs.x1 = 0.6 * extent;
+    fs.z_top = 1000.0;
+    fs.z_bot = 5000.0;
+    fs.hypocenter = {0.4 * extent, 3000.0};
+    fs.rise_time = 2.0;
+    fs.slip = 1.0;
+    const solver::FaultSource bsource(bmesh, fs);
+    const solver::SourceModel* bsources[] = {&bsource};
+    const std::array<double, 3> brecv[] = {{0.5 * extent, 0.5 * extent, 0.0}};
+
+    solver::OperatorOptions boopt;
+    solver::SolverOptions bsopt;
+    bsopt.t_end = quick ? 0.6 : 1.0;
+    bsopt.cfl_fraction = 0.4;
+    const int kRanks = 4;
+    const par::Partition bpart = par::partition_sfc(bmesh, kRanks);
+    par::ParallelSetup setup(bmesh, bpart, boopt, bsopt);
+    const lts::Clustering bcl = lts::cluster_elements(
+        bmesh, setup.dt(), bsopt.cfl_fraction, kMaxRate);
+
+    std::printf("LTS sweep: parallel basin run off/on (%zu elements, %d "
+                "ranks, octree levels %d..%d, %d rate classes)\n",
+                bmesh.n_elements(), kRanks, blv_min, blv_max, bcl.n_classes);
+    std::printf("%8s %8s %12s %14s %10s\n", "scheme", "lts", "saved",
+                "u_final drift", "seis drift");
+
+    par::ParallelResult pr_off;
+    for (int on = 0; on <= 1; ++on) {
+      lts::LtsOptions lo;
+      lo.enabled = on != 0;
+      lo.max_rate = kMaxRate;
+      par::ParallelResult pr =
+          setup.run_lts(bsopt.t_end, bsources, brecv, lo);
+      std::uint64_t updates = 0;
+      for (const auto& s : pr.rank_stats) updates += s.element_updates;
+      const std::uint64_t global_updates =
+          static_cast<std::uint64_t>(pr.n_steps) * bmesh.n_elements();
+      const double ratio = updates > 0 ? static_cast<double>(global_updates) /
+                                             static_cast<double>(updates)
+                                       : 1.0;
+      const auto flat = [](const std::vector<std::array<double, 3>>& h) {
+        std::vector<double> v;
+        v.reserve(3 * h.size());
+        for (const auto& a : h) v.insert(v.end(), a.begin(), a.end());
+        return v;
+      };
+      double u_drift = 0.0, seis_drift = 0.0;
+      if (on != 0) {
+        u_drift = util::rel_l2(pr.u_final, pr_off.u_final);
+        seis_drift = util::rel_l2(flat(pr.receiver_histories[0]),
+                                  flat(pr_off.receiver_histories[0]));
+      }
+      std::printf("%8s %8s %12.4f %14.6f %10.6f\n", "par", on ? "on" : "off",
+                  ratio, u_drift, seis_drift);
+
+      obs::Json& jrow = sink.new_row();
+      jrow.set("params", obs::Json::object()
+                             .set("lts", on ? "on" : "off")
+                             .set("scheme", "par")
+                             .set("model", "BASLTS")
+                             .set("ranks", kRanks)
+                             .set("f_max", bopt.f_max)
+                             .set("max_level", bopt.max_level)
+                             .set("max_rate", kMaxRate)
+                             .set("t_end", bsopt.t_end));
+      obs::Json metrics =
+          obs::Json::object()
+              .set("n_steps", pr.n_steps)
+              .set("octree_levels", blv_max - blv_min + 1)
+              .set("n_classes", on ? bcl.n_classes : 1)
+              .set("element_updates", static_cast<double>(updates))
+              .set("updates_saved_ratio", ratio)
+              .set("predicted_updates_saved",
+                   on ? bcl.predicted_updates_saved() : 1.0);
+      if (on != 0) {
+        metrics.set("u_final_rel_diff_vs_global", u_drift)
+            .set("seis_rel_diff_vs_global", seis_drift);
+      }
+      jrow.set("metrics", metrics);
+      jrow.set("ranks", obs::to_json(pr.obs_summary));
+      if (on == 0) pr_off = std::move(pr);
+    }
+    std::printf("(LTS on should save updates — ratio > 1 — while the "
+                "closed-form error and the drift from global dt stay at "
+                "the discretization level)\n");
   }
 
   if (fault_sweep) {

@@ -1,0 +1,176 @@
+#include "quake/lts/clustering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quake::lts {
+
+namespace {
+
+// Largest power-of-two exponent q with (1 << q) <= ratio, clamped to
+// [0, cap_log2]. ratio < 1 maps to 0 (the element is the CFL-binding one).
+int floor_pow2_log2(double ratio, int cap_log2) {
+  int q = 0;
+  while (q < cap_log2 && ratio >= static_cast<double>(2 << q)) ++q;
+  return q;
+}
+
+int cap_log2_of(int max_rate) {
+  int lg = 0;
+  while ((2 << lg) <= max_rate) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+double Clustering::predicted_update_fraction() const {
+  if (elem_class_log2.empty()) return 1.0;
+  double updates = 0.0;
+  for (const std::uint8_t c : elem_class_log2) {
+    updates += 1.0 / static_cast<double>(1 << c);
+  }
+  return updates / static_cast<double>(elem_class_log2.size());
+}
+
+double Clustering::predicted_updates_saved() const {
+  const double f = predicted_update_fraction();
+  return f > 0.0 ? 1.0 / f : 1.0;
+}
+
+std::vector<double> element_stable_dt(const mesh::HexMesh& mesh,
+                                      double cfl_fraction) {
+  std::vector<double> dt(mesh.n_elements());
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    dt[e] = cfl_fraction * mesh.elem_size[e] / mesh.elem_mat[e].vp();
+  }
+  return dt;
+}
+
+Clustering cluster_elements(const mesh::HexMesh& mesh, double base_dt,
+                            double cfl_fraction, int max_rate) {
+  if (!(base_dt > 0.0)) {
+    throw std::invalid_argument("cluster_elements: base_dt must be positive");
+  }
+  if (max_rate < 1) {
+    throw std::invalid_argument("cluster_elements: max_rate must be >= 1");
+  }
+  const std::size_t E = mesh.n_elements();
+  const std::size_t N = mesh.n_nodes();
+  const int cap = cap_log2_of(max_rate);
+
+  Clustering cl;
+  cl.base_dt = base_dt;
+  cl.elem_rate_log2.assign(E, 0);
+  cl.elem_class_log2.assign(E, 0);
+  cl.node_rate_log2.assign(N, 0);
+
+  // ---- raw power-of-two bins against the base step ------------------------
+  const std::vector<double> dt_e = element_stable_dt(mesh, cfl_fraction);
+  for (std::size_t e = 0; e < E; ++e) {
+    cl.elem_rate_log2[e] =
+        static_cast<std::uint8_t>(floor_pow2_log2(dt_e[e] / base_dt, cap));
+  }
+
+  // ---- +-1 adjacency normalization ----------------------------------------
+  // Iterate to a fixed point: the node value is the min rate over touching
+  // elements, folded across each constraint group (hanging node + masters),
+  // and every element is clamped to one level above the min over its nodes.
+  // Rates only decrease, so the sweep terminates (at most cap rounds).
+  std::vector<std::uint8_t> node_min(N);
+  const auto fold_node_min = [&]() {
+    std::fill(node_min.begin(), node_min.end(),
+              static_cast<std::uint8_t>(cap));
+    for (std::size_t e = 0; e < E; ++e) {
+      for (const mesh::NodeId n : mesh.elem_nodes[e]) {
+        node_min[static_cast<std::size_t>(n)] =
+            std::min(node_min[static_cast<std::size_t>(n)],
+                     cl.elem_rate_log2[e]);
+      }
+    }
+    // Constraint groups fold to their min, iterated to a fixed point so a
+    // master shared by two constraints chains the min through both — every
+    // node of a (transitively) connected constraint group ends on one
+    // cadence, which is what the interface-buffer argument relies on.
+    for (bool fold_changed = true; fold_changed;) {
+      fold_changed = false;
+      for (const mesh::Constraint& c : mesh.constraints) {
+        std::uint8_t g = node_min[static_cast<std::size_t>(c.node)];
+        for (int m = 0; m < c.n_masters; ++m) {
+          g = std::min(
+              g, node_min[static_cast<std::size_t>(
+                     c.masters[static_cast<std::size_t>(m)])]);
+        }
+        if (node_min[static_cast<std::size_t>(c.node)] != g) {
+          node_min[static_cast<std::size_t>(c.node)] = g;
+          fold_changed = true;
+        }
+        for (int m = 0; m < c.n_masters; ++m) {
+          auto& v = node_min[static_cast<std::size_t>(
+              c.masters[static_cast<std::size_t>(m)])];
+          if (v != g) {
+            v = g;
+            fold_changed = true;
+          }
+        }
+      }
+    }
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    fold_node_min();
+    for (std::size_t e = 0; e < E; ++e) {
+      std::uint8_t nbr = static_cast<std::uint8_t>(cap);
+      for (const mesh::NodeId n : mesh.elem_nodes[e]) {
+        nbr = std::min(nbr, node_min[static_cast<std::size_t>(n)]);
+      }
+      const std::uint8_t limit = static_cast<std::uint8_t>(
+          std::min<int>(cap, static_cast<int>(nbr) + 1));
+      if (cl.elem_rate_log2[e] > limit) {
+        cl.elem_rate_log2[e] = limit;
+        changed = true;
+      }
+    }
+  }
+
+  // ---- derived cadences ---------------------------------------------------
+  fold_node_min();
+  cl.node_rate_log2 = node_min;
+  int max_lg = 0;
+  for (std::size_t e = 0; e < E; ++e) {
+    std::uint8_t c = cl.elem_rate_log2[e];
+    for (const mesh::NodeId n : mesh.elem_nodes[e]) {
+      c = std::min(c, cl.node_rate_log2[static_cast<std::size_t>(n)]);
+    }
+    cl.elem_class_log2[e] = c;
+    max_lg = std::max(max_lg, static_cast<int>(cl.elem_rate_log2[e]));
+  }
+  cl.n_classes = max_lg + 1;
+
+  cl.rate_histogram.assign(static_cast<std::size_t>(cl.n_classes), 0);
+  cl.class_histogram.assign(static_cast<std::size_t>(cl.n_classes), 0);
+  for (std::size_t e = 0; e < E; ++e) {
+    ++cl.rate_histogram[cl.elem_rate_log2[e]];
+    ++cl.class_histogram[cl.elem_class_log2[e]];
+  }
+  return cl;
+}
+
+double level_updates_saved_bound(const mesh::HexMesh& mesh, int max_rate) {
+  if (mesh.n_elements() == 0) return 1.0;
+  const int cap = cap_log2_of(max_rate);
+  int max_level = 0;
+  for (const std::uint8_t l : mesh.elem_level) {
+    max_level = std::max(max_level, static_cast<int>(l));
+  }
+  // Uniform material: dt_e is proportional to h_e, so an element
+  // (max_level - level) levels coarser than the finest runs at rate
+  // 2^(max_level - level), capped.
+  double updates = 0.0;
+  for (const std::uint8_t l : mesh.elem_level) {
+    const int lg = std::min(cap, max_level - static_cast<int>(l));
+    updates += 1.0 / static_cast<double>(1 << lg);
+  }
+  return static_cast<double>(mesh.n_elements()) / updates;
+}
+
+}  // namespace quake::lts

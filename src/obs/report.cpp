@@ -121,7 +121,9 @@ MergedReport merge_reports(std::span<const RankReport> reports) {
       summary.min = mn;
       summary.max = mx;
       summary.sum = sum;
-      summary.mean = sum / n;
+      // The accumulation can round sum/n just outside [min, max] when every
+      // rank reports the same value; the mean of samples lies inside.
+      summary.mean = std::clamp(sum / n, mn, mx);
     }
   };
   for (auto& [key, sc] : out.scopes) {
@@ -136,7 +138,7 @@ MergedReport merge_reports(std::span<const RankReport> reports) {
       mx = std::max(mx, v);
       sum += v;
     }
-    sc.seconds = {mn, sum / n, mx, sum};
+    sc.seconds = {mn, std::clamp(sum / n, mn, mx), mx, sum};
   }
   reduce(out.counters, [](const RankReport& r, const std::string& key) {
     const auto it = r.metrics.counters.find(key);

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "quake/lts/clustering.hpp"
 #include "quake/mesh/hex_mesh.hpp"
 #include "quake/obs/report.hpp"
 #include "quake/par/partition.hpp"
@@ -77,6 +78,11 @@ struct ParallelResult {
     std::size_t n_neighbors = 0;
     std::size_t doubles_sent_per_step = 0;  // communication volume
     std::uint64_t flops = 0;                // total over the run
+    // Element-kernel applications over the run (the `par/element_updates`
+    // counter's value): steps x elements under global dt, less under LTS
+    // where coarse clusters skip steps — summed over ranks and divided
+    // into n_steps * total elements it yields the updates-saved ratio.
+    std::uint64_t element_updates = 0;
     double compute_seconds = 0.0;
     double exchange_seconds = 0.0;
     // Fraction of the exchange hidden behind interior compute:
@@ -254,6 +260,27 @@ class ParallelSetup {
   std::vector<ParallelResult> run_batch(
       double t_end, std::span<const BatchScenario> scenarios,
       const RunControl& control = {});
+
+  // One forward solve under clustered local time stepping (see docs/LTS.md
+  // and quake::lts). Elements are binned into power-of-two CFL rate
+  // clusters against the setup's shared dt; each node advances at its own
+  // rate, the boundary/interior split and coalesced exchange become
+  // per-(cluster, neighbor) payloads — at fine step k a message carries
+  // only the shared nodes whose rate divides k, so a quiet coarse cluster
+  // exchanges at its own rate and a step with no active shared nodes on an
+  // edge sends nothing at all. `rank_stats[r].element_updates` (and the
+  // `par/element_updates` counter) measure the work actually done.
+  //
+  // With `lts.enabled == false` this forwards to run() (bitwise-identical
+  // global-dt path); a mesh that clusters into a single rate is likewise
+  // bitwise-identical to run(). Multi-rate runs agree with run() within
+  // the tolerance tier documented in docs/LTS.md. Rayleigh damping and
+  // fault tolerance are not supported (invalid_argument).
+  ParallelResult run_lts(double t_end,
+                         std::span<const solver::SourceModel* const> sources,
+                         std::span<const std::array<double, 3>> receiver_positions,
+                         const lts::LtsOptions& lts,
+                         const RunControl& control = {});
 
  private:
   struct Impl;

@@ -1,6 +1,7 @@
 #include "quake/par/parallel_solver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <deque>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -185,6 +187,7 @@ struct ParallelSetup::Impl {
   const int R;
   const bool rayleigh;
   const double dt;
+  const double cfl;
   std::vector<RankLocal> locals;
   Communicator comm;
   std::mutex run_mutex;  // exchange buffers are shared: one solve at a time
@@ -198,6 +201,7 @@ struct ParallelSetup::Impl {
         R(part_in.n_ranks),
         rayleigh(oo.rayleigh),
         dt(base.dt > 0.0 ? base.dt : op.stable_dt(base.cfl_fraction)),
+        cfl(base.cfl_fraction),
         comm(part_in.n_ranks) {
     // ---- per-rank node sets with constraint closure ------------------------
     std::vector<std::vector<std::uint8_t>> has_node(
@@ -402,6 +406,18 @@ struct ParallelSetup::Impl {
   std::vector<ParallelResult> run_batch(double t_end,
                                         std::span<const BatchScenario> scenarios,
                                         const RunControl& control);
+
+  ParallelResult run_lts(double t_end,
+                         std::span<const solver::SourceModel* const> sources,
+                         std::span<const std::array<double, 3>> receiver_positions,
+                         const lts::LtsOptions& lts, const RunControl& control);
+
+  // Lazily-built LTS plan (clustering + per-rank sweep/exchange sublists),
+  // cached across run_lts calls with the same max_rate. Guarded by run_mutex.
+  struct LtsPlan;
+  std::unique_ptr<LtsPlan> lts_plan;
+  int lts_plan_max_rate = 0;
+  const LtsPlan& get_lts_plan(int max_rate);
 };
 
 ParallelResult ParallelSetup::Impl::run(
@@ -509,6 +525,8 @@ ParallelResult ParallelSetup::Impl::run(
     // the exposed (blocked) tail of the exchange.
     util::StopWatch compute_watch, exchange_watch, overlap_watch, drain_watch;
     std::uint64_t flops = 0;
+    std::uint64_t elem_updates = 0;
+    obs::gauge_set("par/dt", dt);
     // Seed the comm counters so every rank's registry (and hence every
     // merged report row, including 1-rank runs) carries them explicitly.
     obs::counter_add("comm/msgs_sent", 0);
@@ -1089,7 +1107,10 @@ ParallelResult ParallelSetup::Impl::run(
         }
         flops += fem::hex_apply_flops(rayleigh);
       }
+      elem_updates += list.size();
       obs::counter_add("par/elements_processed",
+                       static_cast<std::int64_t>(list.size()));
+      obs::counter_add("par/element_updates",
                        static_cast<std::int64_t>(list.size()));
     };
     auto apply_faces = [&](const std::vector<RankLocal::Face>& list) {
@@ -1527,6 +1548,7 @@ ParallelResult ParallelSetup::Impl::run(
     st.n_neighbors = L.neighbors.size();
     st.doubles_sent_per_step = L.doubles_per_step;
     st.flops = flops;
+    st.element_updates = elem_updates;
     st.compute_seconds = compute_watch.total_seconds();
     st.exchange_seconds = exchange_watch.total_seconds();
     st.overlap_fraction = overlap_fraction;
@@ -1782,8 +1804,10 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
 
     util::StopWatch compute_watch, exchange_watch, overlap_watch, drain_watch;
     std::uint64_t flops = 0;
+    std::uint64_t elem_updates = 0;
     obs::counter_add("comm/msgs_sent", 0);
     obs::counter_add("comm/bytes_sent", 0);
+    obs::gauge_set("par/dt", dt);
     obs::gauge_set("par/batch_width", static_cast<double>(S));
 
     auto expand_b = [&](std::vector<double>& x) {
@@ -1866,8 +1890,12 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
         }
         flops += S * fem::hex_apply_flops(rayleigh);
       }
+      // One element update per lane per element: S lanes advance together.
+      elem_updates += S * list.size();
       obs::counter_add("par/elements_processed",
                        static_cast<std::int64_t>(list.size()));
+      obs::counter_add("par/element_updates",
+                       static_cast<std::int64_t>(S * list.size()));
     };
     auto apply_faces_b = [&](const std::vector<RankLocal::Face>& list) {
       if (op_opt.abc != fem::AbcType::kStacey) return;
@@ -2164,6 +2192,7 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
     st.n_neighbors = L.neighbors.size();
     st.doubles_sent_per_step = L.doubles_per_step * S;
     st.flops = flops;
+    st.element_updates = elem_updates;
     st.compute_seconds = compute_watch.total_seconds();
     st.exchange_seconds = exchange_watch.total_seconds();
     st.overlap_fraction = overlap_fraction;
@@ -2204,6 +2233,675 @@ std::vector<ParallelResult> ParallelSetup::Impl::run_batch(
     }
   }
   return results;
+}
+
+// ---------------------------------------------------------------------------
+// run_lts: one solve under clustered local time stepping. The structure is
+// run() with the fault-tolerance machinery removed and every sweep list
+// replaced by its per-class (element/face) or per-rate (node/constraint/
+// exchange) sublists; at fine step k the classes/rates with lg <=
+// countr_zero(k) are active, visited in ascending lg order. A mesh that
+// clusters into a single class takes every list whole and in the original
+// order, so the run is bitwise identical to run() — the anchor lts_test
+// pins. See src/lts/include/quake/lts/lts_solver.hpp for the scheme (state
+// convention, interpolation bracket, scheduling invariant); docs/LTS.md for
+// the correctness argument.
+// ---------------------------------------------------------------------------
+
+// The clustering plus everything per-rank that derives from it. Built once
+// per max_rate (under run_mutex) and reused across run_lts calls on this
+// setup, like RankLocal is across run() calls.
+struct ParallelSetup::Impl::LtsPlan {
+  lts::Clustering cl;
+
+  struct NbPlan {
+    // Positions into the neighbor's `shared` list, grouped by node rate.
+    // A step-k message is the rate-major concatenation over active rates
+    // (lg ascending) of 3 doubles per listed node — both sides derive the
+    // same layout from the same global rates, so lengths and node order
+    // agree without any handshake.
+    std::vector<std::vector<int>> sh_of_rate;
+    // Of own_first (this rank's once-only own-partial positions), the
+    // entries of each rate, as {position in shared, slot in the concat}.
+    std::vector<std::vector<std::array<int, 2>>> own_of_rate;
+    // Shared-node count over rates <= lg: the step-k message holds
+    // 3 * count_upto[min(C_k, n-1)] doubles; zero-length edges skip the
+    // send and the drain entirely.
+    std::vector<std::size_t> count_upto;
+  };
+
+  struct RankPlan {
+    // Per-class sublists of the boundary/interior split, original order.
+    std::vector<std::vector<int>> bnd_elems, int_elems;
+    std::vector<std::vector<RankLocal::Face>> bnd_faces, int_faces;
+    // Per-rate update lists: local node indices (ascending) and the
+    // constraint groups whose nodes carry that rate (a group shares one
+    // rate by the clustering fold), in L.cons order.
+    std::vector<std::vector<int>> nodes_of_rate;
+    std::vector<std::vector<LocalConstraint>> cons_of_rate;
+    // all_shared filtered by rate: the entries to re-zero after a post.
+    std::vector<std::vector<int>> shared_of_rate;
+    std::vector<NbPlan> nbs;
+    // Per-local-dof update coefficients for dt_n = 2^lg * dt (ldexp is
+    // exact, so lg = 0 dofs reproduce run()'s coefficients bitwise).
+    std::vector<double> dt2n, hdtn, inv_lhs;
+    std::vector<std::uint8_t> node_lg;  // per local node
+  };
+  std::vector<RankPlan> ranks;
+};
+
+const ParallelSetup::Impl::LtsPlan& ParallelSetup::Impl::get_lts_plan(
+    int max_rate) {
+  if (lts_plan != nullptr && lts_plan_max_rate == max_rate) return *lts_plan;
+  auto plan = std::make_unique<LtsPlan>();
+  plan->cl = lts::cluster_elements(mesh, dt, cfl, max_rate);
+  const lts::Clustering& cl = plan->cl;
+  const std::size_t nc = static_cast<std::size_t>(cl.n_classes);
+
+  plan->ranks.resize(static_cast<std::size_t>(R));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+    const RankLocal& L = locals[r];
+    LtsPlan::RankPlan& rp = plan->ranks[r];
+
+    const auto elem_class = [&](int le) {
+      return cl.elem_class_log2[static_cast<std::size_t>(
+          L.elems[static_cast<std::size_t>(le)])];
+    };
+    rp.bnd_elems.resize(nc);
+    rp.int_elems.resize(nc);
+    rp.bnd_faces.resize(nc);
+    rp.int_faces.resize(nc);
+    for (const int le : L.boundary_elems) rp.bnd_elems[elem_class(le)].push_back(le);
+    for (const int le : L.interior_elems) rp.int_elems[elem_class(le)].push_back(le);
+    for (const RankLocal::Face& face : L.boundary_faces) {
+      rp.bnd_faces[elem_class(face.elem)].push_back(face);
+    }
+    for (const RankLocal::Face& face : L.interior_faces) {
+      rp.int_faces[elem_class(face.elem)].push_back(face);
+    }
+
+    const std::size_t nl = L.nodes.size();
+    rp.node_lg.resize(nl);
+    rp.nodes_of_rate.resize(nc);
+    for (std::size_t i = 0; i < nl; ++i) {
+      rp.node_lg[i] =
+          cl.node_rate_log2[static_cast<std::size_t>(L.nodes[i])];
+      rp.nodes_of_rate[rp.node_lg[i]].push_back(static_cast<int>(i));
+    }
+    rp.cons_of_rate.resize(nc);
+    for (const LocalConstraint& c : L.cons) {
+      rp.cons_of_rate[rp.node_lg[static_cast<std::size_t>(c.node)]].push_back(
+          c);
+    }
+    rp.shared_of_rate.resize(nc);
+    for (const int li : L.all_shared) {
+      rp.shared_of_rate[rp.node_lg[static_cast<std::size_t>(li)]].push_back(li);
+    }
+
+    rp.dt2n.resize(3 * nl);
+    rp.hdtn.resize(3 * nl);
+    rp.inv_lhs.resize(3 * nl);
+    for (std::size_t i = 0; i < nl; ++i) {
+      const double dtn = std::ldexp(dt, rp.node_lg[i]);
+      for (int c = 0; c < 3; ++c) {
+        const std::size_t d = 3 * i + static_cast<std::size_t>(c);
+        rp.dt2n[d] = dtn * dtn;
+        rp.hdtn[d] = 0.5 * dtn;
+        const double lhs =
+            L.mass[d] + 0.5 * dtn * (L.am[d] + L.bk[d] + L.cab[d]);
+        rp.inv_lhs[d] = lhs > 0.0 ? 1.0 / lhs : 0.0;
+      }
+    }
+
+    rp.nbs.resize(L.neighbors.size());
+    for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+      const auto& sh = L.neighbors[nb].shared;
+      LtsPlan::NbPlan& np = rp.nbs[nb];
+      np.sh_of_rate.resize(nc);
+      np.own_of_rate.resize(nc);
+      np.count_upto.assign(nc, 0);
+      for (std::size_t i = 0; i < sh.size(); ++i) {
+        np.sh_of_rate[rp.node_lg[static_cast<std::size_t>(sh[i])]].push_back(
+            static_cast<int>(i));
+      }
+      // Concat slot of each position, rate-major — fixed across steps
+      // because active rates always form the prefix lg <= C_k.
+      std::vector<int> slot_of(sh.size(), 0);
+      int slot = 0;
+      for (std::size_t lg = 0; lg < nc; ++lg) {
+        for (const int i : np.sh_of_rate[lg]) {
+          slot_of[static_cast<std::size_t>(i)] = slot++;
+        }
+        np.count_upto[lg] =
+            static_cast<std::size_t>(slot);
+      }
+      for (const int i : L.own_first[nb]) {
+        const std::uint8_t lg =
+            rp.node_lg[static_cast<std::size_t>(sh[static_cast<std::size_t>(i)])];
+        np.own_of_rate[lg].push_back(
+            {i, slot_of[static_cast<std::size_t>(i)]});
+      }
+    }
+  }
+
+  lts_plan = std::move(plan);
+  lts_plan_max_rate = max_rate;
+  return *lts_plan;
+}
+
+ParallelResult ParallelSetup::Impl::run_lts(
+    double t_end, std::span<const solver::SourceModel* const> sources,
+    std::span<const std::array<double, 3>> receiver_positions,
+    const lts::LtsOptions& lts, const RunControl& control) {
+  if (!lts.enabled) {
+    // Global-dt path, untouched: same code, same bits as before LTS existed.
+    return run(t_end, sources, receiver_positions, FaultToleranceOptions{},
+               control);
+  }
+  if (rayleigh) {
+    throw std::invalid_argument(
+        "run_lts: Rayleigh damping couples u^{k-1} across rates; use the "
+        "global-dt path");
+  }
+  const std::lock_guard<std::mutex> run_lock(run_mutex);
+  const LtsPlan& plan = get_lts_plan(lts.max_rate);
+  const lts::Clustering& cl = plan.cl;
+  const int n_classes = cl.n_classes;
+  const int n_steps = static_cast<int>(std::ceil(t_end / dt));
+
+  ParallelResult result;
+  result.dt = dt;
+  result.n_steps = n_steps;
+  result.steps_completed = n_steps;
+  result.u_final.assign(3 * mesh.n_nodes(), 0.0);
+  result.rank_stats.assign(static_cast<std::size_t>(R), {});
+  result.receiver_histories.assign(receiver_positions.size(), {});
+
+  std::vector<std::vector<std::pair<int, int>>> recv_of(
+      static_cast<std::size_t>(R));
+  for (std::size_t ri = 0; ri < receiver_positions.size(); ++ri) {
+    const mesh::NodeId n = solver::nearest_node(mesh, receiver_positions[ri]);
+    const int owner = part.node_owner[static_cast<std::size_t>(n)];
+    const auto it = locals[static_cast<std::size_t>(owner)].local_of.find(n);
+    if (it == locals[static_cast<std::size_t>(owner)].local_of.end()) {
+      throw std::invalid_argument(
+          "run_lts: receiver " + std::to_string(ri) + " snaps to node " +
+          std::to_string(n) + ", which no element touches (orphan node)");
+    }
+    recv_of[static_cast<std::size_t>(owner)].push_back(
+        {static_cast<int>(ri), it->second});
+    result.receiver_histories[ri].reserve(static_cast<std::size_t>(n_steps));
+  }
+
+  // Plain-communicator policy, as in run_batch: no injected faults, no
+  // deadline on blocking ops, no in-place recovery.
+  comm.clear_fault_plan();
+  comm.set_timeout(0.0);
+  comm.set_recovery({false, 0});
+
+  const bool ctl_active = control.active();
+  const int ctl_every = std::max(1, control.check_every);
+  const auto run_start = std::chrono::steady_clock::now();
+
+  const fem::HexReference& ref = fem::HexReference::get();
+  std::vector<obs::Registry> rank_regs(static_cast<std::size_t>(R));
+  int agreed_stop = n_steps;  // written by rank 0, read after join
+
+  const auto spmd_body = [&](Rank& rank) {
+    const std::size_t r = static_cast<std::size_t>(rank.id());
+    const obs::ScopedRegistry obs_install(rank_regs[r]);
+    RankLocal& L = locals[r];
+    const LtsPlan::RankPlan& rp = plan.ranks[r];
+    const auto& RV = recv_of[r];
+    const std::size_t nd = 3 * L.nodes.size();
+    // un is the time-k field the kernels read: the interpolation bracket
+    // (u_prev, u) of every node evaluated at the current fine step.
+    std::vector<double> u(nd, 0.0), u_prev(nd, 0.0), un(nd, 0.0);
+    std::vector<double> f(nd, 0.0), ku(nd, 0.0);
+
+    util::StopWatch compute_watch, exchange_watch, overlap_watch, drain_watch;
+    std::uint64_t flops = 0;
+    std::uint64_t elem_updates = 0;
+    std::uint64_t doubles_sent = 0;
+    obs::counter_add("comm/msgs_sent", 0);
+    obs::counter_add("comm/bytes_sent", 0);
+    obs::gauge_set("par/dt", dt);
+    obs::gauge_set("par/lts_n_classes", static_cast<double>(n_classes));
+
+    // Active-cadence cap at fine step k: rates/classes lg <= cap(k) run.
+    const auto active_cap = [&](int k) {
+      return k == 0 ? n_classes - 1
+                    : std::min(n_classes - 1,
+                               std::countr_zero(static_cast<unsigned>(k)));
+    };
+
+    auto accumulate = [&](std::vector<double>& x,
+                          const std::vector<LocalConstraint>& cons) {
+      for (const LocalConstraint& c : cons) {
+        for (int comp = 0; comp < 3; ++comp) {
+          const std::size_t hd = 3 * static_cast<std::size_t>(c.node) +
+                                 static_cast<std::size_t>(comp);
+          for (int m = 0; m < c.n; ++m) {
+            x[3 * static_cast<std::size_t>(
+                     c.masters[static_cast<std::size_t>(m)]) +
+              static_cast<std::size_t>(comp)] +=
+                c.weights[static_cast<std::size_t>(m)] * x[hd];
+          }
+          x[hd] = 0.0;
+        }
+      }
+    };
+
+    double ue[fem::kHexDofs], ye[fem::kHexDofs];
+    auto apply_elems = [&](const std::vector<int>& list) {
+      for (const int le_i : list) {
+        const std::size_t le = static_cast<std::size_t>(le_i);
+        const std::size_t ge = static_cast<std::size_t>(L.elems[le]);
+        const auto& c = L.conn[le];
+        for (int i = 0; i < 8; ++i) {
+          const std::size_t base =
+              3 * static_cast<std::size_t>(c[static_cast<std::size_t>(i)]);
+          ue[3 * i] = un[base];
+          ue[3 * i + 1] = un[base + 1];
+          ue[3 * i + 2] = un[base + 2];
+        }
+        std::fill(ye, ye + fem::kHexDofs, 0.0);
+        const double h = mesh.elem_size[ge];
+        const vel::Material& mat = mesh.elem_mat[ge];
+        fem::hex_apply(ref, ue, h * mat.lambda, h * mat.mu, ye, 0.0, nullptr);
+        for (int i = 0; i < 8; ++i) {
+          const std::size_t base =
+              3 * static_cast<std::size_t>(c[static_cast<std::size_t>(i)]);
+          ku[base] += ye[3 * i];
+          ku[base + 1] += ye[3 * i + 1];
+          ku[base + 2] += ye[3 * i + 2];
+        }
+        flops += fem::hex_apply_flops(false);
+      }
+      elem_updates += list.size();
+      obs::counter_add("par/elements_processed",
+                       static_cast<std::int64_t>(list.size()));
+      obs::counter_add("par/element_updates",
+                       static_cast<std::int64_t>(list.size()));
+    };
+    auto apply_faces = [&](const std::vector<RankLocal::Face>& list) {
+      if (op_opt.abc != fem::AbcType::kStacey) return;
+      double uf[12], yf[12];
+      for (const auto& face : list) {
+        if (!op_opt.absorbing_sides[static_cast<std::size_t>(face.side)]) {
+          continue;
+        }
+        const std::size_t ge = static_cast<std::size_t>(
+            L.elems[static_cast<std::size_t>(face.elem)]);
+        const auto& fn = mesh::kFaceNodes[static_cast<std::size_t>(face.side)];
+        const auto& c = L.conn[static_cast<std::size_t>(face.elem)];
+        for (int i = 0; i < 4; ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(
+              c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
+          uf[3 * i] = un[base];
+          uf[3 * i + 1] = un[base + 1];
+          uf[3 * i + 2] = un[base + 2];
+        }
+        std::fill(yf, yf + 12, 0.0);
+        fem::face_stacey_apply(mesh.elem_mat[ge], mesh.elem_size[ge],
+                               face.side, uf, yf);
+        for (int i = 0; i < 4; ++i) {
+          const std::size_t base = 3 * static_cast<std::size_t>(
+              c[static_cast<std::size_t>(fn[static_cast<std::size_t>(i)])]);
+          ku[base] += yf[3 * i];
+          ku[base + 1] += yf[3 * i + 1];
+          ku[base + 2] += yf[3 * i + 2];
+        }
+        flops += fem::face_stacey_flops();
+      }
+    };
+
+    // The node's bracket (u_prev, u) evaluated at fine step k_target, for
+    // one node. A node of rate p active at k_target holds u = u^{k_target}
+    // exactly (m == 0 takes u directly — bitwise for rate-1 nodes); a stale
+    // node interpolates linearly inside its bracket.
+    const auto node_at = [&](std::size_t li, int k_target, double* out) {
+      const int lg = rp.node_lg[li];
+      const int m = k_target & ((1 << lg) - 1);
+      const std::size_t base = 3 * li;
+      if (m == 0) {
+        out[0] = u[base];
+        out[1] = u[base + 1];
+        out[2] = u[base + 2];
+      } else {
+        const double th =
+            static_cast<double>(m) / static_cast<double>(1 << lg);
+        for (int c = 0; c < 3; ++c) {
+          out[c] = u_prev[base + static_cast<std::size_t>(c)] +
+                   th * (u[base + static_cast<std::size_t>(c)] -
+                         u_prev[base + static_cast<std::size_t>(c)]);
+        }
+      }
+    };
+
+    int stop_k = n_steps;
+    for (int k = 0; k < n_steps; ++k) {
+      QUAKE_OBS_SCOPE("step");
+
+      if (ctl_active && k % ctl_every == 0) {
+        double want_stop = 0.0;
+        if (control.cancel != nullptr &&
+            control.cancel->load(std::memory_order_relaxed)) {
+          want_stop = 1.0;
+        }
+        if (control.deadline_seconds > 0.0 &&
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          run_start)
+                    .count() >= control.deadline_seconds) {
+          want_stop = 1.0;
+        }
+        if (rank.allreduce_max(want_stop) > 0.0) {
+          obs::counter_add("par/steps_cancelled", n_steps - k);
+          stop_k = k;
+          break;
+        }
+      }
+
+      const double t_k = k * dt;
+      const int cap = active_cap(k);
+
+      {
+      QUAKE_OBS_SCOPE("compute");  // time-k gather + boundary classes
+      compute_watch.start();
+      for (std::size_t i = 0; i < L.nodes.size(); ++i) {
+        node_at(i, k, un.data() + 3 * i);
+      }
+      std::fill(ku.begin(), ku.end(), 0.0);
+      for (int c = 0; c <= cap; ++c) {
+        apply_elems(rp.bnd_elems[static_cast<std::size_t>(c)]);
+        apply_faces(rp.bnd_faces[static_cast<std::size_t>(c)]);
+      }
+      // Full boundary fold, active or not: an inactive constraint group
+      // shares one (inactive) cadence, so its garbage partials land only on
+      // inactive masters — never sent (compacted out of the message) and
+      // never read (the update skips them). Active groups fold complete
+      // partials by the scheduling invariant. Keeping the fold whole is
+      // what keeps the single-class run on run()'s exact operation order.
+      accumulate(ku, L.cons_boundary);
+      compute_watch.stop();
+      }
+
+      // ---- post: per-neighbor messages carry only active-rate shared
+      // nodes, rate-major; a coarse-only edge goes quiet between its
+      // updates (zero-length messages are skipped on both sides) ----
+      {
+      QUAKE_OBS_SCOPE("exchange");
+      exchange_watch.start();
+      {
+      QUAKE_OBS_SCOPE("post");
+      for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+        const LtsPlan::NbPlan& np = rp.nbs[nb];
+        const std::size_t len =
+            3 * np.count_upto[static_cast<std::size_t>(cap)];
+        if (len == 0) continue;
+        auto& buf = L.sendbuf[nb];
+        const auto& sh = L.neighbors[nb].shared;
+        std::size_t o = 0;
+        for (int lg = 0; lg <= cap; ++lg) {
+          for (const int i : np.sh_of_rate[static_cast<std::size_t>(lg)]) {
+            const std::size_t base = 3 * static_cast<std::size_t>(
+                sh[static_cast<std::size_t>(i)]);
+            buf[o] = ku[base];
+            buf[o + 1] = ku[base + 1];
+            buf[o + 2] = ku[base + 2];
+            o += 3;
+          }
+        }
+        rank.send(L.neighbors[nb].rank, /*tag=*/0,
+                  std::span<const double>(buf.data(), len));
+        doubles_sent += len;
+      }
+      // Re-zero the active shared entries (the drain rebuilds them in
+      // ascending rank order); stale-rate entries keep their garbage, which
+      // the next full ku zero clears before anyone could read it.
+      for (int lg = 0; lg <= cap; ++lg) {
+        for (const int li : rp.shared_of_rate[static_cast<std::size_t>(lg)]) {
+          const std::size_t base = 3 * static_cast<std::size_t>(li);
+          ku[base] = ku[base + 1] = ku[base + 2] = 0.0;
+        }
+      }
+      }
+      exchange_watch.stop();
+      }
+
+      // ---- overlap window: sources, interior classes ----
+      {
+      QUAKE_OBS_SCOPE("compute");
+      compute_watch.start();
+      overlap_watch.start();
+      std::fill(f.begin(), f.end(), 0.0);
+      RankForceSink sink(L.local_of, f);
+      for (const solver::SourceModel* s : sources) s->add_forces(t_k, sink);
+      accumulate(f, L.cons);
+      for (int c = 0; c <= cap; ++c) {
+        apply_elems(rp.int_elems[static_cast<std::size_t>(c)]);
+        apply_faces(rp.int_faces[static_cast<std::size_t>(c)]);
+      }
+      accumulate(ku, L.cons_interior);
+      overlap_watch.stop();
+      compute_watch.stop();
+      }
+
+      // ---- drain: run()'s protocol over the edges that sent this step ----
+      {
+      QUAKE_OBS_SCOPE("exchange");
+      exchange_watch.start();
+      drain_watch.start();
+      {
+        QUAKE_OBS_SCOPE("drain");
+        {
+          QUAKE_OBS_SCOPE("wait");
+          constexpr int kIdlePassLimit = 64;
+          std::size_t n_pending = 0;
+          for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+            // Quiet edges (no active shared nodes) are pre-marked arrived.
+            const std::size_t len =
+                3 * rp.nbs[nb].count_upto[static_cast<std::size_t>(cap)];
+            L.nb_arrived[nb] = len == 0 ? 1 : 0;
+            n_pending += len == 0 ? 0 : 1;
+          }
+          int idle_passes = 0;
+          while (n_pending > 0) {
+            std::size_t progressed = 0;
+            std::size_t first_pending = L.neighbors.size();
+            for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+              if (L.nb_arrived[nb] != 0) continue;
+              const std::size_t len =
+                  3 * rp.nbs[nb].count_upto[static_cast<std::size_t>(cap)];
+              if (rank.try_recv_into(
+                      L.neighbors[nb].rank, /*tag=*/0,
+                      std::span<double>(L.recvbuf[nb].data(), len))) {
+                L.nb_arrived[nb] = 1;
+                --n_pending;
+                ++progressed;
+              } else if (first_pending == L.neighbors.size()) {
+                first_pending = nb;
+              }
+            }
+            if (n_pending == 0 || progressed > 0) {
+              idle_passes = 0;
+            } else if (++idle_passes < kIdlePassLimit) {
+              std::this_thread::yield();
+            } else {
+              const std::size_t len =
+                  3 * rp.nbs[first_pending]
+                          .count_upto[static_cast<std::size_t>(cap)];
+              rank.recv_into(
+                  L.neighbors[first_pending].rank, /*tag=*/0,
+                  std::span<double>(L.recvbuf[first_pending].data(), len));
+              L.nb_arrived[first_pending] = 1;
+              --n_pending;
+              idle_passes = 0;
+            }
+          }
+        }
+        for (int s = 0; s < R; ++s) {
+          if (s == rank.id()) {
+            for (std::size_t nb = 0; nb < L.neighbors.size(); ++nb) {
+              const auto& sh = L.neighbors[nb].shared;
+              const auto& buf = L.sendbuf[nb];
+              const LtsPlan::NbPlan& np = rp.nbs[nb];
+              for (int lg = 0; lg <= cap; ++lg) {
+                for (const auto& [i, slot] :
+                     np.own_of_rate[static_cast<std::size_t>(lg)]) {
+                  const std::size_t base = 3 * static_cast<std::size_t>(
+                      sh[static_cast<std::size_t>(i)]);
+                  const std::size_t bb = 3 * static_cast<std::size_t>(slot);
+                  ku[base] += buf[bb];
+                  ku[base + 1] += buf[bb + 1];
+                  ku[base + 2] += buf[bb + 2];
+                }
+              }
+            }
+            continue;
+          }
+          const int nbi = L.nb_of_rank[static_cast<std::size_t>(s)];
+          if (nbi < 0) continue;
+          const auto& msg = L.recvbuf[static_cast<std::size_t>(nbi)];
+          const auto& sh = L.neighbors[static_cast<std::size_t>(nbi)].shared;
+          const LtsPlan::NbPlan& np = rp.nbs[static_cast<std::size_t>(nbi)];
+          std::size_t o = 0;
+          for (int lg = 0; lg <= cap; ++lg) {
+            for (const int i : np.sh_of_rate[static_cast<std::size_t>(lg)]) {
+              const std::size_t base = 3 * static_cast<std::size_t>(
+                  sh[static_cast<std::size_t>(i)]);
+              ku[base] += msg[o];
+              ku[base + 1] += msg[o + 1];
+              ku[base + 2] += msg[o + 2];
+              o += 3;
+            }
+          }
+        }
+      }
+      drain_watch.stop();
+      exchange_watch.stop();
+      }
+
+      {
+      QUAKE_OBS_SCOPE("compute");  // eq. 2.4 over active rates, in place
+      compute_watch.start();
+      for (int lg = 0; lg <= cap; ++lg) {
+        const auto& list = rp.nodes_of_rate[static_cast<std::size_t>(lg)];
+        for (const int li : list) {
+          const std::size_t base = 3 * static_cast<std::size_t>(li);
+          for (int c = 0; c < 3; ++c) {
+            const std::size_t d = base + static_cast<std::size_t>(c);
+            const double rhs = 2.0 * L.mass[d] * u[d] - rp.dt2n[d] * ku[d] +
+                               rp.dt2n[d] * f[d] +
+                               (rp.hdtn[d] * L.am[d] - L.mass[d]) * u_prev[d] +
+                               rp.hdtn[d] * L.cab[d] * u_prev[d];
+            const double u_new = rhs * rp.inv_lhs[d];
+            u_prev[d] = u[d];
+            u[d] = u_new;
+          }
+        }
+        flops += 3ull * list.size() * 14ull;
+        // Per-rate hanging-node expansion: the group shares this cadence,
+        // so its masters hold fresh u exactly when the group expands.
+        for (const LocalConstraint& c :
+             rp.cons_of_rate[static_cast<std::size_t>(lg)]) {
+          for (int comp = 0; comp < 3; ++comp) {
+            double v = 0.0;
+            for (int m = 0; m < c.n; ++m) {
+              v += c.weights[static_cast<std::size_t>(m)] *
+                   u[3 * static_cast<std::size_t>(
+                            c.masters[static_cast<std::size_t>(m)]) +
+                     static_cast<std::size_t>(comp)];
+            }
+            u[3 * static_cast<std::size_t>(c.node) +
+              static_cast<std::size_t>(comp)] = v;
+          }
+        }
+      }
+
+      // Receivers read the time-(k+1) field through the same bracket
+      // (direct u for rate-1 nodes — bitwise against run()).
+      for (const auto& [ri, ln] : RV) {
+        double s[3];
+        node_at(static_cast<std::size_t>(ln), k + 1, s);
+        result.receiver_histories[static_cast<std::size_t>(ri)].push_back(
+            {s[0], s[1], s[2]});
+      }
+      compute_watch.stop();
+      }
+    }
+
+    // ---- finish: every node's bracket evaluated at the stop step (direct
+    // u on a class-1 run or wherever the rate divides stop_k) ----
+    for (std::size_t i = 0; i < L.nodes.size(); ++i) {
+      if (L.owned[i] == 0) continue;
+      double s[3];
+      node_at(i, stop_k, s);
+      const std::size_t g = 3 * static_cast<std::size_t>(L.nodes[i]);
+      result.u_final[g] = s[0];
+      result.u_final[g + 1] = s[1];
+      result.u_final[g + 2] = s[2];
+    }
+
+    const double overlap_s = overlap_watch.total_seconds();
+    const double drain_s = drain_watch.total_seconds();
+    const double overlap_fraction =
+        (L.neighbors.empty() || overlap_s + drain_s <= 0.0)
+            ? 0.0
+            : overlap_s / (overlap_s + drain_s);
+
+    auto& st = result.rank_stats[r];
+    st.n_elems = L.elems.size();
+    st.n_boundary_elems = L.boundary_elems.size();
+    st.n_interior_elems = L.interior_elems.size();
+    st.n_local_nodes = L.nodes.size();
+    st.n_neighbors = L.neighbors.size();
+    st.doubles_sent_per_step =
+        doubles_sent / static_cast<std::size_t>(std::max(1, stop_k));
+    st.flops = flops;
+    st.element_updates = elem_updates;
+    st.compute_seconds = compute_watch.total_seconds();
+    st.exchange_seconds = exchange_watch.total_seconds();
+    st.overlap_fraction = overlap_fraction;
+
+    const std::uint64_t global_updates =
+        static_cast<std::uint64_t>(std::max(0, stop_k)) *
+        static_cast<std::uint64_t>(L.elems.size());
+    obs::gauge_set("par/n_elems", static_cast<double>(L.elems.size()));
+    obs::gauge_set("par/doubles_sent_per_step",
+                   static_cast<double>(st.doubles_sent_per_step));
+    obs::gauge_set("par/lts_updates_saved_ratio",
+                   elem_updates > 0 ? static_cast<double>(global_updates) /
+                                          static_cast<double>(elem_updates)
+                                    : 1.0);
+    obs::gauge_set("par/compute_seconds", compute_watch.total_seconds());
+    obs::gauge_set("par/exchange_seconds", exchange_watch.total_seconds());
+    obs::gauge_set("par/overlap_fraction", overlap_fraction);
+
+    if (obs::enabled()) {
+      if (rank.id() == 0) {
+        std::vector<obs::RankReport> reports;
+        reports.reserve(static_cast<std::size_t>(R));
+        reports.push_back(obs::RankReport{0, rank_regs[0]});
+        for (int s = 1; s < R; ++s) {
+          reports.push_back(obs::decode_report(rank.recv(s, kObsGatherTag)));
+        }
+        result.obs_summary = obs::merge_reports(reports);
+        result.obs_reports = std::move(reports);
+      } else {
+        rank.send(0, kObsGatherTag,
+                  obs::encode_report(obs::RankReport{rank.id(), rank_regs[r]}));
+      }
+    }
+    if (rank.id() == 0) agreed_stop = stop_k;
+  };
+
+  comm.run(spmd_body);
+  if (agreed_stop < n_steps) {
+    result.cancelled = true;
+    result.steps_completed = agreed_stop;
+  }
+  return result;
 }
 
 ParallelSetup::ParallelSetup(const mesh::HexMesh& mesh, const Partition& part,
@@ -2248,6 +2946,13 @@ std::vector<ParallelResult> ParallelSetup::run_batch(
     double t_end, std::span<const BatchScenario> scenarios,
     const RunControl& control) {
   return impl_->run_batch(t_end, scenarios, control);
+}
+
+ParallelResult ParallelSetup::run_lts(
+    double t_end, std::span<const solver::SourceModel* const> sources,
+    std::span<const std::array<double, 3>> receiver_positions,
+    const lts::LtsOptions& lts, const RunControl& control) {
+  return impl_->run_lts(t_end, sources, receiver_positions, lts, control);
 }
 
 ParallelResult run_parallel(

@@ -43,6 +43,17 @@ class ElasticOperator {
   void apply_stiffness(std::span<const double> u, std::span<double> y,
                        std::span<double> y_damp) const;
 
+  // Stiffness restricted to a subset of elements and boundary faces (face
+  // values index into mesh().boundary_faces). The local time stepping
+  // scheduler uses this to sweep only the compute classes active at a fine
+  // step. Elements stream through the same pack-of-8 kernel as
+  // apply_stiffness, so calling it with every element index ascending and
+  // every face index is bitwise identical to apply_stiffness.
+  void apply_stiffness_subset(std::span<const mesh::ElemId> elems,
+                              std::span<const std::int32_t> faces,
+                              std::span<const double> u, std::span<double> y,
+                              std::span<double> y_damp) const;
+
   // Scenario-batched apply: `u` / `y` / `y_damp` hold `n_lanes` independent
   // fields in scenario-major layout (lane s of dof d at index
   // d * n_lanes + s; see docs/BATCHING.md), so one element sweep services

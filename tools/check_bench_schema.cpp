@@ -18,8 +18,10 @@
 // (per-phase store statistics with sane pool hit rates), and "table2_1"
 // (fault-sweep rows carry all four recovery policies with the
 // recover/agree|restore|replay|resume breakdown, a zero-rollback replay
-// row, and a rolled-back rollback row). Exits 0 on success, 1 with a
-// diagnostic on the first violation.
+// row, and a rolled-back rollback row; ladder rows carry the global-dt
+// element-update accounting, and --lts-sweep rows carry the off/on LTS
+// evidence — see check_table2_1_lts_contract). Exits 0 on success, 1 with
+// a diagnostic on the first violation.
 
 #include <cstdio>
 #include <cstring>
@@ -381,6 +383,178 @@ bool check_table2_1_contract(const Json& rows) {
   return true;
 }
 
+// Table2_1 element-update accounting. The plain ladder rows (params.ranks
+// with no mode/drain_mode/lts) run the global-dt solver, so they must
+// report exactly one element-kernel application per element per step —
+// metrics.updates_saved_ratio == 1 — with the par/element_updates counter
+// present in the gathered telemetry, the overlapped-exchange scope
+// breakdown (post/drain/wait), the par/overlap_fraction gauge, and the
+// comm/bytes_sent counter (these used to be CI-level --require paths, but
+// the serial LTS rows legitimately carry no rank telemetry, so the pins
+// live here keyed by row type). The --lts-sweep rows (params.lts =
+// off|on, params.scheme = serial|par) pin the LTS evidence: each scheme
+// carries an interleaved off/on pair; every off row reports ratio 1; the
+// serial on row must come from a multi-level, multi-class mesh, actually
+// save updates, and keep the Fig 2.2 closed-form error at the off row's
+// level; the parallel on row must save updates while its final field and
+// surface seismogram stay near the global-dt run's. Absent --lts-sweep the
+// LTS half is inert, matching the other sweeps.
+
+// True when row.ranks.<section>.<key> exists (section is "scopes",
+// "counters", or "gauges" in the merged telemetry report).
+bool row_ranks_has(const Json& row, const char* section, const char* key) {
+  const Json* ranks = row.find("ranks");
+  const Json* sec = ranks == nullptr ? nullptr : ranks->find(section);
+  return sec != nullptr && sec->find(key) != nullptr;
+}
+
+// Every table2_1 row that runs the parallel solver must carry the
+// overlapped-exchange breakdown in its gathered telemetry.
+bool pin_exchange_telemetry(const Json& row, const std::string& what) {
+  for (const char* scope : {"step/exchange/post", "step/exchange/drain",
+                            "step/exchange/drain/wait"}) {
+    if (!row_ranks_has(row, "scopes", scope)) {
+      return fail(what + " row telemetry lacks the " + scope + " scope");
+    }
+  }
+  if (!row_ranks_has(row, "gauges", "par/overlap_fraction") ||
+      !row_ranks_has(row, "counters", "comm/bytes_sent")) {
+    return fail(what + " row telemetry lacks par/overlap_fraction or "
+                "comm/bytes_sent");
+  }
+  return true;
+}
+
+bool check_table2_1_lts_contract(const Json& rows) {
+  g_context += " (table2_1 element-updates contract)";
+  const Json* pair[2][2] = {};  // [scheme: 0 serial, 1 par][lts: 0 off, 1 on]
+  for (const Json& row : rows.items()) {
+    if (row_param(row, "mode") != nullptr ||
+        row_param(row, "drain_mode") != nullptr) {
+      if (!pin_exchange_telemetry(row, "sweep")) return false;
+      continue;
+    }
+    if (row_param(row, "lts") == nullptr) {
+      // Ladder row: global-dt accounting must be present and trivial.
+      const Json* m = row.find("metrics");
+      const Json* ratio = m == nullptr ? nullptr : m->find("updates_saved_ratio");
+      const Json* updates = m == nullptr ? nullptr : m->find("element_updates");
+      if (!is_number(ratio) || !is_number(updates)) {
+        return fail("ladder row needs numeric metrics.updates_saved_ratio "
+                    "and metrics.element_updates");
+      }
+      if (ratio->as_number() != 1.0) {
+        return fail("global-dt ladder row reports updates_saved_ratio != 1");
+      }
+      if (updates->as_number() <= 0.0) {
+        return fail("ladder row reports element_updates <= 0");
+      }
+      const Json* ranks = row.find("ranks");
+      const Json* counters = ranks == nullptr ? nullptr : ranks->find("counters");
+      if (counters == nullptr ||
+          counters->find("par/element_updates") == nullptr) {
+        return fail("ladder row telemetry lacks the par/element_updates "
+                    "counter");
+      }
+      if (!pin_exchange_telemetry(row, "ladder")) return false;
+      if (!is_number(m->find("overlap_fraction"))) {
+        return fail("ladder row needs numeric metrics.overlap_fraction");
+      }
+      continue;
+    }
+    const int s = param_is(row, "scheme", "serial") ? 0
+                  : param_is(row, "scheme", "par")  ? 1
+                                                    : -1;
+    const int l = param_is(row, "lts", "off")  ? 0
+                  : param_is(row, "lts", "on") ? 1
+                                               : -1;
+    if (s < 0 || l < 0) {
+      return fail("lts row needs params.scheme in {serial, par} and "
+                  "params.lts in {off, on}");
+    }
+    pair[s][l] = &row;
+  }
+  if (pair[0][0] == nullptr && pair[0][1] == nullptr &&
+      pair[1][0] == nullptr && pair[1][1] == nullptr) {
+    return true;  // no --lts-sweep in this report
+  }
+  const char* scheme_names[2] = {"serial", "par"};
+  for (int s = 0; s < 2; ++s) {
+    for (int l = 0; l < 2; ++l) {
+      if (pair[s][l] == nullptr) {
+        return fail(std::string("lts sweep lacks the ") + scheme_names[s] +
+                    " lts=" + (l != 0 ? "on" : "off") + " row");
+      }
+      const Json* m = pair[s][l]->find("metrics");
+      for (const char* key :
+           {"updates_saved_ratio", "element_updates", "n_classes",
+            "octree_levels", "n_steps"}) {
+        if (m == nullptr || !is_number(m->find(key))) {
+          return fail(std::string(scheme_names[s]) + " lts row needs numeric "
+                      "metrics." + key);
+        }
+      }
+      if (l == 0 && m->find("updates_saved_ratio")->as_number() != 1.0) {
+        return fail(std::string(scheme_names[s]) +
+                    " lts=off row reports updates_saved_ratio != 1");
+      }
+      if (l == 1) {
+        if (m->find("updates_saved_ratio")->as_number() <= 1.0) {
+          return fail(std::string(scheme_names[s]) +
+                      " lts=on row saved no updates (ratio <= 1)");
+        }
+        if (m->find("n_classes")->as_number() < 2.0) {
+          return fail(std::string(scheme_names[s]) +
+                      " lts=on row clustered into < 2 rate classes");
+        }
+        if (m->find("octree_levels")->as_number() < 2.0) {
+          return fail(std::string(scheme_names[s]) +
+                      " lts=on mesh spans < 2 octree levels");
+        }
+      }
+    }
+  }
+  // Serial pair: the closed-form verification error must not move.
+  const Json* so = pair[0][0]->find("metrics");
+  const Json* sn = pair[0][1]->find("metrics");
+  if (!is_number(so->find("rel_l2_err")) || !is_number(sn->find("rel_l2_err"))) {
+    return fail("serial lts rows need numeric metrics.rel_l2_err");
+  }
+  const double err_off = so->find("rel_l2_err")->as_number();
+  const double err_on = sn->find("rel_l2_err")->as_number();
+  if (!(err_off < 0.5)) {
+    return fail("serial lts=off closed-form verification failed "
+                "(rel_l2_err >= 0.5)");
+  }
+  if (!(err_on <= 1.25 * err_off)) {
+    return fail("serial lts=on degrades the closed-form error by > 25% over "
+                "the global-dt run");
+  }
+  // Parallel pair: bounded drift from the global-dt run, with the
+  // element-update counter in both rows' telemetry.
+  const Json* pn = pair[1][1]->find("metrics");
+  const Json* ud = pn->find("u_final_rel_diff_vs_global");
+  const Json* sd = pn->find("seis_rel_diff_vs_global");
+  if (!is_number(ud) || !is_number(sd)) {
+    return fail("par lts=on row needs numeric u_final/seis rel-diff metrics");
+  }
+  if (!(ud->as_number() < 0.15)) {
+    return fail("par lts=on final field drifted >= 15% from global dt");
+  }
+  if (!(sd->as_number() < 0.3)) {
+    return fail("par lts=on seismogram drifted >= 30% from global dt");
+  }
+  for (int l = 0; l < 2; ++l) {
+    const Json& row = *pair[1][l];
+    if (!row_ranks_has(row, "counters", "par/element_updates")) {
+      return fail("par lts row telemetry lacks the par/element_updates "
+                  "counter");
+    }
+    if (!pin_exchange_telemetry(row, "par lts")) return false;
+  }
+  return true;
+}
+
 // The fig2_1 bench surfaces per-phase etree buffer-pool statistics; every
 // store-phase row must carry the page accounting and a sane hit rate, and
 // checksum verification must have seen no failures.
@@ -539,6 +713,11 @@ int main(int argc, char** argv) {
   }
   g_context = file;
   if (bench->as_string() == "table2_1" && !check_table2_1_contract(*rows)) {
+    return 1;
+  }
+  g_context = file;
+  if (bench->as_string() == "table2_1" &&
+      !check_table2_1_lts_contract(*rows)) {
     return 1;
   }
 

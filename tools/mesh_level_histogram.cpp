@@ -1,0 +1,132 @@
+// mesh_level_histogram: octree level census + LTS updates-saved bounds.
+//
+// Generates a mesh for one of the stock velocity models, prints the octree
+// level histogram of its elements, and reports two updates-saved numbers:
+//   - the level-only upper bound (uniform-material assumption: rate doubles
+//     per level of coarsening), from lts::level_updates_saved_bound;
+//   - the material-aware prediction from the actual clustering pass
+//     (per-element stable dt, power-of-two bins, +-1 normalization),
+//     from lts::cluster_elements(...).predicted_updates_saved().
+// The gap between the two is the price of material contrast: the mesh
+// coarsens where vs is high, but the stable step follows h / vp, so level
+// and rate decouple wherever vp / vs varies.
+//
+// Usage:
+//   mesh_level_histogram [--model basin|layered] [--extent M] [--f-max HZ]
+//                        [--n-lambda N] [--min-level L] [--max-level L]
+//                        [--cfl F] [--max-rate R]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quake/lts/clustering.hpp"
+#include "quake/mesh/meshgen.hpp"
+#include "quake/vel/model.hpp"
+
+namespace {
+
+double arg_double(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return fallback;
+}
+
+int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* flag,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return fallback;
+}
+
+// The Fig 2.2-style soft-layer-over-halfspace column used by the LTS bench
+// rows: a slow surface layer over stiff rock, guaranteeing several octree
+// levels and a genuine rate contrast.
+std::unique_ptr<quake::vel::VelocityModel> layered_column() {
+  using quake::vel::Material;
+  std::vector<quake::vel::LayeredModel::Layer> layers;
+  layers.push_back({100.0, Material::from_velocities(1500.0, 200.0, 2000.0)});
+  layers.push_back(
+      {1.0, Material::from_velocities(1.732 * 1600.0, 1600.0, 2400.0)});
+  return std::make_unique<quake::vel::LayeredModel>(std::move(layers));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = arg_str(argc, argv, "--model", "basin");
+  const double extent = arg_double(argc, argv, "--extent",
+                                   model_name == "layered" ? 400.0 : 25600.0);
+
+  quake::mesh::MeshOptions opt;
+  opt.domain_size = extent;
+  opt.f_max = arg_double(argc, argv, "--f-max", model_name == "layered" ? 2.0 : 0.2);
+  opt.n_lambda = arg_double(argc, argv, "--n-lambda", 8.0);
+  opt.min_level = arg_int(argc, argv, "--min-level", 3);
+  opt.max_level = arg_int(argc, argv, "--max-level", 6);
+  const double cfl = arg_double(argc, argv, "--cfl", 0.35);
+  const int max_rate = arg_int(argc, argv, "--max-rate", 32);
+
+  std::unique_ptr<quake::vel::VelocityModel> model;
+  if (model_name == "basin") {
+    model = std::make_unique<quake::vel::BasinModel>(
+        quake::vel::BasinModel::demo(extent));
+  } else if (model_name == "layered") {
+    model = layered_column();
+  } else {
+    std::fprintf(stderr, "unknown --model '%s' (basin|layered)\n",
+                 model_name.c_str());
+    return 2;
+  }
+
+  const quake::mesh::HexMesh mesh = quake::mesh::generate_mesh(*model, opt);
+
+  std::map<int, std::size_t> by_level;
+  for (std::uint8_t lv : mesh.elem_level) ++by_level[lv];
+
+  std::printf("model=%s extent=%g f_max=%g n_lambda=%g levels=[%d,%d]\n",
+              model_name.c_str(), extent, opt.f_max, opt.n_lambda,
+              opt.min_level, opt.max_level);
+  std::printf("elements=%zu nodes=%zu hanging=%zu\n", mesh.n_elements(),
+              mesh.n_nodes(), mesh.n_hanging());
+  std::printf("\noctree level histogram:\n");
+  std::printf("  %-6s %-12s %-10s %s\n", "level", "h [m]", "elements", "share");
+  for (const auto& [lv, count] : by_level) {
+    const double h = extent / static_cast<double>(1 << lv);
+    std::printf("  %-6d %-12.4g %-10zu %5.1f%%\n", lv, h, count,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(mesh.n_elements()));
+  }
+
+  const std::vector<double> dts = quake::lts::element_stable_dt(mesh, cfl);
+  double base_dt = dts.empty() ? 0.0 : dts[0];
+  for (double d : dts) base_dt = std::min(base_dt, d);
+
+  const double bound = quake::lts::level_updates_saved_bound(mesh, max_rate);
+  const quake::lts::Clustering cl =
+      quake::lts::cluster_elements(mesh, base_dt, cfl, max_rate);
+
+  std::printf("\nglobal stable dt = %.6g s (cfl %g)\n", base_dt, cfl);
+  std::printf("rate histogram (stability bins, after +-1 normalization):\n");
+  for (int c = 0; c < cl.n_classes; ++c)
+    std::printf("  rate %-4d %-10zu elements\n", 1 << c, cl.rate_histogram[c]);
+  std::printf("class histogram (compute cadences):\n");
+  for (int c = 0; c < cl.n_classes; ++c)
+    std::printf("  every %-3d steps: %-10zu elements\n", 1 << c,
+                cl.class_histogram[c]);
+
+  std::printf("\nupdates-saved, level-only upper bound : %.4f\n", bound);
+  std::printf("updates-saved, clustering prediction  : %.4f\n",
+              cl.predicted_updates_saved());
+  return 0;
+}
